@@ -1,0 +1,61 @@
+// Fig. 2: percentage of congested s-days (2a) and s-hours (2b) vs the
+// variability threshold H, per region, ingress direction.
+//
+// Paper: at H=0.25 the congested s-day share is 71.2% (us-west1) to 89.7%
+// (us-west4); at H=0.5 it falls to 11-30%, and 1.3-3% of s-hours are
+// congested. The elbow method lands on H=0.5.
+#include "bench_support.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace clasp;
+  using namespace clasp::bench;
+
+  clasp_platform platform = make_platform();
+  run_topology_campaigns(platform, fig2_regions());
+
+  print_header("Fig. 2 — Congested s-days / s-hours vs threshold H",
+               "H=0.25: 71-90%% of days; H=0.5: 11-30%% days, 1.3-3%% hours; "
+               "elbow at 0.5");
+
+  std::printf("\n# Fig 2a: fraction of s-days with V(s,d) > H\n");
+  std::printf("# Fig 2b: fraction of s-hours with V_H(s,t) > H\n\n");
+
+  std::vector<threshold_sweep> sweeps;
+  for (const std::string& region : fig2_regions()) {
+    const auto data = platform.download_series("topology", region);
+    sweeps.push_back(sweep_thresholds(data.series, data.tz));
+  }
+
+  // Series block: one row per threshold, one column pair per region.
+  std::printf("# columns: H");
+  for (const std::string& r : fig2_regions()) {
+    std::printf(" day:%s hour:%s", r.c_str(), r.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < sweeps[0].thresholds.size(); ++i) {
+    std::printf("%.2f", sweeps[0].thresholds[i]);
+    for (const threshold_sweep& s : sweeps) {
+      std::printf(" %.4f %.4f", s.day_fraction[i], s.hour_fraction[i]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nsummary at the paper's key thresholds:\n");
+  text_table table({"Region", "days>V @H=0.25", "days>V @H=0.5",
+                    "hours>V_H @H=0.5", "elbow H"});
+  for (std::size_t r = 0; r < fig2_regions().size(); ++r) {
+    const threshold_sweep& s = sweeps[r];
+    // Grid is 21 points: index 5 = 0.25, index 10 = 0.5.
+    table.add_row({fig2_regions()[r],
+                   format_double(100.0 * s.day_fraction[5], 1) + "%",
+                   format_double(100.0 * s.day_fraction[10], 1) + "%",
+                   format_double(100.0 * s.hour_fraction[10], 2) + "%",
+                   format_double(choose_threshold_elbow(s), 2)});
+  }
+  table.print(std::cout);
+
+  std::printf("\npaper: us-west1 lowest / us-east4 highest congestion "
+              "share; chosen threshold H = 0.5\n");
+  return 0;
+}

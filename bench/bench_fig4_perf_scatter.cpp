@@ -1,0 +1,132 @@
+// Fig. 4: best network performance per server-month — 95th percentile
+// download throughput vs 5th percentile latency, with kernel-density
+// margins.
+//
+// Paper: (a) topology-based servers — >90% of points have latency <150 ms
+// and download >200 Mbps; 80% of servers between 200-600 Mbps; nothing
+// saturates the 1 Gbps shaped NIC. (b/c) differential servers, premium
+// vs standard tier — premium shows smaller throughput variance; some
+// standard-tier servers are faster.
+#include "bench_support.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace clasp;
+
+struct scatter_stats {
+  std::vector<double> downloads;  // p95 per server-month
+  std::vector<double> latencies;  // p5 per server-month
+};
+
+scatter_stats collect(const clasp_platform& platform,
+                      const std::string& campaign, const std::string& region,
+                      const std::string& tier, bool print_points) {
+  scatter_stats stats;
+  const auto data =
+      platform.download_series(campaign, region, "download_mbps", tier);
+  for (const ts_series* s : data.series) {
+    tag_set tags = s->tags();
+    const ts_series* lat = platform.store().find("latency_ms", tags);
+    if (lat == nullptr) continue;
+    for (const monthly_performance& m : monthly_best_performance(*s, *lat)) {
+      stats.downloads.push_back(m.p95_download_mbps);
+      stats.latencies.push_back(m.p5_latency_ms);
+      if (print_points) {
+        std::printf("%s %s 2020-%02u %.1f %.1f\n", region.c_str(),
+                    s->tag("server").value_or("?").c_str(), m.month,
+                    m.p95_download_mbps, m.p5_latency_ms);
+      }
+    }
+  }
+  return stats;
+}
+
+void print_summary(const char* label, const scatter_stats& stats) {
+  if (stats.downloads.empty()) {
+    std::printf("%s: no data\n", label);
+    return;
+  }
+  std::size_t in_band = 0, low_lat = 0, saturated = 0;
+  for (std::size_t i = 0; i < stats.downloads.size(); ++i) {
+    if (stats.downloads[i] >= 200.0 && stats.downloads[i] <= 600.0) ++in_band;
+    if (stats.latencies[i] < 150.0) ++low_lat;
+    if (stats.downloads[i] >= 980.0) ++saturated;
+  }
+  const double n = static_cast<double>(stats.downloads.size());
+  std::printf(
+      "%s: n=%zu  median_p95=%.0f Mbps  in[200,600]=%.0f%%  lat<150ms=%.0f%%"
+      "  saturating=%zu  download_stddev=%.0f\n",
+      label, stats.downloads.size(), median(stats.downloads),
+      100.0 * in_band / n, 100.0 * low_lat / n, saturated,
+      sample_stddev(stats.downloads));
+}
+
+void print_kde(const char* label, const std::vector<double>& xs, double lo,
+               double hi) {
+  if (xs.empty()) return;
+  std::printf("# kde %s\n", label);
+  for (const kde_point& p : gaussian_kde(xs, lo, hi, 25)) {
+    std::printf("%.1f %.5f\n", p.x, p.density);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace clasp;
+  using namespace clasp::bench;
+
+  clasp_platform platform = make_platform();
+  run_topology_campaigns(platform, table1_regions());
+  for (const std::string& region : differential_regions()) {
+    run_differential_campaign(platform, region);
+  }
+
+  print_header("Fig. 4 — 95th-pct download vs 5th-pct latency per "
+               "server-month",
+               "topology servers: 80%% in 200-600 Mbps, latency <150 ms, "
+               "no saturation; premium tier lower variance than standard");
+
+  std::printf("\n# Fig 4a points (region server month p95_down p5_lat)\n");
+  scatter_stats topo_all;
+  for (const std::string& region : table1_regions()) {
+    const scatter_stats s = collect(platform, "topology", region, "", true);
+    topo_all.downloads.insert(topo_all.downloads.end(), s.downloads.begin(),
+                              s.downloads.end());
+    topo_all.latencies.insert(topo_all.latencies.end(), s.latencies.begin(),
+                              s.latencies.end());
+  }
+
+  std::printf("\n# Fig 4b points (premium tier)\n");
+  scatter_stats prem_all, std_all;
+  for (const std::string& region : differential_regions()) {
+    const scatter_stats s =
+        collect(platform, "diff-premium", region, "premium", true);
+    prem_all.downloads.insert(prem_all.downloads.end(), s.downloads.begin(),
+                              s.downloads.end());
+    prem_all.latencies.insert(prem_all.latencies.end(), s.latencies.begin(),
+                              s.latencies.end());
+  }
+  std::printf("\n# Fig 4c points (standard tier)\n");
+  for (const std::string& region : differential_regions()) {
+    const scatter_stats s =
+        collect(platform, "diff-standard", region, "standard", true);
+    std_all.downloads.insert(std_all.downloads.end(), s.downloads.begin(),
+                             s.downloads.end());
+    std_all.latencies.insert(std_all.latencies.end(), s.latencies.begin(),
+                             s.latencies.end());
+  }
+
+  std::printf("\nsummaries:\n");
+  print_summary("fig4a topology", topo_all);
+  print_summary("fig4b premium ", prem_all);
+  print_summary("fig4c standard", std_all);
+
+  std::printf("\nkernel densities (download margin):\n");
+  print_kde("topology", topo_all.downloads, 0.0, 1000.0);
+  print_kde("premium", prem_all.downloads, 0.0, 600.0);
+  print_kde("standard", std_all.downloads, 0.0, 600.0);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 7 / Appendix A: locations of cloud regions and the servers each
+// region's selection picked (topology-based: blue circles, all in the
+// U.S.; differential-based: magenta squares, global).
+#include "bench_support.hpp"
+
+int main() {
+  using namespace clasp;
+  using namespace clasp::bench;
+
+  clasp_platform platform = make_platform();
+
+  print_header("Fig. 7 — Locations of cloud regions and selected servers",
+               "topology servers all in the U.S.; differential servers "
+               "global");
+
+  const geo_database& geo = *platform.net().geo;
+
+  for (const std::string& region : table1_regions()) {
+    const auto& sel = platform.select_topology(region);
+    const city_info& rc =
+        geo.city_by_name(region_by_name(region).city_name);
+    std::printf("\n# map %s (region at %.2f,%.2f)\n", region.c_str(),
+                rc.latitude, rc.longitude);
+    std::printf("# columns: kind lat lon label\n");
+    std::printf("region %.2f %.2f %s\n", rc.latitude, rc.longitude,
+                rc.name.c_str());
+    std::size_t non_us = 0;
+    for (const selected_server& s : sel.selected) {
+      const speed_server& server = platform.registry().server(s.server_id);
+      const city_info& c = geo.city(server.city);
+      std::printf("topology %.2f %.2f %s\n", c.latitude, c.longitude,
+                  server.name.c_str());
+      if (c.country != "US") ++non_us;
+    }
+    std::printf("# %zu servers, %zu outside the U.S. (paper: all U.S.)\n",
+                sel.selected.size(), non_us);
+  }
+
+  for (const std::string& region : differential_regions()) {
+    const auto& sel = platform.select_differential(region);
+    const city_info& rc =
+        geo.city_by_name(region_by_name(region).city_name);
+    std::printf("\n# map %s differential (region at %.2f,%.2f)\n",
+                region.c_str(), rc.latitude, rc.longitude);
+    std::size_t countries = 0;
+    std::vector<std::string> seen;
+    for (const auto& chosen : sel.selected) {
+      const speed_server& server = platform.registry().server(chosen.server_id);
+      const city_info& c = geo.city(server.city);
+      std::printf("differential %.2f %.2f %s [%s]\n", c.latitude, c.longitude,
+                  server.name.c_str(), to_string(chosen.cls));
+      if (std::find(seen.begin(), seen.end(), c.country) == seen.end()) {
+        seen.push_back(c.country);
+        ++countries;
+      }
+    }
+    std::printf("# %zu servers across %zu countries (paper: global spread)\n",
+                sel.selected.size(), countries);
+  }
+  return 0;
+}

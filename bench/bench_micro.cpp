@@ -1,0 +1,146 @@
+// Microbenchmarks of the substrate's hot paths (google-benchmark).
+//
+// These are the operations that bound a full campaign's wall-clock:
+// internet generation, route construction, per-hour path evaluation,
+// a complete speed test, traceroute, and time-series writes.
+#include <benchmark/benchmark.h>
+
+#include "clasp/platform.hpp"
+#include "probes/traceroute.hpp"
+
+namespace {
+
+using namespace clasp;
+
+clasp_platform& shared_platform() {
+  static clasp_platform* platform = [] {
+    platform_config cfg;
+    return new clasp_platform(cfg);
+  }();
+  return *platform;
+}
+
+void BM_GenerateInternet(benchmark::State& state) {
+  internet_config cfg;
+  cfg.regional_isp_count = static_cast<std::size_t>(state.range(0));
+  cfg.business_count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    internet net = generate_internet(cfg);
+    benchmark::DoNotOptimize(net.topo->link_count());
+  }
+  state.SetLabel(std::to_string(generate_internet(cfg).topo->as_count()) +
+                 " ASes");
+}
+BENCHMARK(BM_GenerateInternet)->Arg(250)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_RouteConstruction(benchmark::State& state) {
+  auto& p = shared_platform();
+  route_planner& planner = p.planner();
+  const city_id region = p.cloud().region_city("us-east1");
+  const auto router = p.net().topo->router_of(p.net().cloud, region);
+  const endpoint vm{p.net().cloud, region,
+                    p.net().topo->router_at(*router).loopback, std::nullopt};
+  const auto& vps = p.net().vantage_points;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const endpoint src = planner.endpoint_of_host(vps[i++ % vps.size()]);
+    benchmark::DoNotOptimize(
+        planner.to_cloud(src, vm, service_tier::premium).routers.size());
+  }
+}
+BENCHMARK(BM_RouteConstruction);
+
+void BM_PathEvaluation(benchmark::State& state) {
+  auto& p = shared_platform();
+  const city_id region = p.cloud().region_city("us-east1");
+  const auto router = p.net().topo->router_of(p.net().cloud, region);
+  const endpoint vm{p.net().cloud, region,
+                    p.net().topo->router_at(*router).loopback, std::nullopt};
+  const endpoint src =
+      p.planner().endpoint_of_host(p.net().vantage_points.front());
+  const route_path path = p.planner().to_cloud(src, vm, service_tier::premium);
+  std::int64_t h = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        p.view().evaluate(path, hour_stamp{h++ % 3672}).rtt.value);
+  }
+}
+BENCHMARK(BM_PathEvaluation);
+
+void BM_SpeedTest(benchmark::State& state) {
+  auto& p = shared_platform();
+  static gcp_cloud::vm_id vm =
+      p.cloud().create_vm("us-east1", service_tier::premium);
+  const auto us = p.registry().crawl("US");
+  speed_test_session session(&p.cloud(), &p.view(), vm,
+                             p.registry().server(us.front()));
+  rng r(1);
+  std::int64_t h = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        session.run(hour_stamp{h++ % 3672}, r).download.value);
+  }
+}
+BENCHMARK(BM_SpeedTest);
+
+void BM_Traceroute(benchmark::State& state) {
+  auto& p = shared_platform();
+  const city_id region = p.cloud().region_city("us-west1");
+  const auto router = p.net().topo->router_of(p.net().cloud, region);
+  const endpoint vm{p.net().cloud, region,
+                    p.net().topo->router_at(*router).loopback, std::nullopt};
+  const endpoint dst =
+      p.planner().endpoint_of_host(p.net().vantage_points.front());
+  const route_path path =
+      p.planner().from_cloud(vm, dst, service_tier::premium);
+  network_view view(&p.net());
+  prober probe(&p.planner(), &view);
+  rng r(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        probe.traceroute(path, hour_stamp{12}, r).hops.size());
+  }
+}
+BENCHMARK(BM_Traceroute);
+
+void BM_TsdbWrite(benchmark::State& state) {
+  tsdb db;
+  const tag_set tags = {{"campaign", "bench"}, {"server", "1"}};
+  std::int64_t h = 0;
+  for (auto _ : state) {
+    db.write("download_mbps", tags, hour_stamp{h++}, 123.4);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TsdbWrite);
+
+void BM_TsdbQuery(benchmark::State& state) {
+  tsdb db;
+  for (int s = 0; s < 200; ++s) {
+    const tag_set tags = {{"campaign", "bench"},
+                          {"server", std::to_string(s)},
+                          {"region", s % 2 ? "us-west1" : "us-east1"}};
+    for (int h = 0; h < 100; ++h) db.write("m", tags, hour_stamp{h}, h);
+  }
+  tag_filter filter;
+  filter.required["region"] = "us-west1";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.query("m", filter).size());
+  }
+}
+BENCHMARK(BM_TsdbQuery);
+
+void BM_DailyVariability(benchmark::State& state) {
+  ts_series s("m", {});
+  for (int i = 0; i < 24 * 153; ++i) {
+    s.append(hour_stamp{i}, 400.0 + (i % 24) * 5.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(daily_variability(s, timezone_offset{-5}).size());
+  }
+}
+BENCHMARK(BM_DailyVariability);
+
+}  // namespace
+
+BENCHMARK_MAIN();

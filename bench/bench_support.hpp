@@ -1,0 +1,81 @@
+// Shared setup for the experiment benches.
+//
+// Each bench binary reproduces one table or figure of the paper at full
+// scale: the default internet (~6.7k ASes), the full server fleet
+// (~11k servers, ~1.3k U.S.), and the paper's measurement windows
+// (May-Sep 2020 topology campaign, Aug-Sep differential campaign).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "clasp/platform.hpp"
+#include "util/table.hpp"
+
+namespace clasp::bench {
+
+// The five Table-1 regions, in the paper's row order.
+inline const std::vector<std::string>& table1_regions() {
+  static const std::vector<std::string> kRegions = {
+      "us-west1", "us-west2", "us-east1", "us-east4", "us-central1"};
+  return kRegions;
+}
+
+// The six Fig-2 regions (Table 1 plus us-west4).
+inline const std::vector<std::string>& fig2_regions() {
+  static const std::vector<std::string> kRegions = {
+      "us-west1", "us-west2", "us-west4", "us-east1", "us-east4",
+      "us-central1"};
+  return kRegions;
+}
+
+// The three differential regions.
+inline const std::vector<std::string>& differential_regions() {
+  static const std::vector<std::string> kRegions = {"us-central1", "us-east1",
+                                                    "europe-west1"};
+  return kRegions;
+}
+
+inline clasp_platform make_platform(std::uint64_t seed = 42) {
+  platform_config cfg;
+  cfg.internet.seed = seed;
+  return clasp_platform(cfg);
+}
+
+// Run the full topology campaign for the given regions (deploys VMs, runs
+// every hour of the window). Returns the runners.
+inline std::vector<campaign_runner*> run_topology_campaigns(
+    clasp_platform& platform, const std::vector<std::string>& regions,
+    hour_range window = topology_campaign_window()) {
+  std::vector<campaign_runner*> runners;
+  for (const std::string& region : regions) {
+    campaign_runner& r = platform.start_topology_campaign(region, window);
+    r.run();
+    runners.push_back(&r);
+    std::fprintf(stderr, "[bench] %s: %zu servers, %zu tests\n",
+                 region.c_str(), r.session_count(), r.tests_run());
+  }
+  return runners;
+}
+
+inline std::pair<campaign_runner*, campaign_runner*> run_differential_campaign(
+    clasp_platform& platform, const std::string& region,
+    hour_range window = differential_campaign_window()) {
+  auto pair = platform.start_differential_campaign(region, window);
+  pair.first->run();
+  pair.second->run();
+  std::fprintf(stderr, "[bench] %s differential: %zu servers x2 tiers\n",
+               region.c_str(), pair.first->session_count());
+  return pair;
+}
+
+inline void print_header(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace clasp::bench

@@ -1,0 +1,194 @@
+// clasp_cli — command-line driver for the platform.
+//
+//   clasp_cli select  --region us-west1
+//   clasp_cli run     --region us-west1 --days 7 [--tier standard]
+//                     [--csv out.csv] [--seed 42]
+//   clasp_cli pilot   --region us-east4
+//   clasp_cli cost    --region us-east1 --days 3
+//
+// `run` executes a topology campaign for the given number of days and can
+// dump the download series as CSV for external plotting; `pilot` prints
+// only the bdrmap scan summary; `cost` prints the billing breakdown.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "clasp/config_loader.hpp"
+#include "clasp/platform.hpp"
+#include "clasp/report.hpp"
+
+namespace {
+
+using namespace clasp;
+
+struct cli_options {
+  std::string command;
+  std::string region{"us-west1"};
+  std::string tier{"premium"};
+  std::string csv_path;
+  std::string config_path;
+  int days{7};
+  std::uint64_t seed{42};
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: clasp_cli <select|pilot|run|cost|report> [--region R] "
+               "[--days N] [--tier premium|standard] [--csv FILE] "
+               "[--seed S] [--config FILE]\n");
+}
+
+bool parse_args(int argc, char** argv, cli_options& opts) {
+  if (argc < 2) return false;
+  opts.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const std::string value = argv[i + 1];
+    if (key == "--region") {
+      opts.region = value;
+    } else if (key == "--days") {
+      opts.days = std::stoi(value);
+      if (opts.days <= 0 || opts.days > 153) return false;
+    } else if (key == "--tier") {
+      if (value != "premium" && value != "standard") return false;
+      opts.tier = value;
+    } else if (key == "--csv") {
+      opts.csv_path = value;
+    } else if (key == "--config") {
+      opts.config_path = value;
+    } else if (key == "--seed") {
+      opts.seed = std::stoull(value);
+    } else {
+      return false;
+    }
+  }
+  return opts.command == "select" || opts.command == "pilot" ||
+         opts.command == "run" || opts.command == "cost" ||
+         opts.command == "report";
+}
+
+int cmd_select(clasp_platform& platform, const cli_options& opts) {
+  const auto& sel = platform.select_topology(opts.region);
+  std::printf("%s: pilot links %zu, links traversed by US servers %zu, "
+              "servers selected %zu (coverage %.1f%%)\n",
+              opts.region.c_str(), sel.pilot.links.size(),
+              sel.links_traversed_by_servers, sel.selected.size(),
+              100.0 * sel.coverage());
+  for (const selected_server& s : sel.selected) {
+    std::printf("  %-46s AS%-7u via %s (AS path %zu, %.1f ms)\n",
+                platform.registry().server(s.server_id).name.c_str(),
+                s.neighbor.value, s.far_side.to_string().c_str(),
+                s.as_path_len, s.rtt.value);
+  }
+  return 0;
+}
+
+int cmd_pilot(clasp_platform& platform, const cli_options& opts) {
+  const auto& sel = platform.select_topology(opts.region);
+  std::printf("%s pilot: %zu interdomain links discovered\n",
+              opts.region.c_str(), sel.pilot.links.size());
+  std::printf("top neighbors by path count:\n");
+  std::vector<border_observation> links = sel.pilot.links;
+  std::sort(links.begin(), links.end(),
+            [](const border_observation& a, const border_observation& b) {
+              return a.path_count > b.path_count;
+            });
+  for (std::size_t i = 0; i < std::min<std::size_t>(links.size(), 15); ++i) {
+    std::printf("  %-16s AS%-8u %5zu paths, min rtt %.1f ms\n",
+                links[i].far_side.to_string().c_str(),
+                links[i].neighbor.value, links[i].path_count,
+                links[i].min_rtt.value);
+  }
+  return 0;
+}
+
+int cmd_run(clasp_platform& platform, const cli_options& opts) {
+  const hour_range window{
+      hour_stamp::from_civil({2020, 5, 1}, 0),
+      hour_stamp::from_civil({2020, 5, 1}, 0) + opts.days * 24};
+  campaign_runner& campaign =
+      platform.start_topology_campaign(opts.region, window);
+  campaign.run();
+  std::printf("ran %zu tests on %zu servers from %zu VMs\n",
+              campaign.tests_run(), campaign.session_count(),
+              campaign.vm_count());
+
+  const auto data = platform.download_series("topology", opts.region);
+  std::size_t congested = 0;
+  for (std::size_t i = 0; i < data.series.size(); ++i) {
+    if (summarize_server(*data.series[i], data.tz[i], 0.5).congested_server) {
+      ++congested;
+    }
+  }
+  std::printf("congested servers (>10%% of days with events): %zu/%zu\n",
+              congested, data.series.size());
+
+  if (!opts.csv_path.empty()) {
+    std::ofstream out(opts.csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opts.csv_path.c_str());
+      return 1;
+    }
+    tag_filter filter;
+    filter.required["campaign"] = "topology";
+    filter.required["region"] = opts.region;
+    platform.store().export_csv(out, "download_mbps", filter);
+    std::printf("wrote download series to %s\n", opts.csv_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_report(clasp_platform& platform, const cli_options& opts) {
+  const hour_range window{
+      hour_stamp::from_civil({2020, 5, 1}, 0),
+      hour_stamp::from_civil({2020, 5, 1}, 0) + opts.days * 24};
+  platform.start_topology_campaign(opts.region, window).run();
+  std::fputs(render_campaign_report(platform, opts.region).c_str(), stdout);
+  return 0;
+}
+
+int cmd_cost(clasp_platform& platform, const cli_options& opts) {
+  const hour_range window{
+      hour_stamp::from_civil({2020, 5, 1}, 0),
+      hour_stamp::from_civil({2020, 5, 1}, 0) + opts.days * 24};
+  campaign_runner& campaign =
+      platform.start_topology_campaign(opts.region, window);
+  campaign.run();
+  const cost_report& costs = platform.cloud().costs();
+  std::printf("%d-day %s campaign (%zu servers):\n", opts.days,
+              opts.region.c_str(), campaign.session_count());
+  std::printf("  VMs:     $%8.2f\n", costs.vm_usd);
+  std::printf("  egress:  $%8.2f\n", costs.egress_usd);
+  std::printf("  storage: $%8.2f\n", costs.storage_usd);
+  std::printf("  total:   $%8.2f  (~$%.0f/month at this cadence)\n",
+              costs.total(), costs.total() * 30.0 / opts.days);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_options opts;
+  if (!parse_args(argc, argv, opts)) {
+    usage();
+    return 2;
+  }
+  platform_config cfg;
+  if (!opts.config_path.empty()) {
+    try {
+      cfg = load_platform_config_file(opts.config_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+  cfg.internet.seed = opts.seed;
+  clasp_platform platform(cfg);
+
+  if (opts.command == "select") return cmd_select(platform, opts);
+  if (opts.command == "pilot") return cmd_pilot(platform, opts);
+  if (opts.command == "run") return cmd_run(platform, opts);
+  if (opts.command == "report") return cmd_report(platform, opts);
+  return cmd_cost(platform, opts);
+}

@@ -1,0 +1,57 @@
+// Campaign cost planner: the budget arithmetic that constrained the
+// paper's deployment (§3.2 footnote 3 and §5: "egress traffic, cloud
+// storage, and virtual machines costed over USD 6k per month").
+//
+// Plans a fleet for a target server count and cadence, then verifies the
+// estimate against the simulator's own billing meter on a one-week run.
+//
+//   $ ./build/examples/cost_planner
+#include <cstdio>
+
+#include "clasp/platform.hpp"
+
+int main() {
+  using namespace clasp;
+
+  // --- static plan ---------------------------------------------------------
+  const std::size_t servers = 458;       // the paper's fleet
+  const unsigned tests_per_vm_hour = 17; // 120 s tests + traceroute budget
+  const double upload_gb_per_test = 0.18;  // ~15 s at ~100 Mbps
+  const double hours_per_month = 30.0 * 24.0;
+
+  const std::size_t vms =
+      (servers + tests_per_vm_hour - 1) / tests_per_vm_hour;
+  const machine_type& vm_type = machine_type_by_name("n1-standard-2");
+  const double vm_usd = vms * vm_type.usd_per_hour * hours_per_month;
+  const double egress_gb = servers * hours_per_month * upload_gb_per_test;
+  const double egress_usd = egress_gb * egress_usd_per_gb(service_tier::premium);
+  const double storage_usd = egress_gb * 0.01 * 0.020;  // compressed pcaps
+
+  std::printf("plan for %zu servers, hourly tests:\n", servers);
+  std::printf("  VMs:     %zu x %s = $%.0f/month\n", vms,
+              vm_type.name.c_str(), vm_usd);
+  std::printf("  egress:  %.0f GB/month = $%.0f/month\n", egress_gb,
+              egress_usd);
+  std::printf("  storage: $%.0f/month\n", storage_usd);
+  std::printf("  total:   $%.0f/month (paper: over $6k/month)\n\n",
+              vm_usd + egress_usd + storage_usd);
+
+  // --- verify against the simulator's billing meter -------------------------
+  clasp_platform platform;
+  const hour_range week{hour_stamp::from_civil({2020, 5, 1}, 0),
+                        hour_stamp::from_civil({2020, 5, 8}, 0)};
+  campaign_runner& c = platform.start_topology_campaign("us-east1", week);
+  c.run();
+  const cost_report& costs = platform.cloud().costs();
+  const double weekly = costs.total();
+  const double per_server_month =
+      weekly / static_cast<double>(c.session_count()) * (30.0 / 7.0);
+  std::printf("measured on a 1-week us-east1 run (%zu servers): $%.0f\n",
+              c.session_count(), weekly);
+  std::printf("  -> $%.2f per server-month; %zu servers would cost "
+              "$%.0f/month\n",
+              per_server_month, servers, per_server_month * servers);
+  std::printf("  (egress share: %.0f%%)\n",
+              100.0 * costs.egress_usd / costs.total());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Quickstart: stand up CLASP, select servers for one region, run a week
+// of hourly measurements and print headline numbers.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "clasp/platform.hpp"
+
+int main() {
+  using namespace clasp;
+
+  // 1. Build the whole substrate: synthetic Internet, speed-test fleets,
+  //    cloud control plane. One seed makes the run exactly reproducible.
+  clasp_platform platform;
+  std::printf("internet: %zu ASes, %zu links; fleet: %zu servers\n",
+              platform.net().topo->as_count(), platform.net().topo->link_count(),
+              platform.registry().size());
+
+  // 2. Topology-based server selection for us-west1 (bdrmap pilot scan +
+  //    traceroutes to every U.S. server, one server per interdomain link).
+  const topology_selection_result& selection =
+      platform.select_topology("us-west1");
+  std::printf("selection: %zu interdomain links in pilot, %zu servers "
+              "selected (%.1f%% coverage)\n",
+              selection.pilot.links.size(), selection.selected.size(),
+              100.0 * selection.coverage());
+
+  // 3. Run one week of hourly speed tests.
+  const hour_range week{hour_stamp::from_civil({2020, 5, 1}, 0),
+                        hour_stamp::from_civil({2020, 5, 8}, 0)};
+  campaign_runner& campaign =
+      platform.start_topology_campaign("us-west1", week);
+  campaign.run();
+  std::printf("campaign: %zu VMs ran %zu tests\n", campaign.vm_count(),
+              campaign.tests_run());
+
+  // 4. Analyze: the paper's V(s,d) > 0.5 congestion rule.
+  const auto data = platform.download_series("topology", "us-west1");
+  std::size_t congested_servers = 0;
+  for (std::size_t i = 0; i < data.series.size(); ++i) {
+    if (summarize_server(*data.series[i], data.tz[i], 0.5).congested_server) {
+      ++congested_servers;
+    }
+  }
+  std::printf("analysis: %zu of %zu servers show congestion (>10%% of days "
+              "with an event)\n",
+              congested_servers, data.series.size());
+  std::printf("spend so far: $%.0f (VMs $%.0f, egress $%.0f)\n",
+              platform.cloud().costs().total(), platform.cloud().costs().vm_usd,
+              platform.cloud().costs().egress_usd);
+  return 0;
+}

@@ -1,0 +1,263 @@
+// Congestion detection and performance analysis (§3.3, §4).
+//
+// The paper's detector works on throughput variability:
+//   V(s,d)    = (Tmax(s,d) - Tmin(s,d)) / Tmax(s,d)   per server-day
+//   V_H(s,t)  = (Tmax(s,d) - T(s,t)) / Tmax(s,d)      per server-hour
+// A server-day is congested when V(s,d) > H; a server-hour when
+// V_H(s,t) > H. H is chosen by the elbow method over the V(s,d) sweep
+// (the paper lands on H = 0.5). Days are bounded in the *server's* local
+// timezone, and Fig. 6's congestion probabilities are per local hour.
+//
+// Because the substrate plants ground-truth episodes, this module also
+// provides the detector validation the paper could not do (precision /
+// recall against gt_episode).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "data/geo.hpp"
+#include "data/ipv4.hpp"
+#include "data/prefix2as.hpp"
+#include "tsdb/tsdb.hpp"
+#include "util/sim_time.hpp"
+
+namespace clasp {
+
+// --- per-day variability ---------------------------------------------------
+
+struct day_variability {
+  std::int64_t local_day{0};
+  double v{0.0};       // normalized peak-to-trough difference
+  double t_max{0.0};
+  double t_min{0.0};
+  std::size_t samples{0};
+};
+
+// V(s,d) for every local day of a series with at least `min_samples`
+// measurements (days with sparse data are unreliable and skipped).
+std::vector<day_variability> daily_variability(const ts_series& series,
+                                               timezone_offset tz,
+                                               std::size_t min_samples = 12);
+
+// --- per-hour labels ---------------------------------------------------------
+
+struct hour_label {
+  hour_stamp at;
+  double v_h{0.0};
+  bool congested{false};
+};
+
+// V_H(s,t) for every point, with congested = V_H > threshold.
+std::vector<hour_label> intraday_labels(const ts_series& series,
+                                        timezone_offset tz, double threshold,
+                                        std::size_t min_samples = 12);
+
+// --- threshold sweep (Fig. 2) -----------------------------------------------
+
+struct threshold_sweep {
+  std::vector<double> thresholds;
+  std::vector<double> day_fraction;   // fraction of s-days with V > H
+  std::vector<double> hour_fraction;  // fraction of s-hours with V_H > H
+};
+
+// Sweep H over [0, 1] for a set of series. `tz_of` yields each series'
+// local timezone (index-aligned with `series`).
+threshold_sweep sweep_thresholds(
+    const std::vector<const ts_series*>& series,
+    const std::vector<timezone_offset>& tz_of, std::size_t grid_points = 21);
+
+// Elbow-method threshold from the day-fraction curve.
+double choose_threshold_elbow(const threshold_sweep& sweep);
+
+// --- per-server summaries (Fig. 6, Fig. 8) ----------------------------------
+
+struct server_congestion_summary {
+  std::size_t days_measured{0};
+  std::size_t congested_days{0};      // days with >= 1 congested hour
+  std::size_t hours_measured{0};
+  std::size_t congested_hours{0};
+  // The paper's Fig. 8 rule: congested server when >10% of days have an
+  // event.
+  bool congested_server{false};
+
+  double congested_day_fraction() const {
+    return days_measured == 0
+               ? 0.0
+               : static_cast<double>(congested_days) /
+                     static_cast<double>(days_measured);
+  }
+};
+
+server_congestion_summary summarize_server(
+    const ts_series& series, timezone_offset tz, double threshold,
+    double congested_server_day_fraction = 0.10);
+
+// Congestion probability per local hour of day: events / measurements.
+std::array<double, 24> hourly_congestion_probability(const ts_series& series,
+                                                     timezone_offset tz,
+                                                     double threshold);
+
+// --- latency-based detection (the RIPE-Atlas-style alternative) --------------
+
+// §2 argues that "latency measurements do not accurately reflect actual
+// throughput between cloud platforms and ISPs under load". This detector
+// exists to quantify that: it labels an hour congested when its latency
+// is inflated relative to the local day's minimum,
+//   L_H(s,t) = (L(s,t) - Lmin(s,d)) / Lmin(s,d) > threshold.
+// bench_ablation_detector compares it against the throughput detector on
+// planted ground truth: it only sees congestion that queues.
+std::vector<hour_label> latency_inflation_labels(const ts_series& latency,
+                                                 timezone_offset tz,
+                                                 double threshold,
+                                                 std::size_t min_samples = 12);
+
+// --- weekday/weekend breakdown ------------------------------------------------
+
+// Congested-hour fraction split by local day type (FCC peak hours are a
+// weekday concept; weekend load shifts earlier and higher).
+struct weekday_weekend_split {
+  std::size_t weekday_hours{0};
+  std::size_t weekday_congested{0};
+  std::size_t weekend_hours{0};
+  std::size_t weekend_congested{0};
+
+  double weekday_fraction() const {
+    return weekday_hours == 0
+               ? 0.0
+               : static_cast<double>(weekday_congested) / weekday_hours;
+  }
+  double weekend_fraction() const {
+    return weekend_hours == 0
+               ? 0.0
+               : static_cast<double>(weekend_congested) / weekend_hours;
+  }
+};
+
+weekday_weekend_split split_by_day_type(const ts_series& series,
+                                        timezone_offset tz, double threshold);
+
+// True when the local day index falls on a Saturday or Sunday (the
+// campaign epoch 2020-01-01 was a Wednesday).
+bool is_weekend_day(std::int64_t local_day_index);
+
+// --- series downsampling --------------------------------------------------------
+
+enum class downsample_op { mean, min, max };
+
+// Re-bucket a series into `bucket_hours`-wide windows aligned to the
+// epoch; each bucket emits one point at its first hour. Throws on
+// bucket_hours == 0.
+ts_series downsample(const ts_series& series, std::int64_t bucket_hours,
+                     downsample_op op);
+
+// --- detector validation against planted ground truth -----------------------
+
+struct detector_validation {
+  std::size_t true_positive{0};
+  std::size_t false_positive{0};
+  std::size_t false_negative{0};
+  std::size_t true_negative{0};
+
+  double precision() const {
+    const auto d = true_positive + false_positive;
+    return d == 0 ? 0.0 : static_cast<double>(true_positive) / d;
+  }
+  double recall() const {
+    const auto d = true_positive + false_negative;
+    return d == 0 ? 0.0 : static_cast<double>(true_positive) / d;
+  }
+};
+
+// Compare hour labels from the V_H detector against the gt_episode series
+// recorded during the campaign (1.0 = planted episode active).
+detector_validation validate_detector(const ts_series& download,
+                                      const ts_series& ground_truth,
+                                      timezone_offset tz, double threshold);
+
+// --- alternative detector (future-work §5: time-series analysis) ------------
+
+// Autocorrelation-gated detector: flags a series as diurnally congested
+// when its 24h-lag autocorrelation exceeds `acf_threshold` and labels
+// hours with V_H above the (lower) `amplitude_threshold`. Reduces false
+// positives on noisy-but-flat series.
+std::vector<hour_label> acf_detector_labels(const ts_series& series,
+                                            timezone_offset tz,
+                                            double acf_threshold = 0.25,
+                                            double amplitude_threshold = 0.4);
+
+// --- congestion direction (§4.2: the Cox reverse-path diagnosis) -------------
+
+// The download test's data flows ISP -> cloud ("reverse path" in the
+// paper's traceroute-centric wording); the upload test's data flows
+// cloud -> ISP (the forward path). Comparing the two tests' measured
+// loss during congested hours localizes the congestion's direction:
+// Cox's servers showed >3%..50% download loss with <1% upload loss,
+// "indicating that congestion took place on the reverse path (from ISP
+// to cloud)".
+enum class congestion_direction {
+  ingress,   // ISP -> cloud (the paper's reverse path)
+  egress,    // cloud -> ISP
+  both,
+  unknown,   // congested but neither loss signal is conclusive
+};
+
+const char* to_string(congestion_direction d);
+
+struct asymmetry_summary {
+  std::size_t congested_hours{0};
+  std::size_t ingress_hours{0};
+  std::size_t egress_hours{0};
+  std::size_t both_hours{0};
+  std::size_t unknown_hours{0};
+
+  congestion_direction dominant() const;
+};
+
+// Classify every congested hour (V_H(download) > threshold) by the loss
+// observed in each direction. `high_loss` / `low_loss` bound the
+// conclusive region (defaults: >3% is congested-level loss, <1% is
+// clean, per the paper's Cox numbers).
+asymmetry_summary classify_asymmetry(const ts_series& download,
+                                     const ts_series& download_loss,
+                                     const ts_series& upload_loss,
+                                     timezone_offset tz, double threshold,
+                                     double high_loss = 0.03,
+                                     double low_loss = 0.01);
+
+// --- per-interconnect aggregation ---------------------------------------------
+
+// The topology-based design measures one server per interdomain link, so
+// per-server summaries *are* per-interconnect summaries. This joins them
+// back to the link metadata for reporting congestion by neighbor AS.
+struct interconnect_report {
+  ipv4_addr far_side;
+  asn neighbor;
+  std::size_t server_id{0};
+  server_congestion_summary summary;
+};
+
+// --- tier comparison (Fig. 5) ------------------------------------------------
+
+// Relative difference (premium - standard) / standard for hours present in
+// both series.
+std::vector<double> relative_differences(const ts_series& premium,
+                                         const ts_series& standard);
+
+// --- monthly best-performance aggregation (Fig. 4) ---------------------------
+
+struct monthly_performance {
+  int year{2020};
+  unsigned month{1};
+  double p95_download_mbps{0.0};
+  double p5_latency_ms{0.0};
+  std::size_t samples{0};
+};
+
+// 95th-percentile download and 5th-percentile latency per calendar month
+// (UTC months, as the paper aggregates).
+std::vector<monthly_performance> monthly_best_performance(
+    const ts_series& download, const ts_series& latency);
+
+}  // namespace clasp

@@ -1,0 +1,327 @@
+#include "clasp/artifacts.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace clasp {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+double parse_num(const std::string& field, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(field, &used);
+    if (used != field.size()) throw std::invalid_argument(field);
+    return v;
+  } catch (const std::exception&) {
+    throw invalid_argument_error(std::string("artifact: bad ") + what + ": " +
+                                 field);
+  }
+}
+
+long long parse_int(const std::string& field, const char* what) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(field, &used);
+    if (used != field.size()) throw std::invalid_argument(field);
+    return v;
+  } catch (const std::exception&) {
+    throw invalid_argument_error(std::string("artifact: bad ") + what + ": " +
+                                 field);
+  }
+}
+
+}  // namespace
+
+std::string serialize_report(const speed_test_report& report) {
+  std::ostringstream out;
+  out << "R|" << report.server_id << '|' << report.at.hours_since_epoch()
+      << '|' << to_string(report.tier) << '|' << fmt(report.download.value)
+      << '|' << fmt(report.upload.value) << '|' << fmt(report.latency.value)
+      << '|' << fmt(report.download_loss) << '|' << fmt(report.upload_loss)
+      << '|' << (report.ground_truth_episode ? 1 : 0);
+  return out.str();
+}
+
+speed_test_report parse_report(const std::string& line) {
+  const auto fields = split(line, '|');
+  if (fields.size() != 10 || fields[0] != "R") {
+    throw invalid_argument_error("artifact: not a report line: " + line);
+  }
+  speed_test_report report;
+  report.server_id = static_cast<std::size_t>(parse_int(fields[1], "server"));
+  report.at = hour_stamp{parse_int(fields[2], "hour")};
+  if (fields[3] == "premium") {
+    report.tier = service_tier::premium;
+  } else if (fields[3] == "standard") {
+    report.tier = service_tier::standard;
+  } else {
+    throw invalid_argument_error("artifact: bad tier: " + fields[3]);
+  }
+  report.download = mbps{parse_num(fields[4], "download")};
+  report.upload = mbps{parse_num(fields[5], "upload")};
+  report.latency = millis{parse_num(fields[6], "latency")};
+  report.download_loss = parse_num(fields[7], "download_loss");
+  report.upload_loss = parse_num(fields[8], "upload_loss");
+  report.ground_truth_episode = parse_int(fields[9], "episode") != 0;
+  return report;
+}
+
+std::string serialize_traceroute(const traceroute_result& trace) {
+  std::ostringstream out;
+  out << "T|" << trace.src.to_string() << '|' << trace.dst.to_string() << '|'
+      << trace.at.hours_since_epoch() << '|' << (trace.reached ? 1 : 0) << '|';
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    if (i > 0) out << ',';
+    const traceroute_hop& hop = trace.hops[i];
+    out << hop.ttl << ':'
+        << (hop.address ? hop.address->to_string() : std::string("*")) << ':'
+        << fmt(hop.rtt.value);
+  }
+  return out.str();
+}
+
+traceroute_result parse_traceroute(const std::string& line) {
+  const auto fields = split(line, '|');
+  if (fields.size() != 6 || fields[0] != "T") {
+    throw invalid_argument_error("artifact: not a traceroute line: " + line);
+  }
+  traceroute_result trace;
+  trace.src = ipv4_addr::parse(fields[1]);
+  trace.dst = ipv4_addr::parse(fields[2]);
+  trace.at = hour_stamp{parse_int(fields[3], "hour")};
+  trace.reached = parse_int(fields[4], "reached") != 0;
+  if (!fields[5].empty()) {
+    for (const std::string& hop_text : split(fields[5], ',')) {
+      const auto parts = split(hop_text, ':');
+      if (parts.size() != 3) {
+        throw invalid_argument_error("artifact: bad hop: " + hop_text);
+      }
+      traceroute_hop hop;
+      hop.ttl = static_cast<unsigned>(parse_int(parts[0], "ttl"));
+      if (parts[1] != "*") hop.address = ipv4_addr::parse(parts[1]);
+      hop.rtt = millis{parse_num(parts[2], "rtt")};
+      trace.hops.push_back(hop);
+    }
+  }
+  return trace;
+}
+
+std::string serialize_bundle(const artifact_bundle& bundle) {
+  std::ostringstream out;
+  for (const speed_test_report& r : bundle.reports) {
+    out << serialize_report(r) << '\n';
+  }
+  for (const traceroute_result& t : bundle.traces) {
+    out << serialize_traceroute(t) << '\n';
+  }
+  return out.str();
+}
+
+// --- binary codec ------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'C', 'L', 'W', '1'};
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// Zigzag for signed deltas.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// Fixed-point: value * 1000 rounded, as a varint (losses scale by 1e6).
+void put_milli(std::vector<std::uint8_t>& out, double v) {
+  put_varint(out, static_cast<std::uint64_t>(v * 1000.0 + 0.5));
+}
+void put_micro(std::vector<std::uint8_t>& out, double v) {
+  put_varint(out, static_cast<std::uint64_t>(v * 1e6 + 0.5));
+}
+
+class byte_reader {
+ public:
+  explicit byte_reader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    if (pos_ >= bytes_.size()) {
+      throw invalid_argument_error("warts-lite: truncated input");
+    }
+    return bytes_[pos_++];
+  }
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      const std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+      if (shift > 63) {
+        throw invalid_argument_error("warts-lite: varint overflow");
+      }
+    }
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | u8();
+    return v;
+  }
+  double milli() { return static_cast<double>(varint()) / 1000.0; }
+  double micro() { return static_cast<double>(varint()) / 1e6; }
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_bundle_binary(
+    const artifact_bundle& bundle) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  put_varint(out, bundle.reports.size());
+  put_varint(out, bundle.traces.size());
+
+  std::int64_t prev_hour = 0;
+  for (const speed_test_report& r : bundle.reports) {
+    put_varint(out, r.server_id);
+    put_varint(out, zigzag(r.at.hours_since_epoch() - prev_hour));
+    prev_hour = r.at.hours_since_epoch();
+    out.push_back(r.tier == service_tier::premium ? 0 : 1);
+    put_milli(out, r.download.value);
+    put_milli(out, r.upload.value);
+    put_milli(out, r.latency.value);
+    put_micro(out, r.download_loss);
+    put_micro(out, r.upload_loss);
+    out.push_back(r.ground_truth_episode ? 1 : 0);
+  }
+
+  prev_hour = 0;
+  for (const traceroute_result& t : bundle.traces) {
+    put_u32(out, t.src.value());
+    put_u32(out, t.dst.value());
+    put_varint(out, zigzag(t.at.hours_since_epoch() - prev_hour));
+    prev_hour = t.at.hours_since_epoch();
+    out.push_back(t.reached ? 1 : 0);
+    put_varint(out, t.hops.size());
+    for (const traceroute_hop& hop : t.hops) {
+      put_varint(out, hop.ttl);
+      out.push_back(hop.address ? 1 : 0);
+      if (hop.address) put_u32(out, hop.address->value());
+      put_milli(out, hop.rtt.value);
+    }
+  }
+  return out;
+}
+
+artifact_bundle parse_bundle_binary(const std::vector<std::uint8_t>& bytes) {
+  byte_reader in(bytes);
+  for (const std::uint8_t m : kMagic) {
+    if (in.u8() != m) {
+      throw invalid_argument_error("warts-lite: bad magic");
+    }
+  }
+  artifact_bundle bundle;
+  const std::uint64_t n_reports = in.varint();
+  const std::uint64_t n_traces = in.varint();
+  if (n_reports > 10'000'000 || n_traces > 10'000'000) {
+    throw invalid_argument_error("warts-lite: implausible record count");
+  }
+
+  std::int64_t prev_hour = 0;
+  for (std::uint64_t i = 0; i < n_reports; ++i) {
+    speed_test_report r;
+    r.server_id = static_cast<std::size_t>(in.varint());
+    prev_hour += unzigzag(in.varint());
+    r.at = hour_stamp{prev_hour};
+    r.tier = in.u8() == 0 ? service_tier::premium : service_tier::standard;
+    r.download = mbps{in.milli()};
+    r.upload = mbps{in.milli()};
+    r.latency = millis{in.milli()};
+    r.download_loss = in.micro();
+    r.upload_loss = in.micro();
+    r.ground_truth_episode = in.u8() != 0;
+    bundle.reports.push_back(r);
+  }
+
+  prev_hour = 0;
+  for (std::uint64_t i = 0; i < n_traces; ++i) {
+    traceroute_result t;
+    t.src = ipv4_addr{in.u32()};
+    t.dst = ipv4_addr{in.u32()};
+    prev_hour += unzigzag(in.varint());
+    t.at = hour_stamp{prev_hour};
+    t.reached = in.u8() != 0;
+    const std::uint64_t n_hops = in.varint();
+    if (n_hops > 255) {
+      throw invalid_argument_error("warts-lite: implausible hop count");
+    }
+    for (std::uint64_t h = 0; h < n_hops; ++h) {
+      traceroute_hop hop;
+      hop.ttl = static_cast<unsigned>(in.varint());
+      if (in.u8() != 0) hop.address = ipv4_addr{in.u32()};
+      hop.rtt = millis{in.milli()};
+      t.hops.push_back(hop);
+    }
+    bundle.traces.push_back(t);
+  }
+  if (!in.done()) {
+    throw invalid_argument_error("warts-lite: trailing bytes");
+  }
+  return bundle;
+}
+
+artifact_bundle parse_bundle(const std::string& text) {
+  artifact_bundle bundle;
+  std::size_t line_no = 0;
+  for (const std::string& line : split(text, '\n')) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      if (starts_with(line, "R|")) {
+        bundle.reports.push_back(parse_report(line));
+      } else if (starts_with(line, "T|")) {
+        bundle.traces.push_back(parse_traceroute(line));
+      } else {
+        throw invalid_argument_error("unknown record type");
+      }
+    } catch (const invalid_argument_error& e) {
+      throw invalid_argument_error("artifact bundle line " +
+                                   std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return bundle;
+}
+
+}  // namespace clasp

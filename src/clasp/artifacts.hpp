@@ -1,0 +1,56 @@
+// Raw-measurement artifact serialization (the data pipeline of §3.2-3.3).
+//
+// The real platform stores compressed raw artifacts (speed-test results,
+// tcpdump captures, someta metadata, scamper traceroutes) in a cloud
+// bucket; an analysis VM in the same region parses them back into the
+// time-series store. This module implements that interchange as a
+// line-oriented text format ("warts-lite"):
+//
+//   R|<server_id>|<hour>|<tier>|<down_mbps>|<up_mbps>|<lat_ms>|<dloss>|<uloss>|<episode>
+//   T|<src>|<dst>|<hour>|<hop ttl:addr:rtt>,...   (addr "*" = no response)
+//
+// Serialization and parsing round-trip exactly (doubles carried with
+// enough digits), and the parser rejects malformed lines with
+// invalid_argument_error — the analysis VM must not ingest garbage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "probes/traceroute.hpp"
+#include "speedtest/webtest.hpp"
+
+namespace clasp {
+
+// One line per report.
+std::string serialize_report(const speed_test_report& report);
+speed_test_report parse_report(const std::string& line);
+
+// One line per traceroute.
+std::string serialize_traceroute(const traceroute_result& trace);
+traceroute_result parse_traceroute(const std::string& line);
+
+// A bundle of mixed artifact lines (what one VM uploads per hour).
+struct artifact_bundle {
+  std::vector<speed_test_report> reports;
+  std::vector<traceroute_result> traces;
+};
+
+std::string serialize_bundle(const artifact_bundle& bundle);
+// Parses a whole bundle; throws on any malformed line (with its number).
+artifact_bundle parse_bundle(const std::string& text);
+
+// --- binary encoding ("warts-lite", after scamper's warts format) ----------
+//
+// The real platform ships compressed binary captures; the binary codec
+// packs a bundle into a compact byte stream: a 4-byte magic, varint
+// record counts, varint-delta hour stamps, and fixed-point millis/mbps.
+// Roughly 4-6x smaller than the text form for traceroute-heavy bundles.
+// parse_bundle_binary validates the magic and every length field and
+// throws invalid_argument_error on truncated or corrupt input.
+std::vector<std::uint8_t> serialize_bundle_binary(
+    const artifact_bundle& bundle);
+artifact_bundle parse_bundle_binary(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace clasp

@@ -1,0 +1,141 @@
+#include "clasp/campaign.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace clasp {
+
+campaign_runner::campaign_runner(gcp_cloud* cloud, const network_view* view,
+                                 const server_registry* registry,
+                                 tsdb* store)
+    : cloud_(cloud), view_(view), registry_(registry), store_(store) {
+  if (cloud == nullptr || view == nullptr || registry == nullptr ||
+      store == nullptr) {
+    throw invalid_argument_error("campaign_runner: null dependency");
+  }
+}
+
+std::size_t campaign_runner::deploy(const campaign_config& config,
+                                    const std::vector<std::size_t>& server_ids) {
+  if (deployed_) throw state_error("campaign_runner: already deployed");
+  if (server_ids.empty()) {
+    throw invalid_argument_error("campaign_runner: empty server list");
+  }
+  if (config.tests_per_vm_hour == 0) {
+    throw invalid_argument_error("campaign_runner: tests_per_vm_hour == 0");
+  }
+  config_ = config;
+  run_rng_ = rng(hash_tag(cloud_->net().config.seed,
+                          "campaign:" + config.label + ":" + config.region));
+
+  const std::size_t vm_needed =
+      (server_ids.size() + config.tests_per_vm_hour - 1) /
+      config.tests_per_vm_hour;
+  for (std::size_t i = 0; i < vm_needed; ++i) {
+    vms_.push_back(cloud_->create_vm(config.region, config.tier));
+    someta_.emplace_back(cloud_->vm(vms_.back()).type);
+  }
+  sessions_by_vm_.resize(vms_.size());
+  outages_.resize(vms_.size());
+
+  for (std::size_t i = 0; i < server_ids.size(); ++i) {
+    const speed_server& server = registry_->server(server_ids[i]);
+    const std::size_t vm_slot = i % vms_.size();
+    sessions_.emplace_back(cloud_, view_, vms_[vm_slot], server,
+                           config.test);
+    sessions_by_vm_[vm_slot].push_back(sessions_.size() - 1);
+  }
+  deployed_ = true;
+  CLASP_LOG(info, "campaign")
+      << config.label << "/" << config.region << ": " << vms_.size()
+      << " VMs for " << sessions_.size() << " servers";
+  return vms_.size();
+}
+
+void campaign_runner::run() {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
+  for (hour_stamp t = config_.window.begin_at; t < config_.window.end_at;
+       ++t) {
+    run_hour(t);
+  }
+  // Storage billed monthly on the accumulated bucket volume.
+  const double months =
+      static_cast<double>(config_.window.count()) / (30.0 * 24.0);
+  const double gb = cloud_->bucket(config_.region).total_megabytes() / 1024.0;
+  cloud_->charge_storage_month(gb * months / 2.0);  // average occupancy
+}
+
+void campaign_runner::inject_vm_outage(std::size_t vm_slot,
+                                       hour_range outage) {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
+  if (vm_slot >= vms_.size()) {
+    throw invalid_argument_error("campaign_runner: bad vm slot");
+  }
+  if (!(outage.begin_at < outage.end_at)) {
+    throw invalid_argument_error("campaign_runner: empty outage window");
+  }
+  outages_[vm_slot].push_back(outage);
+}
+
+bool campaign_runner::vm_down(std::size_t vm_slot, hour_stamp at) const {
+  for (const hour_range& o : outages_[vm_slot]) {
+    if (o.begin_at <= at && at < o.end_at) return true;
+  }
+  return false;
+}
+
+void campaign_runner::run_hour(hour_stamp at) {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
+  storage_bucket& bucket = cloud_->bucket(config_.region);
+
+  for (std::size_t v = 0; v < vms_.size(); ++v) {
+    if (vm_down(v, at)) {
+      tests_missed_ += std::min<std::size_t>(sessions_by_vm_[v].size(),
+                                             config_.tests_per_vm_hour);
+      continue;
+    }
+    cloud_->charge_vm_hour(vms_[v]);
+    // Randomize the test order each hour (cron-artifact mitigation).
+    std::vector<std::size_t> order = sessions_by_vm_[v];
+    run_rng_.shuffle(order);
+    std::size_t run_count = 0;
+    double artifact_mb = 0.2;  // someta metadata baseline
+    for (const std::size_t si : order) {
+      if (run_count >= config_.tests_per_vm_hour) break;
+      const speed_test_session& session = sessions_[si];
+      const speed_test_report report = session.run(at, run_rng_);
+      someta_[v].record(report.download, at, run_rng_);
+      record(report, registry_->server(session.server_id()));
+      // Egress billing: only the cloud->Internet direction is charged.
+      cloud_->charge_egress(config_.tier, report.volume_up);
+      artifact_mb += (report.volume_down.value + report.volume_up.value) *
+                     config_.artifact_fraction;
+      ++run_count;
+      ++tests_run_;
+    }
+    bucket.put("raw/" + config_.label + "/" + at.to_string() + "/vm" +
+                   std::to_string(v) + ".tar.gz",
+               artifact_mb);
+  }
+}
+
+void campaign_runner::record(const speed_test_report& report,
+                             const speed_server& server) {
+  const tag_set tags = {
+      {"campaign", config_.label},
+      {"region", config_.region},
+      {"tier", to_string(report.tier)},
+      {"server", std::to_string(server.id)},
+      {"network", std::to_string(server.network.value)},
+      {"city", cloud_->net().geo->city(server.city).name},
+  };
+  store_->write("download_mbps", tags, report.at, report.download.value);
+  store_->write("upload_mbps", tags, report.at, report.upload.value);
+  store_->write("latency_ms", tags, report.at, report.latency.value);
+  store_->write("download_loss", tags, report.at, report.download_loss);
+  store_->write("upload_loss", tags, report.at, report.upload_loss);
+  store_->write("gt_episode", tags, report.at,
+                report.ground_truth_episode ? 1.0 : 0.0);
+}
+
+}  // namespace clasp

@@ -1,0 +1,100 @@
+// Longitudinal measurement campaign orchestration (§3.2).
+//
+// A campaign binds a region, a network tier and a server list. Deployment
+// sizes the VM fleet so every server gets one test per hour: a throughput
+// test takes up to 120 s, plus a 20-minute traceroute budget and 5 minutes
+// for the upload to the storage bucket, so one VM runs at most 17 tests
+// per hour. Servers are assigned to VMs round-robin across availability
+// zones; each hour every VM shuffles its server order (cron-interference
+// mitigation), runs its tests, appends a paris-traceroute, compresses the
+// raw artifacts into the region bucket, and the billing meter advances.
+//
+// Results land in the time-series store under metrics
+//   download_mbps, upload_mbps, latency_ms, download_loss, upload_loss,
+//   gt_episode (planted ground truth, for detector validation)
+// tagged with {campaign, region, tier, server, network, city}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/gcp.hpp"
+#include "cloud/someta.hpp"
+#include "netsim/network.hpp"
+#include "speedtest/registry.hpp"
+#include "speedtest/webtest.hpp"
+#include "tsdb/tsdb.hpp"
+
+namespace clasp {
+
+struct campaign_config {
+  std::string region;
+  service_tier tier{service_tier::premium};
+  std::string label{"topology"};  // tsdb "campaign" tag
+  hour_range window{topology_campaign_window()};
+  unsigned tests_per_vm_hour{17};
+  speed_test_config test{};
+  // Fraction of a test's transferred volume persisted as compressed
+  // artifacts (header-only pcap + someta metadata).
+  double artifact_fraction{0.005};
+};
+
+class campaign_runner {
+ public:
+  campaign_runner(gcp_cloud* cloud, const network_view* view,
+                  const server_registry* registry, tsdb* store);
+
+  // Create the VM fleet and the per-server sessions. Must be called once.
+  // Returns the number of VMs deployed.
+  std::size_t deploy(const campaign_config& config,
+                     const std::vector<std::size_t>& server_ids);
+
+  // Run every hour in the window (calls run_hour repeatedly).
+  void run();
+
+  // Run one hour of the campaign (all VMs).
+  void run_hour(hour_stamp at);
+
+  // Failure injection: take one VM slot down for [begin, end). While down
+  // the VM runs no tests (its servers simply have gaps, as with real
+  // preemptions) and accrues no VM-hour charges. May be called multiple
+  // times per slot.
+  void inject_vm_outage(std::size_t vm_slot, hour_range outage);
+
+  // Tests that were skipped because their VM was down.
+  std::size_t tests_missed() const { return tests_missed_; }
+
+  const campaign_config& config() const { return config_; }
+  std::size_t session_count() const { return sessions_.size(); }
+  std::size_t vm_count() const { return vms_.size(); }
+  std::size_t tests_run() const { return tests_run_; }
+
+  // someta-style resource metadata recorded on each VM (§3.2).
+  const someta_recorder& metadata(std::size_t vm_slot) const {
+    return someta_.at(vm_slot);
+  }
+
+ private:
+  void record(const speed_test_report& report, const speed_server& server);
+
+  gcp_cloud* cloud_;
+  const network_view* view_;
+  const server_registry* registry_;
+  tsdb* store_;
+  campaign_config config_;
+  std::vector<gcp_cloud::vm_id> vms_;
+  std::vector<someta_recorder> someta_;
+  std::vector<speed_test_session> sessions_;
+  // sessions_by_vm_[i] = indices into sessions_ assigned to vms_[i].
+  std::vector<std::vector<std::size_t>> sessions_by_vm_;
+  rng run_rng_{0};
+  std::size_t tests_run_{0};
+  std::size_t tests_missed_{0};
+  // Outage windows per VM slot.
+  std::vector<std::vector<hour_range>> outages_;
+  bool deployed_{false};
+
+  bool vm_down(std::size_t vm_slot, hour_stamp at) const;
+};
+
+}  // namespace clasp

@@ -1,0 +1,107 @@
+#include "clasp/config_loader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/ini.hpp"
+#include "util/strings.hpp"
+
+namespace clasp {
+
+namespace {
+
+std::size_t as_count(const ini_document& doc, const std::string& key) {
+  const std::int64_t v = doc.get_int(key);
+  if (v < 0) {
+    throw invalid_argument_error("config: " + key + " must be >= 0");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+double as_fraction(const ini_document& doc, const std::string& key) {
+  const double v = doc.get_double(key);
+  if (v < 0.0 || v > 1.0) {
+    throw invalid_argument_error("config: " + key + " must be in [0, 1]");
+  }
+  return v;
+}
+
+}  // namespace
+
+platform_config load_platform_config(const std::string& ini_text) {
+  const ini_document doc = ini_document::parse(ini_text);
+  platform_config cfg;
+  cfg.topology_budgets.clear();  // budgets come from the file when present
+  bool budgets_given = false;
+
+  for (const auto& [key, value] : doc.entries()) {
+    if (key == "internet.seed") {
+      cfg.internet.seed = static_cast<std::uint64_t>(doc.get_int(key));
+    } else if (key == "internet.tier1_count") {
+      cfg.internet.tier1_count = as_count(doc, key);
+    } else if (key == "internet.transit_count") {
+      cfg.internet.transit_count = as_count(doc, key);
+    } else if (key == "internet.large_isp_count") {
+      cfg.internet.large_isp_count = as_count(doc, key);
+    } else if (key == "internet.regional_isp_count") {
+      cfg.internet.regional_isp_count = as_count(doc, key);
+    } else if (key == "internet.hosting_count") {
+      cfg.internet.hosting_count = as_count(doc, key);
+    } else if (key == "internet.education_count") {
+      cfg.internet.education_count = as_count(doc, key);
+    } else if (key == "internet.business_count") {
+      cfg.internet.business_count = as_count(doc, key);
+    } else if (key == "internet.international_fraction") {
+      cfg.internet.international_fraction = as_fraction(doc, key);
+    } else if (key == "internet.congestion_prone_fraction") {
+      cfg.internet.congestion_prone_fraction = as_fraction(doc, key);
+    } else if (key == "internet.vantage_point_count") {
+      cfg.internet.vantage_point_count = as_count(doc, key);
+    } else if (key == "servers.us_server_target") {
+      cfg.servers.us_server_target = as_count(doc, key);
+    } else if (key == "servers.global_server_target") {
+      cfg.servers.global_server_target = as_count(doc, key);
+    } else if (key == "servers.ookla_fraction") {
+      cfg.servers.ookla_fraction = as_fraction(doc, key);
+    } else if (key == "servers.mlab_fraction") {
+      cfg.servers.mlab_fraction = as_fraction(doc, key);
+    } else if (key == "differential.target_servers") {
+      cfg.differential.target_servers = as_count(doc, key);
+    } else if (key == "differential.min_measurements") {
+      cfg.differential.min_measurements = as_count(doc, key);
+    } else if (key == "differential.big_delta_ms") {
+      cfg.differential.big_delta_ms = doc.get_double(key);
+    } else if (key == "differential.small_delta_ms") {
+      cfg.differential.small_delta_ms = doc.get_double(key);
+    } else if (starts_with(key, "budgets.")) {
+      const std::string region = key.substr(std::string("budgets.").size());
+      region_by_name(region);  // validates the region name
+      cfg.topology_budgets[region] = as_count(doc, key);
+      budgets_given = true;
+    } else {
+      throw invalid_argument_error("config: unknown key " + key);
+    }
+  }
+
+  if (!budgets_given) {
+    cfg.topology_budgets = platform_config{}.topology_budgets;
+  }
+  if (cfg.servers.global_server_target < cfg.servers.us_server_target) {
+    throw invalid_argument_error(
+        "config: global_server_target < us_server_target");
+  }
+  return cfg;
+}
+
+platform_config load_platform_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw not_found_error("config: cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_platform_config(buffer.str());
+}
+
+}  // namespace clasp

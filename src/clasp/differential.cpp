@@ -1,0 +1,135 @@
+#include "clasp/differential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace clasp {
+
+const char* to_string(latency_class c) {
+  switch (c) {
+    case latency_class::premium_lower: return "premium_lower";
+    case latency_class::comparable: return "comparable";
+    case latency_class::standard_lower: return "standard_lower";
+  }
+  return "?";
+}
+
+differential_selector::differential_selector(const route_planner* planner,
+                                             const network_view* view,
+                                             const server_registry* registry)
+    : planner_(planner), view_(view), registry_(registry) {
+  if (planner == nullptr || view == nullptr || registry == nullptr) {
+    throw invalid_argument_error("differential_selector: null dependency");
+  }
+}
+
+differential_selection_result differential_selector::run(
+    const endpoint& region_vm, const differential_config& config,
+    rng& r) const {
+  differential_selection_result result;
+  const internet& net = planner_->net();
+  speedchecker_service platform(planner_, view_, config.platform);
+
+  // Group vantage points by <city, AS>.
+  struct tuple_state {
+    city_id city;
+    asn network;
+    std::vector<double> premium_ms;
+    std::vector<double> standard_ms;
+  };
+  std::unordered_map<std::uint64_t, tuple_state> tuples;
+  const auto key_of = [](city_id c, asn a) {
+    return (static_cast<std::uint64_t>(c.value) << 32) | a.value;
+  };
+
+  for (const host_index vp : net.vantage_points) {
+    const endpoint src = planner_->endpoint_of_host(vp);
+    const asn network = net.topo->as_at(src.owner).number;
+    auto& tuple = tuples
+                      .try_emplace(key_of(src.city, network),
+                                   tuple_state{src.city, network, {}, {}})
+                      .first->second;
+
+    for (hour_stamp t = config.pretest_window.begin_at;
+         t < config.pretest_window.end_at;
+         t = t + config.probe_every_hours) {
+      tuple.premium_ms.push_back(
+          platform.probe(vp, region_vm, service_tier::premium, t, r)
+              .rtt.value);
+      tuple.standard_ms.push_back(
+          platform.probe(vp, region_vm, service_tier::standard, t, r)
+              .rtt.value);
+    }
+  }
+
+  // Classify tuples with enough samples.
+  for (auto& [key, tuple] : tuples) {
+    const std::size_t samples =
+        std::min(tuple.premium_ms.size(), tuple.standard_ms.size());
+    if (samples < config.min_measurements) continue;
+    ++result.tuples_measured;
+    const double med_p = median(tuple.premium_ms);
+    const double med_s = median(tuple.standard_ms);
+    const double delta = med_s - med_p;
+    diff_candidate cand;
+    cand.city = tuple.city;
+    cand.network = tuple.network;
+    cand.median_premium_ms = med_p;
+    cand.median_standard_ms = med_s;
+    cand.samples = samples;
+    if (std::abs(delta) >= config.big_delta_ms) {
+      cand.cls = delta > 0 ? latency_class::premium_lower
+                           : latency_class::standard_lower;
+    } else if (std::abs(delta) <= config.small_delta_ms) {
+      cand.cls = latency_class::comparable;
+    } else {
+      continue;  // neither clearly different nor clearly comparable
+    }
+    result.candidates.push_back(cand);
+  }
+
+  // Choose servers in candidate <city, AS> tuples, maximizing coverage:
+  // spread across classes first, then countries, then cities.
+  std::stable_sort(result.candidates.begin(), result.candidates.end(),
+                   [](const diff_candidate& a, const diff_candidate& b) {
+                     return std::abs(a.delta_ms()) > std::abs(b.delta_ms());
+                   });
+
+  std::unordered_set<std::uint32_t> used_cities;
+  std::unordered_set<std::uint32_t> used_networks;
+  const auto pick_pass = [&](bool allow_repeats) {
+    for (const diff_candidate& cand : result.candidates) {
+      if (result.selected.size() >= config.target_servers) return;
+      if (!allow_repeats && (used_cities.contains(cand.city.value) ||
+                             used_networks.contains(cand.network.value))) {
+        continue;
+      }
+      const auto servers = registry_->in_city_as(cand.city, cand.network);
+      if (servers.empty()) continue;
+      const std::size_t sid = servers.front();
+      const bool already = std::any_of(
+          result.selected.begin(), result.selected.end(),
+          [&](const auto& s) { return s.server_id == sid; });
+      if (already) continue;
+      result.selected.push_back({sid, cand.cls});
+      used_cities.insert(cand.city.value);
+      used_networks.insert(cand.network.value);
+    }
+  };
+  pick_pass(/*allow_repeats=*/false);
+  pick_pass(/*allow_repeats=*/true);
+
+  CLASP_LOG(info, "selection")
+      << "differential selection: " << result.tuples_measured
+      << " tuples measured, " << result.candidates.size() << " candidates, "
+      << result.selected.size() << " servers chosen";
+  return result;
+}
+
+}  // namespace clasp

@@ -1,0 +1,78 @@
+// Differential-based server selection (§3.1, method 2).
+//
+// A Speedchecker-style pre-test measures latency from eyeball vantage
+// points to a region's VMs over both network tiers. Measurements are
+// grouped by ⟨city, AS, region, tier⟩; tuples with more than a minimum
+// number of samples get a median latency per tier. Candidate tuples are
+// those where |median_standard - median_premium| >= 50 ms (one tier
+// clearly better) or <= 10 ms (comparable). Speed-test servers in the
+// candidates' ⟨city, AS⟩ are then chosen, heuristically maximizing
+// geographic and network coverage, ~15-17 per region.
+#pragma once
+
+#include <vector>
+
+#include "clasp/speedchecker.hpp"
+#include "netsim/network.hpp"
+#include "speedtest/registry.hpp"
+
+namespace clasp {
+
+// How the pre-test classified a tuple's premium-vs-standard latency.
+enum class latency_class { premium_lower, comparable, standard_lower };
+
+const char* to_string(latency_class c);
+
+struct differential_config {
+  std::size_t min_measurements{100};
+  double big_delta_ms{50.0};
+  double small_delta_ms{10.0};
+  std::size_t target_servers{16};
+  // Pre-test probing window and cadence.
+  hour_range pretest_window{hour_stamp::from_civil({2020, 7, 10}, 0),
+                            hour_stamp::from_civil({2020, 7, 28}, 0)};
+  unsigned probe_every_hours{3};
+  // The leased measurement platform's terms (quota, retirement date).
+  speedchecker_config platform{};
+};
+
+struct diff_candidate {
+  city_id city;
+  asn network;
+  latency_class cls{latency_class::comparable};
+  double median_premium_ms{0.0};
+  double median_standard_ms{0.0};
+  std::size_t samples{0};
+
+  double delta_ms() const { return median_standard_ms - median_premium_ms; }
+};
+
+struct differential_selection_result {
+  std::vector<diff_candidate> candidates;  // tuples passing the thresholds
+  struct chosen_server {
+    std::size_t server_id;
+    latency_class cls;
+  };
+  std::vector<chosen_server> selected;
+  std::size_t tuples_measured{0};  // tuples with enough samples
+};
+
+class differential_selector {
+ public:
+  differential_selector(const route_planner* planner,
+                        const network_view* view,
+                        const server_registry* registry);
+
+  // Run the pre-test toward a region endpoint (a VM or the region PoP)
+  // from every vantage point in the generated internet.
+  differential_selection_result run(const endpoint& region_vm,
+                                    const differential_config& config,
+                                    rng& r) const;
+
+ private:
+  const route_planner* planner_;
+  const network_view* view_;
+  const server_registry* registry_;
+};
+
+}  // namespace clasp

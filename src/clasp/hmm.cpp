@@ -1,0 +1,232 @@
+#include "clasp/hmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clasp/analysis.hpp"
+#include "util/error.hpp"
+
+namespace clasp {
+
+namespace {
+
+constexpr double kTiny = 1e-300;
+
+double gaussian_pdf(double x, double mean, double stddev) {
+  const double z = (x - mean) / stddev;
+  return std::exp(-0.5 * z * z) / (stddev * 2.5066282746310002);
+}
+
+}  // namespace
+
+hmm_model fit_hmm(std::span<const double> observations,
+                  const hmm_config& config) {
+  const std::size_t n = observations.size();
+  if (n < 8) {
+    throw invalid_argument_error("fit_hmm: need at least 8 observations");
+  }
+
+  hmm_model m;
+  // Data-driven initialization: split around the 80th percentile so the
+  // congested state starts on the upper tail.
+  {
+    std::vector<double> sorted(observations.begin(), observations.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double split = sorted[static_cast<std::size_t>(0.8 * (n - 1))];
+    double lo_sum = 0, hi_sum = 0;
+    std::size_t lo_n = 0, hi_n = 0;
+    for (const double x : observations) {
+      if (x <= split) {
+        lo_sum += x;
+        ++lo_n;
+      } else {
+        hi_sum += x;
+        ++hi_n;
+      }
+    }
+    m.mean[0] = lo_n ? lo_sum / lo_n : 0.1;
+    m.mean[1] = hi_n ? hi_sum / hi_n : m.mean[0] + 0.3;
+    if (m.mean[1] <= m.mean[0]) m.mean[1] = m.mean[0] + 0.1;
+    m.stddev[0] = m.stddev[1] = std::max(
+        config.min_stddev, (sorted.back() - sorted.front()) / 6.0);
+  }
+
+  // Scaled forward-backward (Baum-Welch).
+  std::vector<double> alpha(2 * n), beta(2 * n), scale(n);
+  std::vector<double> gamma(2 * n), xi(4);
+  double prev_ll = -1e18;
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    const double trans[2][2] = {{m.stay_normal, 1.0 - m.stay_normal},
+                                {1.0 - m.stay_congested, m.stay_congested}};
+    const double init[2] = {1.0 - m.initial_congested, m.initial_congested};
+
+    // Forward pass with per-step scaling.
+    for (int s = 0; s < 2; ++s) {
+      alpha[s] = init[s] *
+                 gaussian_pdf(observations[0], m.mean[s], m.stddev[s]);
+    }
+    scale[0] = std::max(alpha[0] + alpha[1], kTiny);
+    alpha[0] /= scale[0];
+    alpha[1] /= scale[0];
+    for (std::size_t t = 1; t < n; ++t) {
+      for (int s = 0; s < 2; ++s) {
+        const double in = alpha[2 * (t - 1)] * trans[0][s] +
+                          alpha[2 * (t - 1) + 1] * trans[1][s];
+        alpha[2 * t + s] =
+            in * gaussian_pdf(observations[t], m.mean[s], m.stddev[s]);
+      }
+      scale[t] = std::max(alpha[2 * t] + alpha[2 * t + 1], kTiny);
+      alpha[2 * t] /= scale[t];
+      alpha[2 * t + 1] /= scale[t];
+    }
+
+    // Backward pass using the same scales.
+    beta[2 * (n - 1)] = beta[2 * (n - 1) + 1] = 1.0;
+    for (std::size_t t = n - 1; t-- > 0;) {
+      for (int s = 0; s < 2; ++s) {
+        double sum = 0.0;
+        for (int s2 = 0; s2 < 2; ++s2) {
+          sum += trans[s][s2] *
+                 gaussian_pdf(observations[t + 1], m.mean[s2], m.stddev[s2]) *
+                 beta[2 * (t + 1) + s2];
+        }
+        beta[2 * t + s] = sum / scale[t + 1];
+      }
+    }
+
+    // Posteriors.
+    for (std::size_t t = 0; t < n; ++t) {
+      const double g0 = alpha[2 * t] * beta[2 * t];
+      const double g1 = alpha[2 * t + 1] * beta[2 * t + 1];
+      const double z = std::max(g0 + g1, kTiny);
+      gamma[2 * t] = g0 / z;
+      gamma[2 * t + 1] = g1 / z;
+    }
+
+    // Expected transitions.
+    std::fill(xi.begin(), xi.end(), 0.0);
+    for (std::size_t t = 0; t + 1 < n; ++t) {
+      double denom = 0.0;
+      double local[4];
+      for (int s = 0; s < 2; ++s) {
+        for (int s2 = 0; s2 < 2; ++s2) {
+          local[2 * s + s2] =
+              alpha[2 * t + s] * trans[s][s2] *
+              gaussian_pdf(observations[t + 1], m.mean[s2], m.stddev[s2]) *
+              beta[2 * (t + 1) + s2];
+          denom += local[2 * s + s2];
+        }
+      }
+      denom = std::max(denom, kTiny);
+      for (int k = 0; k < 4; ++k) xi[k] += local[k] / denom;
+    }
+
+    // M-step.
+    const double occ0 = std::max(xi[0] + xi[1], kTiny);
+    const double occ1 = std::max(xi[2] + xi[3], kTiny);
+    m.stay_normal = std::clamp(xi[0] / occ0, 0.5, 0.999);
+    m.stay_congested = std::clamp(xi[3] / occ1, 0.3, 0.999);
+    m.initial_congested = std::clamp(gamma[1], 0.001, 0.999);
+
+    for (int s = 0; s < 2; ++s) {
+      double wsum = 0.0, xsum = 0.0;
+      for (std::size_t t = 0; t < n; ++t) {
+        wsum += gamma[2 * t + s];
+        xsum += gamma[2 * t + s] * observations[t];
+      }
+      wsum = std::max(wsum, kTiny);
+      m.mean[s] = xsum / wsum;
+      double vsum = 0.0;
+      for (std::size_t t = 0; t < n; ++t) {
+        const double d = observations[t] - m.mean[s];
+        vsum += gamma[2 * t + s] * d * d;
+      }
+      m.stddev[s] = std::max(std::sqrt(vsum / wsum), config.min_stddev);
+    }
+    // Keep state 1 the high-deficit state.
+    if (m.mean[1] < m.mean[0]) {
+      std::swap(m.mean[0], m.mean[1]);
+      std::swap(m.stddev[0], m.stddev[1]);
+      std::swap(m.stay_normal, m.stay_congested);
+      m.initial_congested = 1.0 - m.initial_congested;
+    }
+
+    double ll = 0.0;
+    for (std::size_t t = 0; t < n; ++t) ll += std::log(scale[t]);
+    m.log_likelihood = ll;
+    m.iterations = iter + 1;
+    if (std::abs(ll - prev_ll) < config.tolerance * std::abs(prev_ll)) {
+      m.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+  return m;
+}
+
+std::vector<bool> viterbi_decode(const hmm_model& m,
+                                 std::span<const double> observations) {
+  const std::size_t n = observations.size();
+  std::vector<bool> path(n, false);
+  if (n == 0) return path;
+
+  const double trans[2][2] = {{m.stay_normal, 1.0 - m.stay_normal},
+                              {1.0 - m.stay_congested, m.stay_congested}};
+  const double init[2] = {1.0 - m.initial_congested, m.initial_congested};
+
+  const auto log_safe = [](double x) { return std::log(std::max(x, kTiny)); };
+
+  std::vector<double> delta(2 * n);
+  std::vector<unsigned char> back(2 * n);
+  for (int s = 0; s < 2; ++s) {
+    delta[s] = log_safe(init[s]) +
+               log_safe(gaussian_pdf(observations[0], m.mean[s], m.stddev[s]));
+  }
+  for (std::size_t t = 1; t < n; ++t) {
+    for (int s = 0; s < 2; ++s) {
+      const double from0 = delta[2 * (t - 1)] + log_safe(trans[0][s]);
+      const double from1 = delta[2 * (t - 1) + 1] + log_safe(trans[1][s]);
+      const bool pick1 = from1 > from0;
+      back[2 * t + s] = pick1 ? 1 : 0;
+      delta[2 * t + s] =
+          (pick1 ? from1 : from0) +
+          log_safe(gaussian_pdf(observations[t], m.mean[s], m.stddev[s]));
+    }
+  }
+  int state = delta[2 * (n - 1) + 1] > delta[2 * (n - 1)] ? 1 : 0;
+  for (std::size_t t = n; t-- > 0;) {
+    path[t] = state == 1;
+    if (t > 0) state = back[2 * t + state];
+  }
+  return path;
+}
+
+hmm_detection hmm_detector(const ts_series& series, timezone_offset tz,
+                           double min_separation, double min_congested_mean,
+                           const hmm_config& config) {
+  hmm_detection out;
+  // Observations: the §3.3 intra-day deficit, aligned with the points.
+  const auto labels = intraday_labels(series, tz, /*threshold=*/2.0,
+                                      /*min_samples=*/4);
+  if (labels.size() < 8 || labels.size() != series.size()) {
+    out.congested.assign(series.size(), false);
+    return out;
+  }
+  std::vector<double> deficits;
+  deficits.reserve(labels.size());
+  for (const hour_label& l : labels) deficits.push_back(l.v_h);
+
+  out.model = fit_hmm(deficits, config);
+  out.usable =
+      (out.model.mean[1] - out.model.mean[0]) >= min_separation &&
+      out.model.mean[1] >= min_congested_mean;
+  if (!out.usable) {
+    out.congested.assign(series.size(), false);
+    return out;
+  }
+  out.congested = viterbi_decode(out.model, deficits);
+  return out;
+}
+
+}  // namespace clasp

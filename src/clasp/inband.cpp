@@ -1,0 +1,54 @@
+#include "clasp/inband.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace clasp {
+
+megabytes inband_probe_volume(const inband_config& config) {
+  return megabytes{static_cast<double>(config.train_length) *
+                   static_cast<double>(config.trains) *
+                   static_cast<double>(config.packet_bytes) / 1e6};
+}
+
+inband_result run_inband_probe(const network_view& view,
+                               const route_path& path, hour_stamp at,
+                               const inband_config& config, rng& r) {
+  if (config.train_length < 2 || config.trains == 0) {
+    throw invalid_argument_error("run_inband_probe: degenerate train");
+  }
+  const path_metrics m = view.evaluate(path, at);
+
+  // Each train yields a dispersion-based estimate of the bottleneck's
+  // available bandwidth. Short trains are noisy: sigma scales with
+  // 1/sqrt(train_length); cross-traffic burstiness adds a small bias
+  // toward underestimation on hot links (higher utilization -> burstier).
+  const double sigma = config.base_noise_sigma *
+                       std::sqrt(32.0 / static_cast<double>(config.train_length));
+  const double burst_bias = 1.0 - 0.08 * std::min(m.bottleneck_util, 1.5);
+  std::vector<double> estimates;
+  estimates.reserve(config.trains);
+  for (unsigned i = 0; i < config.trains; ++i) {
+    const double noise = std::exp(r.normal(0.0, sigma));
+    estimates.push_back(m.bottleneck.value * burst_bias * noise);
+  }
+  inband_result out;
+  out.available_estimate = mbps{median(estimates)};
+  out.rtt = millis{m.rtt.value + r.exponential(2.0)};
+  // Train loss: Bernoulli thinning of the train by the path loss rate.
+  const unsigned total_packets = config.train_length * config.trains;
+  unsigned lost = 0;
+  for (unsigned i = 0; i < total_packets; ++i) {
+    if (r.bernoulli(m.loss)) ++lost;
+  }
+  out.loss = static_cast<double>(lost) / static_cast<double>(total_packets);
+  out.volume = inband_probe_volume(config);
+  out.bottleneck = m.bottleneck_link;
+  return out;
+}
+
+}  // namespace clasp

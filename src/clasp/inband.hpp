@@ -1,0 +1,46 @@
+// In-band available-bandwidth probing (§5 future work).
+//
+// The paper's speed tests are bandwidth-intensive (>100 MB per test) and
+// egress charges dominated the budget. §5 proposes in-band approaches
+// (FlowTrace, ELF) that infer available bandwidth and the bottleneck
+// link from short packet trains injected into existing flows. This module
+// implements that probe against the substrate: a train of `train_length`
+// MTU packets observes the bottleneck's available bandwidth through
+// inter-packet dispersion, with estimation noise that shrinks as trains
+// get longer, at ~0.1% of a full test's traffic volume.
+//
+// bench_ablation_inband compares congestion-detection quality of hourly
+// in-band probes against full speed tests at equal budget.
+#pragma once
+
+#include "netsim/network.hpp"
+#include "util/rng.hpp"
+
+namespace clasp {
+
+struct inband_config {
+  unsigned train_length{64};     // packets per train
+  unsigned trains{3};            // trains per probe (median taken)
+  unsigned packet_bytes{1500};
+  // Dispersion measurement jitter per train (relative sigma for a
+  // 32-packet train; scales with 1/sqrt(train_length)).
+  double base_noise_sigma{0.18};
+};
+
+struct inband_result {
+  mbps available_estimate;   // bottleneck available bandwidth estimate
+  millis rtt;                // train round-trip latency
+  double loss{0.0};          // observed train loss fraction
+  megabytes volume;          // traffic cost of the probe
+  link_index bottleneck;     // inferred tight link (ground-truth assisted)
+};
+
+// Probe a path at an hour. `r` drives per-train noise.
+inband_result run_inband_probe(const network_view& view,
+                               const route_path& path, hour_stamp at,
+                               const inband_config& config, rng& r);
+
+// Traffic volume of one probe (for budget planning).
+megabytes inband_probe_volume(const inband_config& config);
+
+}  // namespace clasp

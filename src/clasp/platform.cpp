@@ -1,0 +1,161 @@
+#include "clasp/platform.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace clasp {
+
+clasp_platform::clasp_platform(platform_config config)
+    : config_(std::move(config)),
+      net_(generate_internet(config_.internet)),
+      rng_(hash_tag(config_.internet.seed, "platform")) {
+  planner_ = std::make_unique<route_planner>(&net_);
+  view_ = std::make_unique<network_view>(&net_);
+  registry_ = deploy_servers(net_, config_.servers);
+  cloud_ = std::make_unique<gcp_cloud>(&net_, planner_.get());
+}
+
+const topology_selection_result& clasp_platform::select_topology(
+    const std::string& region) {
+  const auto it = topology_results_.find(region);
+  if (it != topology_results_.end()) return it->second;
+
+  // Pilot VM: created for the scan, terminated afterwards (the paper runs
+  // the pilot once at campaign start).
+  const gcp_cloud::vm_id pilot_vm =
+      cloud_->create_vm(region, service_tier::premium);
+  topology_selection_config sel_config;
+  const auto budget = config_.topology_budgets.find(region);
+  if (budget != config_.topology_budgets.end()) {
+    sel_config.deployment_budget = budget->second;
+  }
+  topology_selector selector(planner_.get(), view_.get(), &registry_);
+  rng r = rng_.fork("topo-select:" + region);
+  auto result =
+      selector.run(cloud_->vm_endpoint(pilot_vm), sel_config,
+                   topology_campaign_window().begin_at + (-72), r);
+  cloud_->terminate_vm(pilot_vm);
+  return topology_results_.emplace(region, std::move(result)).first->second;
+}
+
+const differential_selection_result& clasp_platform::select_differential(
+    const std::string& region) {
+  const auto it = differential_results_.find(region);
+  if (it != differential_results_.end()) return it->second;
+
+  const gcp_cloud::vm_id probe_vm =
+      cloud_->create_vm(region, service_tier::premium);
+  differential_selector selector(planner_.get(), view_.get(), &registry_);
+  rng r = rng_.fork("diff-select:" + region);
+  auto result =
+      selector.run(cloud_->vm_endpoint(probe_vm), config_.differential, r);
+  cloud_->terminate_vm(probe_vm);
+  return differential_results_.emplace(region, std::move(result))
+      .first->second;
+}
+
+campaign_runner& clasp_platform::start_topology_campaign(
+    const std::string& region, hour_range window) {
+  const topology_selection_result& selection = select_topology(region);
+  std::vector<std::size_t> servers;
+  servers.reserve(selection.selected.size());
+  for (const selected_server& s : selection.selected) {
+    servers.push_back(s.server_id);
+  }
+  campaign_config cfg;
+  cfg.region = region;
+  cfg.tier = service_tier::premium;
+  cfg.label = "topology";
+  cfg.window = window;
+  auto runner = std::make_unique<campaign_runner>(cloud_.get(), view_.get(),
+                                                  &registry_, &store_);
+  runner->deploy(cfg, servers);
+  campaigns_.push_back(std::move(runner));
+  return *campaigns_.back();
+}
+
+std::pair<campaign_runner*, campaign_runner*>
+clasp_platform::start_differential_campaign(const std::string& region,
+                                            hour_range window) {
+  const differential_selection_result& selection = select_differential(region);
+  std::vector<std::size_t> servers;
+  servers.reserve(selection.selected.size());
+  for (const auto& s : selection.selected) servers.push_back(s.server_id);
+  if (servers.empty()) {
+    throw state_error("clasp_platform: differential selection for " + region +
+                      " found no servers");
+  }
+
+  campaign_runner* runners[2] = {nullptr, nullptr};
+  const service_tier tiers[2] = {service_tier::premium,
+                                 service_tier::standard};
+  const char* labels[2] = {"diff-premium", "diff-standard"};
+  for (int i = 0; i < 2; ++i) {
+    campaign_config cfg;
+    cfg.region = region;
+    cfg.tier = tiers[i];
+    cfg.label = labels[i];
+    cfg.window = window;
+    auto runner = std::make_unique<campaign_runner>(cloud_.get(), view_.get(),
+                                                    &registry_, &store_);
+    runner->deploy(cfg, servers);
+    campaigns_.push_back(std::move(runner));
+    runners[i] = campaigns_.back().get();
+  }
+  return {runners[0], runners[1]};
+}
+
+std::vector<interconnect_report> clasp_platform::interconnect_congestion(
+    const std::string& region, double threshold) {
+  const topology_selection_result& selection = select_topology(region);
+  std::vector<interconnect_report> out;
+  for (const selected_server& s : selection.selected) {
+    const speed_server& server = registry_.server(s.server_id);
+    const tag_set tags = {
+        {"campaign", "topology"},
+        {"region", region},
+        {"tier", "premium"},
+        {"server", std::to_string(server.id)},
+        {"network", std::to_string(server.network.value)},
+        {"city", net_.geo->city(server.city).name},
+    };
+    const ts_series* series = store_.find("download_mbps", tags);
+    if (series == nullptr) continue;  // link not measured (budget/window)
+    interconnect_report report;
+    report.far_side = s.far_side;
+    report.neighbor = s.neighbor;
+    report.server_id = s.server_id;
+    report.summary =
+        summarize_server(*series, timezone_of_server(s.server_id), threshold);
+    out.push_back(report);
+  }
+  return out;
+}
+
+timezone_offset clasp_platform::timezone_of_server(
+    std::size_t server_id) const {
+  const speed_server& s = registry_.server(server_id);
+  return net_.geo->city(s.city).tz;
+}
+
+clasp_platform::labeled_series clasp_platform::download_series(
+    const std::string& campaign_label, const std::string& region,
+    const std::string& metric, const std::string& tier) const {
+  labeled_series out;
+  tag_filter filter;
+  filter.required["campaign"] = campaign_label;
+  filter.required["region"] = region;
+  if (!tier.empty()) filter.required["tier"] = tier;
+  for (const ts_series* s : store_.query(metric, filter)) {
+    out.series.push_back(s);
+    const auto server_tag = s->tag("server");
+    if (!server_tag) {
+      throw state_error("clasp_platform: series missing server tag");
+    }
+    out.tz.push_back(
+        timezone_of_server(static_cast<std::size_t>(std::stoul(*server_tag))));
+  }
+  return out;
+}
+
+}  // namespace clasp

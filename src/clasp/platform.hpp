@@ -1,0 +1,121 @@
+// CLASP platform facade — the top-level public API.
+//
+// Wires the whole stack together in the order the paper describes:
+// generate the Internet substrate, deploy the speed-test fleets, stand up
+// the cloud control plane, run the two server-selection methods, then run
+// longitudinal measurement campaigns whose results land in the embedded
+// time-series store for analysis.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   clasp_platform platform;                        // default config
+//   platform.select_topology("us-west1");           // pilot + selection
+//   auto& c = platform.start_topology_campaign("us-west1");
+//   c.run();                                        // five months, hourly
+//   // analyze platform.store() with clasp/analysis.hpp
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clasp/analysis.hpp"
+#include "clasp/campaign.hpp"
+#include "clasp/differential.hpp"
+#include "clasp/selection.hpp"
+#include "cloud/gcp.hpp"
+#include "netsim/generator.hpp"
+#include "netsim/network.hpp"
+#include "netsim/routing.hpp"
+#include "speedtest/registry.hpp"
+#include "tsdb/tsdb.hpp"
+
+namespace clasp {
+
+struct platform_config {
+  internet_config internet{};
+  server_deploy_config servers{};
+  // Deployment budget (max measured servers) per region for the
+  // topology-based campaign. Regions absent from the map get no cap.
+  // Defaults reproduce the paper's budget-limited fleet (Table 1).
+  std::map<std::string, std::size_t> topology_budgets{
+      {"us-west1", 106}, {"us-west2", 25},  {"us-west4", 48},
+      {"us-east1", 184}, {"us-east4", 40},  {"us-central1", 56},
+  };
+  differential_config differential{};
+};
+
+class clasp_platform {
+ public:
+  explicit clasp_platform(platform_config config = {});
+
+  // --- substrate access ---
+  const internet& net() const { return net_; }
+  internet& net() { return net_; }
+  const network_view& view() const { return *view_; }
+  route_planner& planner() { return *planner_; }
+  gcp_cloud& cloud() { return *cloud_; }
+  const server_registry& registry() const { return registry_; }
+  tsdb& store() { return store_; }
+  const tsdb& store() const { return store_; }
+  const platform_config& config() const { return config_; }
+
+  // --- selection (§3.1) ---
+  // Runs the pilot scan + topology-based selection for a region (cached).
+  const topology_selection_result& select_topology(const std::string& region);
+  // Runs the latency pre-test + differential selection (cached).
+  const differential_selection_result& select_differential(
+      const std::string& region);
+
+  // --- campaigns (§3.2) ---
+  // Deploy and return the topology campaign for a region (servers come
+  // from select_topology). The caller runs it (run() or run_hour()).
+  campaign_runner& start_topology_campaign(
+      const std::string& region, hour_range window = topology_campaign_window());
+  // Deploy the premium+standard VM pair measuring the differential
+  // server list. Returns {premium runner, standard runner}.
+  std::pair<campaign_runner*, campaign_runner*> start_differential_campaign(
+      const std::string& region,
+      hour_range window = differential_campaign_window());
+
+  // All campaign runners created so far.
+  const std::vector<std::unique_ptr<campaign_runner>>& campaigns() const {
+    return campaigns_;
+  }
+
+  // --- helpers ---
+  timezone_offset timezone_of_server(std::size_t server_id) const;
+  // Query download series + matching timezones for a campaign label+region.
+  struct labeled_series {
+    std::vector<const ts_series*> series;
+    std::vector<timezone_offset> tz;
+  };
+  labeled_series download_series(const std::string& campaign_label,
+                                 const std::string& region,
+                                 const std::string& metric = "download_mbps",
+                                 const std::string& tier = "") const;
+
+  // Per-interconnect congestion report for a region's topology campaign:
+  // each measured server covers one interdomain link, so its congestion
+  // summary is that link's. Requires select_topology(region) to have run
+  // and the campaign data to be in the store; links without data are
+  // skipped. `threshold` is the V_H congestion threshold.
+  std::vector<interconnect_report> interconnect_congestion(
+      const std::string& region, double threshold = 0.5);
+
+ private:
+  platform_config config_;
+  internet net_;
+  std::unique_ptr<route_planner> planner_;
+  std::unique_ptr<network_view> view_;
+  std::unique_ptr<gcp_cloud> cloud_;
+  server_registry registry_;
+  tsdb store_;
+  rng rng_;
+  std::map<std::string, topology_selection_result> topology_results_;
+  std::map<std::string, differential_selection_result> differential_results_;
+  std::vector<std::unique_ptr<campaign_runner>> campaigns_;
+};
+
+}  // namespace clasp

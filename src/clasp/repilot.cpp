@@ -1,0 +1,67 @@
+#include "clasp/repilot.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace clasp {
+
+selection_diff diff_selections(const topology_selection_result& previous,
+                               const topology_selection_result& fresh) {
+  selection_diff diff;
+
+  std::unordered_set<std::uint32_t> old_links, new_links;
+  for (const border_observation& obs : previous.pilot.links) {
+    old_links.insert(obs.far_side.value());
+  }
+  for (const border_observation& obs : fresh.pilot.links) {
+    new_links.insert(obs.far_side.value());
+  }
+  for (const border_observation& obs : fresh.pilot.links) {
+    if (!old_links.contains(obs.far_side.value())) {
+      diff.links_gained.push_back(obs.far_side);
+    }
+  }
+  for (const border_observation& obs : previous.pilot.links) {
+    if (!new_links.contains(obs.far_side.value())) {
+      diff.links_lost.push_back(obs.far_side);
+    }
+  }
+
+  std::unordered_set<std::size_t> old_servers, new_servers;
+  for (const selected_server& s : previous.selected) {
+    old_servers.insert(s.server_id);
+  }
+  for (const selected_server& s : fresh.selected) {
+    new_servers.insert(s.server_id);
+  }
+  for (const selected_server& s : fresh.selected) {
+    if (!old_servers.contains(s.server_id)) {
+      diff.servers_to_deploy.push_back(s.server_id);
+    }
+  }
+  for (const selected_server& s : previous.selected) {
+    if (!new_servers.contains(s.server_id)) {
+      diff.servers_to_retire.push_back(s.server_id);
+    }
+  }
+
+  const auto by_value = [](auto& v) { std::sort(v.begin(), v.end()); };
+  by_value(diff.servers_to_deploy);
+  by_value(diff.servers_to_retire);
+  std::sort(diff.links_gained.begin(), diff.links_gained.end());
+  std::sort(diff.links_lost.begin(), diff.links_lost.end());
+  return diff;
+}
+
+repilot_result refresh_selection(const topology_selector& selector,
+                                 const endpoint& vm,
+                                 const topology_selection_config& config,
+                                 const topology_selection_result& previous,
+                                 hour_stamp at, rng& r) {
+  repilot_result out;
+  out.fresh = selector.run(vm, config, at, r);
+  out.diff = diff_selections(previous, out.fresh);
+  return out;
+}
+
+}  // namespace clasp

@@ -1,0 +1,53 @@
+// Server-list refresh (§5 future work).
+//
+// The paper ran the pilot scans once, at campaign start, and notes that
+// CLASP therefore "cannot adapt to changes in the use of interdomain
+// links and any new deployment of speed test servers". This module
+// implements the proposed fix: re-run the pilot + selection at any later
+// time and diff the result against the previous selection — links gained
+// and lost, servers to deploy and to retire — so a long campaign can
+// roll its server lists forward without operator intervention.
+#pragma once
+
+#include <vector>
+
+#include "clasp/selection.hpp"
+
+namespace clasp {
+
+// Difference between two topology selections of the same region.
+struct selection_diff {
+  // Interdomain links (far-side interfaces) seen only in the new pilot.
+  std::vector<ipv4_addr> links_gained;
+  // Links that disappeared from the pilot.
+  std::vector<ipv4_addr> links_lost;
+  // Servers to add to the measurement list.
+  std::vector<std::size_t> servers_to_deploy;
+  // Servers no longer covering a live link.
+  std::vector<std::size_t> servers_to_retire;
+
+  bool unchanged() const {
+    return links_gained.empty() && links_lost.empty() &&
+           servers_to_deploy.empty() && servers_to_retire.empty();
+  }
+};
+
+// Compare a previous selection with a fresh one.
+selection_diff diff_selections(const topology_selection_result& previous,
+                               const topology_selection_result& fresh);
+
+// Run a fresh pilot + selection and produce the rollover plan in one
+// call. The caller supplies the same selector/vm/config used for the
+// original selection (typically months earlier).
+struct repilot_result {
+  topology_selection_result fresh;
+  selection_diff diff;
+};
+
+repilot_result refresh_selection(const topology_selector& selector,
+                                 const endpoint& vm,
+                                 const topology_selection_config& config,
+                                 const topology_selection_result& previous,
+                                 hour_stamp at, rng& r);
+
+}  // namespace clasp

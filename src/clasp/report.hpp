@@ -1,0 +1,28 @@
+// Text campaign reports (the Grafana-dashboard hand-off, §3.3).
+//
+// Renders everything an operator reads after a campaign into one plain
+// text document: fleet and selection summary, spend, the congestion
+// ranking, weekday/weekend split, direction classification and the
+// per-interconnect view. Used by the CLI's `report` command and by
+// examples; every section pulls from the public analysis API, so the
+// report doubles as living documentation of it.
+#pragma once
+
+#include <string>
+
+#include "clasp/platform.hpp"
+
+namespace clasp {
+
+struct report_options {
+  double threshold{0.5};       // V_H congestion threshold
+  std::size_t top_servers{10}; // rows in the congestion ranking
+};
+
+// Render the report for a region whose topology campaign has data in the
+// store. Throws state_error when there is no data.
+std::string render_campaign_report(clasp_platform& platform,
+                                   const std::string& region,
+                                   const report_options& options = {});
+
+}  // namespace clasp

@@ -1,0 +1,77 @@
+// Topology-based speed-test server selection (§3.1, method 1).
+//
+// From a VM in a region:
+//  1. run a bdrmap pilot scan to discover the region's interdomain links,
+//  2. traceroute to every U.S. speed-test server,
+//  3. resolve hops with prefix-to-AS and match far-side interfaces (and
+//     their aliases) against the bdrmap-discovered links,
+//  4. group servers by the far-side interface their path crossed,
+//  5. from each group pick the server with the shortest AS path (usually a
+//     direct peer) and lowest traceroute RTT,
+//  6. apply the deployment budget (the paper could not deploy every
+//     selected server in every region).
+//
+// The result carries everything Table 1 reports: total links discovered,
+// links traversed by U.S. servers, and servers measured by CLASP.
+#pragma once
+
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "probes/bdrmap.hpp"
+#include "probes/traceroute.hpp"
+#include "speedtest/registry.hpp"
+
+namespace clasp {
+
+struct topology_selection_config {
+  // Maximum servers to deploy in this region (budget); SIZE_MAX = all.
+  std::size_t deployment_budget{SIZE_MAX};
+  // Country whose servers are candidates (the paper studies the U.S.).
+  std::string country{"US"};
+  service_tier tier{service_tier::premium};
+};
+
+struct selected_server {
+  std::size_t server_id{0};
+  ipv4_addr far_side;       // interdomain link this server covers
+  asn neighbor;
+  std::size_t as_path_len{0};
+  millis rtt{0.0};
+};
+
+struct topology_selection_result {
+  bdrmap_result pilot;                        // Table 1 "Total"
+  std::size_t servers_probed{0};
+  std::size_t links_traversed_by_servers{0};  // Table 1 "U.S. test servers"
+  std::vector<selected_server> selected;      // Table 1 "measured by CLASP"
+  // Fraction of probed servers whose interconnect is shared with at least
+  // one other server (§4's 75.5%-91.6%).
+  double shared_interconnect_fraction{0.0};
+
+  double coverage() const {
+    return links_traversed_by_servers == 0
+               ? 0.0
+               : static_cast<double>(selected.size()) /
+                     static_cast<double>(links_traversed_by_servers);
+  }
+};
+
+class topology_selector {
+ public:
+  topology_selector(const route_planner* planner, const network_view* view,
+                    const server_registry* registry);
+
+  // Run the full pilot + selection from a VM endpoint. `at` is the pilot
+  // scan time; `r` drives probe noise.
+  topology_selection_result run(const endpoint& vm,
+                                const topology_selection_config& config,
+                                hour_stamp at, rng& r) const;
+
+ private:
+  const route_planner* planner_;
+  const network_view* view_;
+  const server_registry* registry_;
+};
+
+}  // namespace clasp

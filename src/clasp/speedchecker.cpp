@@ -1,0 +1,55 @@
+#include "clasp/speedchecker.hpp"
+
+#include "util/error.hpp"
+
+namespace clasp {
+
+speedchecker_service::speedchecker_service(const route_planner* planner,
+                                           const network_view* view,
+                                           speedchecker_config config)
+    : planner_(planner),
+      view_(view),
+      config_(config),
+      prober_(planner, view) {
+  if (planner == nullptr || view == nullptr) {
+    throw invalid_argument_error("speedchecker_service: null dependency");
+  }
+}
+
+const std::vector<host_index>& speedchecker_service::vantage_points() const {
+  return planner_->net().vantage_points;
+}
+
+int speedchecker_service::month_key(hour_stamp at) {
+  const civil_date d = at.utc_date();
+  return d.year * 12 + static_cast<int>(d.month);
+}
+
+std::size_t speedchecker_service::used_in_month(hour_stamp at) const {
+  const auto it = used_.find(month_key(at));
+  return it == used_.end() ? 0 : it->second;
+}
+
+vp_probe_result speedchecker_service::probe(host_index vp,
+                                            const endpoint& target,
+                                            service_tier tier, hour_stamp at,
+                                            rng& r) {
+  if (at >= config_.retirement) {
+    throw state_error(
+        "speedchecker: user-defined measurements were retired on " +
+        config_.retirement.to_string());
+  }
+  std::size_t& used = used_[month_key(at)];
+  if (used >= config_.monthly_quota) {
+    throw budget_exceeded_error("speedchecker: monthly quota of " +
+                                std::to_string(config_.monthly_quota) +
+                                " probes exhausted");
+  }
+  ++used;
+
+  const endpoint src = planner_->endpoint_of_host(vp);
+  const route_path path = planner_->to_cloud(src, target, tier);
+  return vp_probe_result{vp, prober_.ping(path, at, r), at};
+}
+
+}  // namespace clasp

@@ -1,0 +1,72 @@
+// Speedchecker-style measurement platform facade (§3.1's pre-test source).
+//
+// The paper leased user-defined latency measurements from Speedchecker's
+// >10k vantage points. Two properties of such platforms matter enough to
+// model (§1: host-based platforms "do not support or heavily restrict
+// throughput measurements using quota systems"; footnote 1: Speedchecker
+// retired the user-defined measurement function in June 2021):
+//
+//  * quotas — every probe debits a monthly per-account quota; exceeding
+//    it throws budget_exceeded_error,
+//  * retirement — after a configurable date the API stops serving
+//    user-defined measurements entirely (state_error).
+//
+// The differential pre-test runs through this facade, so campaign
+// planning has to budget its pre-test probes like everything else.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "netsim/routing.hpp"
+#include "probes/traceroute.hpp"
+
+namespace clasp {
+
+struct speedchecker_config {
+  // Monthly probe quota for the account (the paper needed >100 samples
+  // per tuple across ~1k tuples, well within a commercial plan).
+  std::size_t monthly_quota{1'000'000};
+  // The service retirement date (footnote 1: June 2021).
+  hour_stamp retirement{hour_stamp::from_civil({2021, 6, 1}, 0)};
+};
+
+// One latency sample from a vantage point toward a destination.
+struct vp_probe_result {
+  host_index vantage_point;
+  millis rtt;
+  hour_stamp at;
+};
+
+class speedchecker_service {
+ public:
+  speedchecker_service(const route_planner* planner,
+                       const network_view* view,
+                       speedchecker_config config = {});
+
+  // All vantage points the platform offers.
+  const std::vector<host_index>& vantage_points() const;
+
+  // Ping from a VP toward a cloud endpoint over a tier. Debits one probe
+  // from the current month's quota. Throws budget_exceeded_error when the
+  // month's quota is exhausted and state_error after retirement.
+  vp_probe_result probe(host_index vp, const endpoint& target,
+                        service_tier tier, hour_stamp at, rng& r);
+
+  // Probes already spent in the month containing `at`.
+  std::size_t used_in_month(hour_stamp at) const;
+  std::size_t quota() const { return config_.monthly_quota; }
+
+ private:
+  const route_planner* planner_;
+  const network_view* view_;
+  speedchecker_config config_;
+  prober prober_;
+  // (year*12 + month) -> probes used.
+  std::map<int, std::size_t> used_;
+
+  static int month_key(hour_stamp at);
+};
+
+}  // namespace clasp

@@ -1,0 +1,144 @@
+#include "cloud/gcp.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace clasp {
+
+const std::vector<machine_type>& gcp_machine_types() {
+  static const std::vector<machine_type> kTypes = {
+      {"n1-standard-2", 2, 7.5, mbps::from_gbps(10.0), 0.0950},
+      {"n2-standard-2", 2, 8.0, mbps::from_gbps(10.0), 0.0971},
+      {"e2-standard-2", 2, 8.0, mbps::from_gbps(4.0), 0.0670},
+  };
+  return kTypes;
+}
+
+const machine_type& machine_type_by_name(const std::string& name) {
+  for (const machine_type& t : gcp_machine_types()) {
+    if (t.name == name) return t;
+  }
+  throw not_found_error("gcp: unknown machine type " + name);
+}
+
+const std::vector<region_info>& gcp_regions() {
+  // Policy values encode the per-region interconnect behavior that shapes
+  // Table 1 (egress concentration) and its Total column (route visibility).
+  static const std::vector<region_info> kRegions = {
+      {"us-west1", "The Dalles, OR", 3, {0.03, 0.72}},
+      {"us-west2", "Los Angeles, CA", 3, {0.93, 0.89}},
+      {"us-west4", "Las Vegas, NV", 3, {0.55, 0.81}},
+      {"us-east1", "Moncks Corner, SC", 3, {0.30, 0.85}},
+      {"us-east4", "Ashburn, VA", 3, {0.93, 0.71}},
+      {"us-central1", "Council Bluffs, IA", 3, {0.80, 0.89}},
+      {"europe-west1", "St. Ghislain", 3, {0.30, 0.81}},
+  };
+  return kRegions;
+}
+
+const region_info& region_by_name(const std::string& name) {
+  for (const region_info& r : gcp_regions()) {
+    if (r.name == name) return r;
+  }
+  throw not_found_error("gcp: unknown region " + name);
+}
+
+double egress_usd_per_gb(service_tier tier) {
+  return tier == service_tier::premium ? 0.12 : 0.085;
+}
+
+void storage_bucket::put(const std::string& object_name,
+                         double megabytes_stored) {
+  if (megabytes_stored < 0.0) {
+    throw invalid_argument_error("storage_bucket: negative object size");
+  }
+  (void)object_name;
+  total_mb_ += megabytes_stored;
+  ++objects_;
+}
+
+gcp_cloud::gcp_cloud(internet* net, route_planner* planner)
+    : net_(net), planner_(planner), vm_rng_(hash_tag(net ? net->config.seed : 0, "gcp")) {
+  if (net == nullptr || planner == nullptr) {
+    throw invalid_argument_error("gcp_cloud: null dependency");
+  }
+  // Install each region's interconnect policy into the planner.
+  for (const region_info& r : gcp_regions()) {
+    planner_->set_region_policy(net_->geo->city_by_name(r.city_name).id,
+                                r.policy);
+  }
+}
+
+city_id gcp_cloud::region_city(const std::string& region) const {
+  return net_->geo->city_by_name(region_by_name(region).city_name).id;
+}
+
+gcp_cloud::vm_id gcp_cloud::create_vm(const std::string& region,
+                                      service_tier tier,
+                                      const std::string& machine) {
+  const region_info& rinfo = region_by_name(region);
+  const machine_type& mtype = machine_type_by_name(machine);
+  const city_id city = region_city(region);
+
+  const unsigned zone = next_zone_[region]++ % rinfo.zone_count;
+  vm_instance vm;
+  vm.region = region;
+  vm.zone = zone;
+  vm.type = mtype;
+  vm.tier = tier;
+  vm.id = "clasp-" + region + "-" + std::string(1, static_cast<char>('a' + zone)) +
+          "-" + std::to_string(vms_.size());
+  vm.host = net_->attach_host(net_->cloud, city, host_flavor::vm,
+                              mtype.max_egress, vm_rng_);
+  vms_.push_back(vm);
+  CLASP_LOG(info, "gcp") << "created " << vm.id << " (" << to_string(tier)
+                         << " tier)";
+  return vms_.size() - 1;
+}
+
+void gcp_cloud::terminate_vm(vm_id id) {
+  vm_instance& vm = vms_.at(id);
+  if (!vm.running) throw state_error("gcp: VM already terminated: " + vm.id);
+  vm.running = false;
+}
+
+const vm_instance& gcp_cloud::vm(vm_id id) const {
+  if (id >= vms_.size()) throw not_found_error("gcp: bad vm id");
+  return vms_[id];
+}
+
+void gcp_cloud::charge_vm_hour(vm_id id) {
+  vm_instance& vm = vms_.at(id);
+  if (!vm.running) throw state_error("gcp: charging a terminated VM");
+  vm.hours_run += 1.0;
+  // Sustained-use discount: hours beyond half a month bill at 70%.
+  constexpr double kMonthHours = 730.0;
+  const double hour_in_month =
+      vm.hours_run - kMonthHours * std::floor((vm.hours_run - 1.0) / kMonthHours);
+  const double rate = hour_in_month > kMonthHours / 2.0 ? 0.70 : 1.0;
+  costs_.vm_usd += vm.type.usd_per_hour * rate;
+}
+
+void gcp_cloud::charge_egress(service_tier tier, megabytes volume) {
+  costs_.egress_usd += volume.gigabytes() * egress_usd_per_gb(tier);
+}
+
+void gcp_cloud::charge_storage_month(double gb_months) {
+  costs_.storage_usd += gb_months * 0.020;  // standard storage $/GB-month
+}
+
+storage_bucket& gcp_cloud::bucket(const std::string& region) {
+  auto it = buckets_.find(region);
+  if (it == buckets_.end()) {
+    it = buckets_.emplace(region, storage_bucket("clasp-data-" + region)).first;
+  }
+  return it->second;
+}
+
+endpoint gcp_cloud::vm_endpoint(vm_id id) const {
+  return planner_->endpoint_of_host(vm(id).host);
+}
+
+}  // namespace clasp

@@ -1,0 +1,140 @@
+// GCP substrate: regions, zones, machine types, VM lifecycle, network
+// tiers, tc-style NIC shaping, egress billing and storage buckets.
+//
+// The paper's deployment constraints are modeled exactly:
+//  * measurement VMs are n1-standard-2 / n2-standard-2 (2 vCPU, 7-8 GB),
+//  * the NIC is throttled with tc to 1 Gbps down / 100 Mbps up — the
+//    asymmetry exists because GCP bills egress only (§3.2),
+//  * egress is billed per GB with different premium/standard rates,
+//  * VMs spread across availability zones,
+//  * raw results are compressed and uploaded to a per-region bucket.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/generator.hpp"
+#include "netsim/routing.hpp"
+#include "util/units.hpp"
+
+namespace clasp {
+
+struct machine_type {
+  std::string name;
+  unsigned vcpus{2};
+  double memory_gb{7.5};
+  mbps max_egress{mbps::from_gbps(10.0)};
+  double usd_per_hour{0.095};
+};
+
+// The machine types the paper uses.
+const std::vector<machine_type>& gcp_machine_types();
+const machine_type& machine_type_by_name(const std::string& name);
+
+struct region_info {
+  std::string name;        // "us-west1"
+  std::string city_name;   // geo database city hosting the region
+  unsigned zone_count{3};
+  // Per-region interconnect-policy knobs (see routing.hpp). These encode
+  // the observed region-to-region differences in Table 1.
+  egress_policy policy;
+};
+
+// The regions the paper deploys in (5 U.S. + 1 EU + us-west4 for Fig. 2).
+const std::vector<region_info>& gcp_regions();
+const region_info& region_by_name(const std::string& name);
+
+// tc-style NIC throttling applied inside the measurement VM.
+struct vm_shaping {
+  mbps downlink{1000.0};
+  mbps uplink{100.0};
+};
+
+struct vm_instance {
+  std::string id;        // "clasp-us-west1-a-0"
+  std::string region;
+  unsigned zone{0};
+  machine_type type;
+  service_tier tier{service_tier::premium};
+  vm_shaping shaping;
+  host_index host;       // attachment in the topology
+  bool running{true};
+  double hours_run{0.0};
+};
+
+// Egress pricing per GB (2020 list prices, first tier).
+double egress_usd_per_gb(service_tier tier);
+
+// Accumulated spend, per the paper's cost breakdown (>$6k/month).
+struct cost_report {
+  double vm_usd{0.0};
+  double egress_usd{0.0};
+  double storage_usd{0.0};
+  double total() const { return vm_usd + egress_usd + storage_usd; }
+};
+
+// A cloud storage bucket collecting compressed measurement artifacts.
+class storage_bucket {
+ public:
+  explicit storage_bucket(std::string name) : name_(std::move(name)) {}
+
+  void put(const std::string& object_name, double megabytes_stored);
+  double total_megabytes() const { return total_mb_; }
+  std::size_t object_count() const { return objects_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  double total_mb_{0.0};
+  std::size_t objects_{0};
+};
+
+// The cloud control plane (API facade used by the orchestrator).
+class gcp_cloud {
+ public:
+  using vm_id = std::size_t;
+
+  // `net` must outlive the cloud; VMs are attached as topology hosts.
+  gcp_cloud(internet* net, route_planner* planner);
+
+  // Create a VM in a region; zones are assigned round-robin. Throws
+  // not_found_error for unknown regions/machine types.
+  vm_id create_vm(const std::string& region, service_tier tier,
+                  const std::string& machine = "n1-standard-2");
+  void terminate_vm(vm_id id);
+
+  const vm_instance& vm(vm_id id) const;
+  std::size_t vm_count() const { return vms_.size(); }
+
+  city_id region_city(const std::string& region) const;
+
+  // Billing hooks (called by the campaign runner). VM hours earn GCP's
+  // sustained-use discount: after a VM has run more than half of a
+  // 730-hour month, further hours bill at 70% of list price (a coarse
+  // model of the real tiered schedule).
+  void charge_vm_hour(vm_id id);
+  void charge_egress(service_tier tier, megabytes volume);
+  void charge_storage_month(double gb_months);
+  const cost_report& costs() const { return costs_; }
+
+  storage_bucket& bucket(const std::string& region);
+
+  // Routing endpoint for a VM.
+  endpoint vm_endpoint(vm_id id) const;
+
+  route_planner& planner() { return *planner_; }
+  const route_planner& planner() const { return *planner_; }
+  const internet& net() const { return *net_; }
+
+ private:
+  internet* net_;
+  route_planner* planner_;
+  std::vector<vm_instance> vms_;
+  std::unordered_map<std::string, unsigned> next_zone_;
+  std::unordered_map<std::string, storage_bucket> buckets_;
+  cost_report costs_;
+  rng vm_rng_;
+};
+
+}  // namespace clasp

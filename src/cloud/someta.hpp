@@ -1,0 +1,52 @@
+// VM metadata recording (someta analogue, Sommers et al. IMC'17).
+//
+// §3.2: the measurement script runs someta to record VM metadata during
+// every test, and the authors "examined the resource usage during tests
+// and found that the VM type we chose had sufficient computational power
+// to support the test without depleting the CPU resource, which could
+// degrade network throughput". This module models per-test resource
+// usage of the headless-browser speed test on a given machine type and
+// flags tests where CPU saturation would have capped throughput.
+#pragma once
+
+#include "cloud/gcp.hpp"
+#include "util/rng.hpp"
+
+namespace clasp {
+
+struct vm_metadata_sample {
+  hour_stamp at;
+  double cpu_utilization{0.0};   // 0..1 across all vCPUs
+  double memory_gb{0.0};
+  double io_wait{0.0};           // fraction of time in iowait
+  bool cpu_saturated{false};     // CPU would have throttled the test
+};
+
+// Model the resource usage of one speed test: the Chromium renderer and
+// TLS cost scale with throughput; the baseline covers cron, tcpdump and
+// someta itself.
+vm_metadata_sample record_test_metadata(const machine_type& machine,
+                                        mbps observed_throughput,
+                                        hour_stamp at, rng& r);
+
+// A rolling recorder, one per VM, mirroring someta's periodic snapshots.
+class someta_recorder {
+ public:
+  explicit someta_recorder(machine_type machine)
+      : machine_(std::move(machine)) {}
+
+  const vm_metadata_sample& record(mbps observed_throughput, hour_stamp at,
+                                   rng& r);
+
+  const std::vector<vm_metadata_sample>& samples() const { return samples_; }
+  // Fraction of recorded tests with a saturated CPU (the paper's claim:
+  // ~0 for n1-standard-2 at <= 1 Gbps).
+  double saturation_fraction() const;
+  double peak_cpu() const;
+
+ private:
+  machine_type machine_;
+  std::vector<vm_metadata_sample> samples_;
+};
+
+}  // namespace clasp

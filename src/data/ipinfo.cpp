@@ -1,0 +1,32 @@
+#include "data/ipinfo.hpp"
+
+namespace clasp {
+
+std::string to_string(business_type type) {
+  switch (type) {
+    case business_type::isp: return "ISP";
+    case business_type::hosting: return "Hosting";
+    case business_type::business: return "Business";
+    case business_type::education: return "Education";
+    case business_type::unknown: return "Unknown";
+  }
+  return "Unknown";
+}
+
+void ipinfo_database::add(asn network, business_type type,
+                          std::string company_name) {
+  records_[network] = record{type, std::move(company_name)};
+}
+
+business_type ipinfo_database::type_of(asn network) const {
+  const auto it = records_.find(network);
+  return it == records_.end() ? business_type::unknown : it->second.type;
+}
+
+std::optional<std::string> ipinfo_database::company_of(asn network) const {
+  const auto it = records_.find(network);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.company;
+}
+
+}  // namespace clasp

@@ -1,0 +1,48 @@
+// Business-type database (analogue of ipinfo.io company data).
+//
+// Appendix B of the paper classifies test servers into ISP / Hosting /
+// Business / Education / Unknown by resolving their IPs against ipinfo.io.
+// Here the classification is registered when the synthetic topology is
+// generated (the AS builder knows each network's role) and queried through
+// the same lookup interface the paper uses, including the "Unknown" bucket
+// for ASes the database has no record for.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "data/prefix2as.hpp"
+
+namespace clasp {
+
+enum class business_type { isp, hosting, business, education, unknown };
+
+// Human-readable label ("ISP", "Hosting", ...).
+std::string to_string(business_type type);
+
+// AS-keyed company/business-type registry.
+class ipinfo_database {
+ public:
+  // Register an AS. A fraction of registrations can be intentionally
+  // dropped by the topology builder to mimic ipinfo.io's incomplete
+  // coverage (those lookups return business_type::unknown).
+  void add(asn network, business_type type, std::string company_name);
+
+  // Business type for an AS; unknown when not registered.
+  business_type type_of(asn network) const;
+
+  // Company name, if registered.
+  std::optional<std::string> company_of(asn network) const;
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  struct record {
+    business_type type;
+    std::string company;
+  };
+  std::unordered_map<asn, record> records_;
+};
+
+}  // namespace clasp

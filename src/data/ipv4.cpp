@@ -1,0 +1,116 @@
+#include "data/ipv4.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace clasp {
+
+ipv4_addr ipv4_addr::parse(const std::string& text) {
+  const auto parts = split(text, '.');
+  if (parts.size() != 4) {
+    throw invalid_argument_error("ipv4_addr: expected a.b.c.d, got " + text);
+  }
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) {
+      throw invalid_argument_error("ipv4_addr: bad octet in " + text);
+    }
+    unsigned octet = 0;
+    for (const char c : part) {
+      if (c < '0' || c > '9') {
+        throw invalid_argument_error("ipv4_addr: bad octet in " + text);
+      }
+      octet = octet * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (octet > 255) {
+      throw invalid_argument_error("ipv4_addr: octet > 255 in " + text);
+    }
+    value = (value << 8) | octet;
+  }
+  return ipv4_addr{value};
+}
+
+std::string ipv4_addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return std::string(buf);
+}
+
+ipv4_prefix::ipv4_prefix(ipv4_addr base, unsigned length)
+    : base_(base), length_(length) {
+  if (length > 32) {
+    throw invalid_argument_error("ipv4_prefix: length > 32");
+  }
+  if ((base.value() & ~netmask()) != 0) {
+    throw invalid_argument_error("ipv4_prefix: host bits set in " +
+                                 base.to_string());
+  }
+}
+
+ipv4_prefix ipv4_prefix::parse(const std::string& text) {
+  const auto parts = split(text, '/');
+  if (parts.size() != 2) {
+    throw invalid_argument_error("ipv4_prefix: expected addr/len: " + text);
+  }
+  const ipv4_addr base = ipv4_addr::parse(parts[0]);
+  unsigned length = 0;
+  for (const char c : parts[1]) {
+    if (c < '0' || c > '9') {
+      throw invalid_argument_error("ipv4_prefix: bad length: " + text);
+    }
+    length = length * 10 + static_cast<unsigned>(c - '0');
+  }
+  return ipv4_prefix(base, length);
+}
+
+std::uint32_t ipv4_prefix::netmask() const {
+  if (length_ == 0) return 0;
+  return ~std::uint32_t{0} << (32 - length_);
+}
+
+std::uint64_t ipv4_prefix::size() const {
+  return std::uint64_t{1} << (32 - length_);
+}
+
+bool ipv4_prefix::contains(ipv4_addr addr) const {
+  return (addr.value() & netmask()) == base_.value();
+}
+
+ipv4_addr ipv4_prefix::address_at(std::uint64_t i) const {
+  if (i >= size()) {
+    throw invalid_argument_error("ipv4_prefix: address index out of range");
+  }
+  return ipv4_addr{base_.value() + static_cast<std::uint32_t>(i)};
+}
+
+std::string ipv4_prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+prefix_allocator::prefix_allocator(ipv4_prefix pool) : pool_(pool) {}
+
+ipv4_prefix prefix_allocator::allocate(unsigned length) {
+  if (length < pool_.length() || length > 32) {
+    throw invalid_argument_error("prefix_allocator: bad sub-prefix length");
+  }
+  const std::uint64_t block = std::uint64_t{1} << (32 - length);
+  // Align the offset up to the block size so the sub-prefix is valid.
+  std::uint64_t offset = (next_offset_ + block - 1) / block * block;
+  if (offset + block > pool_.size()) {
+    throw state_error("prefix_allocator: pool " + pool_.to_string() +
+                      " exhausted");
+  }
+  next_offset_ = offset + block;
+  return ipv4_prefix(ipv4_addr{pool_.base().value() +
+                               static_cast<std::uint32_t>(offset)},
+                     length);
+}
+
+std::uint64_t prefix_allocator::remaining() const {
+  return pool_.size() - next_offset_;
+}
+
+}  // namespace clasp

@@ -1,0 +1,84 @@
+// IPv4 addressing for the simulated Internet.
+//
+// Every router interface, VM NIC and speed-test server in the substrate has
+// a real (synthetic) IPv4 address drawn from per-AS prefixes handed out by
+// an address allocator, so the measurement tools (traceroute, prefix-to-AS
+// mapping, bdrmap) operate on the same observables as their real
+// counterparts.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace clasp {
+
+// A single IPv4 address.
+class ipv4_addr {
+ public:
+  constexpr ipv4_addr() = default;
+  constexpr explicit ipv4_addr(std::uint32_t value) : value_(value) {}
+
+  // Parse dotted-quad "a.b.c.d". Throws invalid_argument_error on
+  // malformed input.
+  static ipv4_addr parse(const std::string& text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const ipv4_addr&) const = default;
+
+ private:
+  std::uint32_t value_{0};
+};
+
+// A CIDR prefix (address + length).
+class ipv4_prefix {
+ public:
+  constexpr ipv4_prefix() = default;
+  // Throws invalid_argument_error when length > 32 or when base has bits
+  // set below the prefix length (i.e. is not the network address).
+  ipv4_prefix(ipv4_addr base, unsigned length);
+
+  // Parse "a.b.c.d/len".
+  static ipv4_prefix parse(const std::string& text);
+
+  ipv4_addr base() const { return base_; }
+  unsigned length() const { return length_; }
+  std::uint32_t netmask() const;
+  // Number of addresses covered (2^(32-length)).
+  std::uint64_t size() const;
+  bool contains(ipv4_addr addr) const;
+  // The i-th address inside the prefix. Throws when i >= size().
+  ipv4_addr address_at(std::uint64_t i) const;
+
+  std::string to_string() const;
+
+  auto operator<=>(const ipv4_prefix&) const = default;
+
+ private:
+  ipv4_addr base_{};
+  unsigned length_{32};
+};
+
+// Sequentially carves non-overlapping prefixes out of a parent block.
+// Used to give each AS its own address space and each AS its own
+// sub-prefixes for router interfaces vs. end hosts.
+class prefix_allocator {
+ public:
+  explicit prefix_allocator(ipv4_prefix pool);
+
+  // Allocate the next /length prefix from the pool. Throws
+  // invalid_argument_error if length is shorter than the pool's length and
+  // state_error when the pool is exhausted.
+  ipv4_prefix allocate(unsigned length);
+
+  // Addresses remaining in the pool.
+  std::uint64_t remaining() const;
+
+ private:
+  ipv4_prefix pool_;
+  std::uint64_t next_offset_{0};
+};
+
+}  // namespace clasp

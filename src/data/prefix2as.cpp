@@ -1,0 +1,37 @@
+#include "data/prefix2as.hpp"
+
+namespace clasp {
+
+void prefix2as_table::add(ipv4_prefix prefix, asn origin) {
+  by_length_[prefix.length()][prefix.base().value()] = origin;
+}
+
+std::optional<asn> prefix2as_table::lookup(ipv4_addr addr) const {
+  for (int len = 32; len >= 0; --len) {
+    const auto& table = by_length_[len];
+    if (table.empty()) continue;
+    const std::uint32_t mask =
+        (len == 0) ? 0 : (~std::uint32_t{0} << (32 - len));
+    const auto it = table.find(addr.value() & mask);
+    if (it != table.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<ipv4_prefix, asn>> prefix2as_table::entries() const {
+  std::vector<std::pair<ipv4_prefix, asn>> out;
+  for (unsigned len = 0; len <= 32; ++len) {
+    for (const auto& [base, origin] : by_length_[len]) {
+      out.emplace_back(ipv4_prefix(ipv4_addr{base}, len), origin);
+    }
+  }
+  return out;
+}
+
+std::size_t prefix2as_table::size() const {
+  std::size_t n = 0;
+  for (const auto& table : by_length_) n += table.size();
+  return n;
+}
+
+}  // namespace clasp

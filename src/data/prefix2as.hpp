@@ -1,0 +1,56 @@
+// Prefix-to-AS dataset (analogue of CAIDA's Routeviews prefix2as).
+//
+// The selection pipeline and bdrmap resolve every traceroute hop to an AS
+// number through longest-prefix matching, exactly as the paper does with
+// the CAIDA dataset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "data/ipv4.hpp"
+
+namespace clasp {
+
+// Autonomous-system number.
+struct asn {
+  std::uint32_t value{0};
+
+  constexpr auto operator<=>(const asn&) const = default;
+};
+
+}  // namespace clasp
+
+template <>
+struct std::hash<clasp::asn> {
+  std::size_t operator()(const clasp::asn& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};
+
+namespace clasp {
+
+// Longest-prefix-match table from IPv4 prefixes to origin ASes.
+class prefix2as_table {
+ public:
+  // Register a mapping. Later insertions of the same prefix overwrite
+  // earlier ones (mirrors dataset regeneration).
+  void add(ipv4_prefix prefix, asn origin);
+
+  // Longest-prefix match; nullopt for unrouted space.
+  std::optional<asn> lookup(ipv4_addr addr) const;
+
+  // All (prefix, origin) pairs, unordered. Used to enumerate routed space
+  // for bdrmap-style full-table probing.
+  std::vector<std::pair<ipv4_prefix, asn>> entries() const;
+
+  std::size_t size() const;
+
+ private:
+  // One exact-match map per prefix length; lookup walks lengths 32..0.
+  std::unordered_map<std::uint32_t, asn> by_length_[33];
+};
+
+}  // namespace clasp

@@ -1,0 +1,141 @@
+// Synthetic Internet generation.
+//
+// generate_internet() builds the whole substrate the paper's measurement
+// campaign runs against:
+//  * the cloud provider AS (Google analogue, AS 15169) with ~40 PoPs and a
+//    full-mesh private WAN,
+//  * tier-1 and transit providers with multi-city backbones,
+//  * thousands of eyeball / hosting / education / business ASes with their
+//    own address space, routers, upstream transit links and (for a subset)
+//    direct peerings with the cloud,
+//  * per-link load profiles with planted congestion episodes (ground
+//    truth), including the paper's named case studies (Cox daytime
+//    reverse-path congestion, Smarterbroadband all-day congestion, Cogent
+//    evening peaks, lossy premium peerings in India/Australia),
+//  * Speedchecker-style eyeball vantage-point hosts for the differential
+//    pre-test,
+//  * the prefix-to-AS and ipinfo-style databases derived from the above.
+//
+// Everything is driven by one seed; two calls with equal configs produce
+// identical internets.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "data/geo.hpp"
+#include "data/ipinfo.hpp"
+#include "data/prefix2as.hpp"
+#include "netsim/load.hpp"
+#include "netsim/topology.hpp"
+#include "util/rng.hpp"
+
+namespace clasp {
+
+// Scenario archetype planted on an AS's links (see load.hpp).
+enum class congestion_archetype {
+  none,
+  evening_eyeball,   // evening_peak episodes on upstream links
+  daytime_reverse,   // daytime episodes, ingress (AS->cloud) direction only
+  all_day,           // persistent under-provisioning
+  lossy_premium,     // persistent loss on the AS's direct cloud peerings
+  std_path_episodes, // episodes on the AS's transit link (standard path)
+};
+
+struct internet_config {
+  std::uint64_t seed{42};
+
+  // AS population (procedural, in addition to the named seed table).
+  std::size_t tier1_count{12};
+  std::size_t transit_count{8};
+  std::size_t large_isp_count{60};
+  std::size_t regional_isp_count{2000};
+  std::size_t hosting_count{1200};
+  std::size_t education_count{400};
+  std::size_t business_count{3000};
+
+  // Fraction of small ASes homed outside the U.S.
+  double international_fraction{0.32};
+
+  // Probability that an AS of a role peers directly with the cloud.
+  double peering_prob_large_isp{0.90};
+  double peering_prob_regional_isp{0.38};
+  double peering_prob_hosting{0.85};
+  double peering_prob_education{0.70};
+  double peering_prob_business{0.62};
+
+  // Mean number of cloud links for a peering AS (1..3 drawn around this).
+  double mean_cloud_links{2.15};
+
+  // Fraction of eyeball ISPs that are congestion-prone (evening episodes).
+  double congestion_prone_fraction{0.42};
+  // Per-day episode probability range for prone ISPs.
+  double episode_prob_lo{0.08};
+  double episode_prob_hi{0.42};
+
+  // ipinfo coverage gaps (lookups for these ASes return Unknown).
+  double ipinfo_missing_fraction{0.05};
+
+  // Speedchecker-style vantage points for the differential pre-test.
+  std::size_t vantage_point_count{1200};
+};
+
+// What a dynamically attached host is; selects its NIC load profile.
+enum class host_flavor { server, vantage_point, vm };
+
+// A generated Internet. Non-copyable: the topology refers to the geo
+// database by address.
+struct internet {
+  internet_config config;
+  std::unique_ptr<geo_database> geo;
+  std::unique_ptr<topology> topo;
+  std::unique_ptr<link_load_model> load;
+  ipinfo_database ipinfo;
+
+  as_index cloud;
+  // Cities where the cloud has a PoP router.
+  std::vector<city_id> pop_cities;
+  // Eyeball vantage-point hosts (Speedchecker analogue).
+  std::vector<host_index> vantage_points;
+  // Scenario archetype per AS (for ground-truth validation and benches).
+  std::unordered_map<std::uint32_t, congestion_archetype> archetype_of_as;
+  // Remaining host address space per AS (index.value keyed).
+  std::unordered_map<std::uint32_t, std::vector<prefix_allocator>> host_pools;
+  // The link from an edge AS to its primary transit (index.value keyed).
+  std::unordered_map<std::uint32_t, link_index> transit_link_of;
+
+  // Links whose load profile contains planted episodes, with direction.
+  struct planted_episode {
+    link_index link;
+    link_dir dir;
+    episode_kind kind;
+  };
+  std::vector<planted_episode> planted;
+
+  const as_info& cloud_as() const { return topo->as_at(cloud); }
+  congestion_archetype archetype(as_index a) const;
+
+  // Allocate an end-host address from the AS's announced space.
+  ipv4_addr allocate_host_address(as_index owner, rng& r);
+
+  // Attach a host (speed-test server, VM, extra vantage point) to the AS's
+  // router in `city` with a flavor-appropriate NIC load profile. Throws
+  // not_found_error when the AS has no presence in that city.
+  host_index attach_host(as_index owner, city_id city, host_flavor flavor,
+                         mbps nic_capacity, rng& r);
+};
+
+// Build the substrate. Throws invalid_argument_error on nonsensical
+// configs (zero tier1s, fractions outside [0,1], ...).
+internet generate_internet(const internet_config& config);
+
+// The cloud provider's well-known constants.
+asn cloud_asn();
+// Interconnect address pool announced by the cloud (far-side interfaces of
+// cloud peerings live here — the bdrmap challenge).
+ipv4_prefix cloud_interconnect_pool();
+
+}  // namespace clasp

@@ -1,0 +1,179 @@
+#include "netsim/load.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clasp {
+
+namespace {
+
+// Classic eyeball diurnal curve: trough ~4-5 am, shoulder through the
+// workday, peak 8-10 pm local (FCC peak hours are 7-11 pm).
+constexpr double kDiurnal[24] = {
+    0.30, 0.18, 0.10, 0.04, 0.00, 0.02, 0.08, 0.18,  // 00-07
+    0.30, 0.40, 0.47, 0.52, 0.55, 0.57, 0.60, 0.63,  // 08-15
+    0.68, 0.75, 0.83, 0.92, 1.00, 0.98, 0.85, 0.55,  // 16-23
+};
+
+// 2020-01-01 (day 0) was a Wednesday, i.e. weekday index 2 with
+// Monday == 0; Saturday/Sunday are indices 5/6.
+bool is_weekend(std::int64_t day_index) {
+  const std::int64_t dow = ((day_index % 7) + 7 + 2) % 7;
+  return dow >= 5;
+}
+
+// Mix (seed, link, dir, salt) into a 64-bit hash for deterministic draws.
+std::uint64_t mix(std::uint64_t seed, link_index link, link_dir dir,
+                  std::uint64_t salt) {
+  std::uint64_t s = seed ^ (static_cast<std::uint64_t>(link.value) << 20) ^
+                    (dir == link_dir::a_to_b ? 0x9e37ULL : 0x79b9ULL) ^
+                    (salt * 0xff51afd7ed558ccdULL);
+  return splitmix64(s);
+}
+
+// Uniform double in [0,1) from a hash.
+double hash_uniform(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint32_t link_load_model::add_profile(load_profile profile) {
+  profiles_.push_back(profile);
+  return static_cast<std::uint32_t>(profiles_.size() - 1);
+}
+
+const load_profile& link_load_model::profile(std::uint32_t id) const {
+  if (id >= profiles_.size()) {
+    throw not_found_error("link_load_model: bad profile id");
+  }
+  return profiles_[id];
+}
+
+const direction_load& link_load_model::params(std::uint32_t profile_id,
+                                              link_dir dir) const {
+  const load_profile& p = profile(profile_id);
+  return dir == link_dir::a_to_b ? p.fwd : p.rev;
+}
+
+double link_load_model::diurnal_shape(unsigned local_hour) {
+  return kDiurnal[local_hour % 24];
+}
+
+bool link_load_model::episode_active(std::uint32_t profile_id, link_index link,
+                                     link_dir dir, hour_stamp at) const {
+  const load_profile& prof = profile(profile_id);
+  const direction_load& d = params(profile_id, dir);
+  if (d.episodes == episode_kind::none || d.episode_prob <= 0.0) return false;
+
+  const std::int64_t local_day = at.local_day_index(prof.tz);
+  const unsigned local_hour = at.local_hour_of_day(prof.tz);
+
+  // Episode days are a deterministic per-day Bernoulli draw.
+  const double day_draw = hash_uniform(
+      mix(seed_, link, dir, 0xE1150DE5ULL ^ static_cast<std::uint64_t>(local_day)));
+  if (day_draw >= d.episode_prob) return false;
+
+  switch (d.episodes) {
+    case episode_kind::none:
+      return false;
+    case episode_kind::evening_peak:
+      // FCC peak hours: 7 pm - 11 pm local, occasionally starting earlier.
+      return local_hour >= 18 && local_hour <= 23;
+    case episode_kind::daytime:
+      // Business-hours congestion (the paper's Cox case: 10 am - 4 pm).
+      return local_hour >= 9 && local_hour <= 16;
+    case episode_kind::all_day:
+      // Persistent under-provisioning, worst 10 am - 8 pm.
+      return local_hour >= 8 && local_hour <= 21;
+  }
+  return false;
+}
+
+double link_load_model::utilization(std::uint32_t profile_id, link_index link,
+                                    link_dir dir, hour_stamp at) const {
+  const load_profile& prof = profile(profile_id);
+  const direction_load& d = params(profile_id, dir);
+  const unsigned local_hour = at.local_hour_of_day(prof.tz);
+  const std::int64_t local_day = at.local_day_index(prof.tz);
+
+  double amp = d.diurnal_amp;
+  if (is_weekend(local_day)) amp *= (1.0 + d.weekend_boost);
+
+  double u = d.base_util + amp * diurnal_shape(local_hour);
+
+  // Hour-to-hour lognormal noise.
+  if (d.noise_sigma > 0.0) {
+    const std::uint64_t h = mix(
+        seed_, link, dir,
+        0x5EEDULL ^ static_cast<std::uint64_t>(at.hours_since_epoch()));
+    // Box-Muller from two hash-derived uniforms.
+    std::uint64_t s = h;
+    const double u1 = std::max(hash_uniform(splitmix64(s)), 1e-12);
+    const double u2 = hash_uniform(splitmix64(s));
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    u *= std::exp(d.noise_sigma * z - 0.5 * d.noise_sigma * d.noise_sigma);
+  }
+
+  if (episode_active(profile_id, link, dir, at)) {
+    // Severity varies within an episode: strongest mid-window.
+    const std::uint64_t h = mix(
+        seed_, link, dir,
+        0x0E15ULL + static_cast<std::uint64_t>(at.hours_since_epoch()));
+    const double jitter = 0.7 + 0.6 * hash_uniform(h);
+    u += d.episode_severity * jitter;
+  }
+
+  return std::max(u, 0.0);
+}
+
+millis max_queue_delay(link_kind kind) {
+  switch (kind) {
+    case link_kind::host_access: return millis{25.0};
+    case link_kind::metro_agg: return millis{40.0};
+    case link_kind::backbone: return millis{8.0};
+    case link_kind::interdomain: return millis{20.0};
+    case link_kind::cloud_wan: return millis{1.5};
+  }
+  return millis{5.0};
+}
+
+link_condition link_load_model::condition(std::uint32_t profile_id,
+                                          link_index link, link_dir dir,
+                                          hour_stamp at, mbps capacity,
+                                          link_kind kind) const {
+  const direction_load& d = params(profile_id, dir);
+  link_condition c;
+  c.utilization = utilization(profile_id, link, dir, at);
+
+  // Available bandwidth: the headroom, with a small floor representing the
+  // fair share a new elastic flow can still claim from an overloaded link.
+  const double headroom = std::max(0.0, 1.0 - c.utilization);
+  const double overload = std::max(0.0, c.utilization - 1.0);
+  const double share_floor = 0.04 / (1.0 + 12.0 * overload);
+  c.available = capacity * std::max(headroom, share_floor);
+
+  // Loss: negligible below ~90% utilization, then grows quadratically; an
+  // extra persistent floor models chronically lossy peerings.
+  constexpr double kLossKnee = 0.90;
+  double loss = 5e-8;  // background corruption/transient loss
+  if (c.utilization > kLossKnee) {
+    const double x = (c.utilization - kLossKnee) / 0.45;
+    loss += 0.45 * x * x;
+  }
+  loss += d.persistent_loss;
+  c.loss_rate = std::min(loss, 0.60);
+
+  // Queueing delay ramps up as the link saturates (bufferbloat).
+  const double q_frac =
+      std::clamp((c.utilization - 0.85) / 0.35, 0.0, 1.0);
+  c.queue_delay = max_queue_delay(kind) * (q_frac * q_frac);
+
+  return c;
+}
+
+}  // namespace clasp

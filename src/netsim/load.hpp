@@ -1,0 +1,102 @@
+// Time-varying background load on links.
+//
+// Every link direction carries background traffic described by a load
+// profile: a diurnal curve in the link's local timezone, multiplicative
+// noise, a weekend factor and (for congestion-prone links) planted
+// congestion episodes. Utilization is a pure deterministic function of
+// (profile, direction, hour, seed) so any hour of the five-month campaign
+// can be evaluated in any order — there is no hidden simulation state.
+//
+// Planted episodes are the ground truth that the paper's detector
+// (V(s,d) > 0.5) is later validated against:
+//  * evening_peak  — eyeball ISP aggregation/interconnect congestion in
+//                    the FCC peak hours (Fig. 6's 7-11 pm upticks)
+//  * daytime       — business-hours reverse-path congestion (the paper's
+//                    Cox Las Vegas / Southern California case, Fig. 3)
+//  * all_day       — persistent under-provisioning (the paper's
+//                    Smarterbroadband case)
+//  * none          — well-provisioned links
+// Independent of episodes, a profile may carry persistent_loss — the
+// paper's premium-tier peering links with >10% measured packet loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/types.hpp"
+#include "util/sim_time.hpp"
+#include "util/units.hpp"
+
+namespace clasp {
+
+enum class episode_kind { none, evening_peak, daytime, all_day };
+
+// Parameters for one direction of one link.
+struct direction_load {
+  double base_util{0.2};      // utilization at the diurnal trough
+  double diurnal_amp{0.15};   // extra utilization at the diurnal peak
+  double noise_sigma{0.05};   // lognormal sigma of hour-to-hour noise
+  double weekend_boost{0.1};  // relative amp increase on Sat/Sun
+  episode_kind episodes{episode_kind::none};
+  double episode_prob{0.0};      // per-local-day probability of an episode
+  double episode_severity{0.0};  // utilization added during episode hours
+  double persistent_loss{0.0};   // loss floor independent of utilization
+};
+
+// A load profile: both directions plus the local timezone that phases the
+// diurnal curve (the timezone of the traffic's eyeball side).
+struct load_profile {
+  direction_load fwd;  // a_to_b
+  direction_load rev;  // b_to_a
+  timezone_offset tz{};
+};
+
+// Instantaneous condition of a link direction.
+struct link_condition {
+  double utilization{0.0};  // may exceed 1 when overloaded
+  double loss_rate{0.0};    // packet loss probability
+  millis queue_delay{0.0};  // added one-way queueing delay
+  mbps available{0.0};      // bandwidth available to a new flow
+};
+
+// Deterministic evaluator for link conditions.
+class link_load_model {
+ public:
+  explicit link_load_model(std::uint64_t seed) : seed_(seed) {}
+
+  // Register a profile; returns its id (stored in link_info::load_profile).
+  std::uint32_t add_profile(load_profile profile);
+
+  const load_profile& profile(std::uint32_t id) const;
+  std::size_t profile_count() const { return profiles_.size(); }
+
+  // Raw utilization (background only) of a link direction at an hour.
+  double utilization(std::uint32_t profile_id, link_index link, link_dir dir,
+                     hour_stamp at) const;
+
+  // Full condition including loss, queueing and available bandwidth for a
+  // link of the given capacity and kind.
+  link_condition condition(std::uint32_t profile_id, link_index link,
+                           link_dir dir, hour_stamp at, mbps capacity,
+                           link_kind kind) const;
+
+  // True when an episode is active on this link direction at this hour
+  // (ground truth for detector validation).
+  bool episode_active(std::uint32_t profile_id, link_index link, link_dir dir,
+                      hour_stamp at) const;
+
+  // The diurnal shape, exposed for tests: fraction of peak load at a local
+  // hour of day, in [0, 1].
+  static double diurnal_shape(unsigned local_hour);
+
+ private:
+  const direction_load& params(std::uint32_t profile_id, link_dir dir) const;
+
+  std::uint64_t seed_;
+  std::vector<load_profile> profiles_;
+};
+
+// Maximum bufferbloat queueing delay by link kind (one-way).
+millis max_queue_delay(link_kind kind);
+
+}  // namespace clasp

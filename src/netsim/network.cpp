@@ -1,0 +1,96 @@
+#include "netsim/network.hpp"
+
+#include "util/error.hpp"
+
+namespace clasp {
+
+network_view::network_view(const internet* net) : net_(net) {
+  if (net == nullptr) throw invalid_argument_error("network_view: null net");
+}
+
+link_condition network_view::link_state(link_index l, link_dir dir,
+                                        hour_stamp at) const {
+  const link_info& info = net_->topo->link_at(l);
+  return net_->load->condition(info.load_profile, l, dir, at, info.capacity,
+                               info.kind);
+}
+
+template <typename Fn>
+void network_view::for_each_hop(const route_path& path, Fn&& fn) const {
+  if (path.src_access) fn(*path.src_access);
+  for (const path_hop& h : path.transit_hops) fn(h);
+  if (path.dst_access) fn(*path.dst_access);
+}
+
+path_metrics network_view::evaluate(const route_path& path,
+                                    hour_stamp at) const {
+  path_metrics m;
+  m.bottleneck = mbps{1e12};
+  double pass = 1.0;
+  for_each_hop(path, [&](const path_hop& h) {
+    const link_info& info = net_->topo->link_at(h.link);
+    const link_condition data = link_state(h.link, h.dir, at);
+    const link_condition ack = link_state(h.link, reverse(h.dir), at);
+    m.base_rtt = m.base_rtt + info.propagation * 2.0;
+    m.rtt = m.rtt + info.propagation * 2.0 + data.queue_delay +
+            ack.queue_delay;
+    pass *= (1.0 - data.loss_rate);
+    if (data.available < m.bottleneck) {
+      m.bottleneck = data.available;
+      m.bottleneck_link = h.link;
+      m.bottleneck_util = data.utilization;
+    }
+  });
+  // Per-router forwarding adds a small fixed cost.
+  const double router_cost_ms = 0.08 * static_cast<double>(path.routers.size());
+  m.base_rtt = m.base_rtt + millis{2.0 * router_cost_ms};
+  m.rtt = m.rtt + millis{2.0 * router_cost_ms};
+  m.loss = 1.0 - pass;
+  m.episode = episode_on_path(path, at);
+  return m;
+}
+
+millis network_view::base_rtt(const route_path& path) const {
+  millis total{0.0};
+  for_each_hop(path, [&](const path_hop& h) {
+    total = total + net_->topo->link_at(h.link).propagation * 2.0;
+  });
+  return total + millis{0.16 * static_cast<double>(path.routers.size())};
+}
+
+millis network_view::delay_to_router(const route_path& path,
+                                     std::size_t router_i,
+                                     hour_stamp at) const {
+  if (router_i >= path.routers.size()) {
+    throw invalid_argument_error("network_view: router index out of range");
+  }
+  millis total{0.0};
+  if (path.src_access) {
+    const link_info& info = net_->topo->link_at(path.src_access->link);
+    const link_condition c = link_state(path.src_access->link,
+                                        path.src_access->dir, at);
+    total = total + info.propagation + c.queue_delay;
+  }
+  for (std::size_t i = 0; i < router_i && i < path.transit_hops.size(); ++i) {
+    const path_hop& h = path.transit_hops[i];
+    const link_info& info = net_->topo->link_at(h.link);
+    const link_condition c = link_state(h.link, h.dir, at);
+    total = total + info.propagation + c.queue_delay;
+  }
+  return total + millis{0.08 * static_cast<double>(router_i + 1)};
+}
+
+bool network_view::episode_on_path(const route_path& path,
+                                   hour_stamp at) const {
+  bool active = false;
+  for_each_hop(path, [&](const path_hop& h) {
+    if (active) return;
+    const link_info& info = net_->topo->link_at(h.link);
+    if (net_->load->episode_active(info.load_profile, h.link, h.dir, at)) {
+      active = true;
+    }
+  });
+  return active;
+}
+
+}  // namespace clasp

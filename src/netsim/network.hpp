@@ -1,0 +1,57 @@
+// Instantaneous evaluation of a path against the load model.
+//
+// network_view is the read-side facade the measurement tools use: given a
+// route_path and an hour, it walks every link crossing, asks the load
+// model for that link direction's condition, and aggregates RTT
+// (propagation + bidirectional queueing), data-direction loss and the
+// bottleneck available bandwidth.
+#pragma once
+
+#include "netsim/generator.hpp"
+#include "netsim/routing.hpp"
+
+namespace clasp {
+
+// Aggregated condition of one path at one hour.
+struct path_metrics {
+  millis base_rtt;     // propagation-only round trip
+  millis rtt;          // round trip including queueing delay both ways
+  double loss{0.0};    // cumulative data-direction loss probability
+  mbps bottleneck;     // minimum available bandwidth along the path
+  link_index bottleneck_link;
+  double bottleneck_util{0.0};  // utilization of the bottleneck link
+  bool episode{false};          // a planted episode was active on the path
+};
+
+class network_view {
+ public:
+  explicit network_view(const internet* net);
+
+  // Condition of one link direction at one hour.
+  link_condition link_state(link_index l, link_dir dir, hour_stamp at) const;
+
+  // Aggregate over every hop of a path.
+  path_metrics evaluate(const route_path& path, hour_stamp at) const;
+
+  // Propagation-only round-trip time (no load model; used for latency
+  // floor assertions and 5th-percentile sanity checks).
+  millis base_rtt(const route_path& path) const;
+
+  // Cumulative one-way delay from the source to the i-th router of the
+  // path (traceroute per-hop RTT support; includes queueing).
+  millis delay_to_router(const route_path& path, std::size_t router_i,
+                         hour_stamp at) const;
+
+  // True when a planted episode is active on any hop (ground truth).
+  bool episode_on_path(const route_path& path, hour_stamp at) const;
+
+  const internet& net() const { return *net_; }
+
+ private:
+  template <typename Fn>
+  void for_each_hop(const route_path& path, Fn&& fn) const;
+
+  const internet* net_;
+};
+
+}  // namespace clasp

@@ -1,0 +1,247 @@
+#include "netsim/topology.hpp"
+
+#include "util/error.hpp"
+
+namespace clasp {
+
+namespace {
+
+std::uint64_t as_city_key(as_index a, city_id c) {
+  return (static_cast<std::uint64_t>(a.value) << 32) | c.value;
+}
+
+}  // namespace
+
+topology::topology(const geo_database* geo) : geo_(geo) {
+  if (geo == nullptr) {
+    throw invalid_argument_error("topology: null geo database");
+  }
+}
+
+as_index topology::add_as(asn number, std::string name, as_role role) {
+  if (asn_to_index_.contains(number.value)) {
+    throw invalid_argument_error("topology: duplicate ASN " +
+                                 std::to_string(number.value));
+  }
+  as_info info;
+  info.index = as_index{static_cast<std::uint32_t>(ases_.size())};
+  info.number = number;
+  info.name = std::move(name);
+  info.role = role;
+  asn_to_index_[number.value] = info.index;
+  ases_.push_back(std::move(info));
+  return ases_.back().index;
+}
+
+router_index topology::add_router(as_index owner, city_id city,
+                                  ipv4_addr loopback) {
+  as_info& as_rec = as_at(owner);
+  const std::uint64_t key = as_city_key(owner, city);
+  if (as_city_router_.contains(key)) {
+    throw invalid_argument_error("topology: AS " + as_rec.name +
+                                 " already has a router in city " +
+                                 std::to_string(city.value));
+  }
+  router_info info;
+  info.index = router_index{static_cast<std::uint32_t>(routers_.size())};
+  info.owner = owner;
+  info.city = city;
+  info.loopback = loopback;
+  as_city_router_[key] = info.index;
+  as_rec.presence.push_back(city);
+  iface_to_router_[loopback.value()] = info.index;
+  routers_.push_back(std::move(info));
+  return routers_.back().index;
+}
+
+link_index topology::add_link(link_kind kind, router_index a, router_index b,
+                              ipv4_addr addr_a, ipv4_addr addr_b,
+                              mbps capacity, millis propagation) {
+  if (a == b) throw invalid_argument_error("topology: self-link");
+  link_info info;
+  info.index = link_index{static_cast<std::uint32_t>(links_.size())};
+  info.kind = kind;
+  info.a = a;
+  info.b = b;
+  info.addr_a = addr_a;
+  info.addr_b = addr_b;
+  info.capacity = capacity;
+  info.propagation = propagation;
+  routers_[a.value].links.push_back(info.index);
+  routers_[b.value].links.push_back(info.index);
+  iface_to_router_[addr_a.value()] = a;
+  iface_to_router_[addr_b.value()] = b;
+  iface_to_link_[addr_a.value()] = info.index;
+  iface_to_link_[addr_b.value()] = info.index;
+  links_.push_back(info);
+  return links_.back().index;
+}
+
+host_index topology::add_host(as_index owner, city_id city, ipv4_addr addr,
+                              router_index attach, mbps nic_capacity) {
+  const router_info& r = router_at(attach);
+  host_info info;
+  info.index = host_index{static_cast<std::uint32_t>(hosts_.size())};
+  info.owner = owner;
+  info.city = city;
+  info.addr = addr;
+  info.attach = attach;
+  // The host NIC is modeled as a dedicated access link between a synthetic
+  // "host port" on the attach router and the host. We reuse the router on
+  // both ends of link bookkeeping by making the access link a one-router
+  // stub: endpoint b == attach, endpoint a == attach, which add_link
+  // rejects — so access links get a dedicated entry with both interface
+  // addresses owned by the host/router pair instead.
+  link_info link;
+  link.index = link_index{static_cast<std::uint32_t>(links_.size())};
+  link.kind = link_kind::host_access;
+  link.a = attach;
+  link.b = attach;  // stub: hosts are not routers
+  link.addr_a = r.loopback;
+  link.addr_b = addr;
+  link.capacity = nic_capacity;
+  link.propagation = millis{0.25};
+  links_.push_back(link);
+  info.access = link.index;
+  iface_to_link_[addr.value()] = link.index;
+  hosts_.push_back(info);
+  return hosts_.back().index;
+}
+
+void topology::announce_prefix(as_index owner, ipv4_prefix prefix,
+                               city_id anchor) {
+  as_at(owner).prefixes.push_back(announced_prefix{prefix, anchor});
+}
+
+void topology::set_primary_transit(as_index customer, as_index transit) {
+  if (customer == transit) {
+    throw invalid_argument_error("topology: AS cannot transit itself");
+  }
+  as_at(customer).primary_transit = transit;
+}
+
+const as_info& topology::as_at(as_index i) const {
+  if (i.value >= ases_.size()) throw not_found_error("topology: bad as_index");
+  return ases_[i.value];
+}
+
+as_info& topology::as_at(as_index i) {
+  if (i.value >= ases_.size()) throw not_found_error("topology: bad as_index");
+  return ases_[i.value];
+}
+
+const router_info& topology::router_at(router_index i) const {
+  if (i.value >= routers_.size()) {
+    throw not_found_error("topology: bad router_index");
+  }
+  return routers_[i.value];
+}
+
+const link_info& topology::link_at(link_index i) const {
+  if (i.value >= links_.size()) throw not_found_error("topology: bad link_index");
+  return links_[i.value];
+}
+
+link_info& topology::link_at(link_index i) {
+  if (i.value >= links_.size()) throw not_found_error("topology: bad link_index");
+  return links_[i.value];
+}
+
+const host_info& topology::host_at(host_index i) const {
+  if (i.value >= hosts_.size()) throw not_found_error("topology: bad host_index");
+  return hosts_[i.value];
+}
+
+std::optional<router_index> topology::router_of(as_index owner,
+                                                city_id city) const {
+  const auto it = as_city_router_.find(as_city_key(owner, city));
+  if (it == as_city_router_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<router_index> topology::routers_of(as_index owner) const {
+  std::vector<router_index> out;
+  for (const city_id c : as_at(owner).presence) {
+    if (const auto r = router_of(owner, c)) out.push_back(*r);
+  }
+  return out;
+}
+
+as_index topology::owner_of(router_index r) const {
+  return router_at(r).owner;
+}
+
+std::optional<as_index> topology::find_as(asn number) const {
+  const auto it = asn_to_index_.find(number.value);
+  if (it == asn_to_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<link_index> topology::interdomain_links_between(
+    as_index x, as_index y) const {
+  std::vector<link_index> out;
+  for (const link_info& l : links_) {
+    if (l.kind != link_kind::interdomain) continue;
+    const as_index oa = owner_of(l.a);
+    const as_index ob = owner_of(l.b);
+    if ((oa == x && ob == y) || (oa == y && ob == x)) out.push_back(l.index);
+  }
+  return out;
+}
+
+std::vector<link_index> topology::interdomain_links_of(as_index x) const {
+  std::vector<link_index> out;
+  for (const link_info& l : links_) {
+    if (l.kind != link_kind::interdomain) continue;
+    if (owner_of(l.a) == x || owner_of(l.b) == x) out.push_back(l.index);
+  }
+  return out;
+}
+
+std::optional<router_index> topology::router_of_interface(
+    ipv4_addr addr) const {
+  const auto it = iface_to_router_.find(addr.value());
+  if (it == iface_to_router_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ipv4_addr> topology::interfaces_of(router_index r) const {
+  std::vector<ipv4_addr> out;
+  const router_info& info = router_at(r);
+  out.push_back(info.loopback);
+  for (const link_index li : info.links) {
+    const link_info& l = link_at(li);
+    out.push_back(l.a == r ? l.addr_a : l.addr_b);
+  }
+  return out;
+}
+
+std::optional<link_index> topology::link_of_interface(ipv4_addr addr) const {
+  const auto it = iface_to_link_.find(addr.value());
+  if (it == iface_to_link_.end()) return std::nullopt;
+  return it->second;
+}
+
+prefix2as_table topology::build_prefix2as() const {
+  prefix2as_table table;
+  for (const as_info& a : ases_) {
+    for (const announced_prefix& p : a.prefixes) table.add(p.prefix, a.number);
+  }
+  return table;
+}
+
+ipv4_addr topology::interface_on(router_index r, link_index l) const {
+  const link_info& info = link_at(l);
+  if (info.a == r) return info.addr_a;
+  if (info.b == r) return info.addr_b;
+  throw invalid_argument_error("topology: router not on link");
+}
+
+router_index topology::neighbor_on(router_index r, link_index l) const {
+  const link_info& info = link_at(l);
+  if (info.a == r) return info.b;
+  if (info.b == r) return info.a;
+  throw invalid_argument_error("topology: router not on link");
+}
+
+}  // namespace clasp

@@ -1,0 +1,168 @@
+// Router-level topology of the simulated Internet.
+//
+// The topology stores ASes, routers (one per AS-city of presence), links
+// (with two addressed interfaces each) and attached hosts. It is built by
+// netsim::generate_internet and then extended at run time by the cloud
+// layer (VM hosts). All measurement tools operate purely on observables
+// exposed here: interface addresses, prefix announcements and path hops.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/geo.hpp"
+#include "data/ipv4.hpp"
+#include "data/prefix2as.hpp"
+#include "netsim/types.hpp"
+#include "util/units.hpp"
+
+namespace clasp {
+
+// A prefix announced by an AS, anchored to the city where its hosts live
+// (drives nearest-egress routing and bdrmap target placement).
+struct announced_prefix {
+  ipv4_prefix prefix;
+  city_id anchor;
+};
+
+// An autonomous system.
+struct as_info {
+  as_index index;
+  asn number;
+  std::string name;
+  as_role role{as_role::regional_isp};
+  // Cities where this AS has a router, in insertion order.
+  std::vector<city_id> presence;
+  // Prefixes announced by this AS, with their anchor cities.
+  std::vector<announced_prefix> prefixes;
+  // Primary upstream transit (empty for cloud/tier1 and for ASes that only
+  // peer). Used by the deterministic route construction.
+  std::optional<as_index> primary_transit;
+  // True when this AS has at least one direct interdomain link to the
+  // cloud AS.
+  bool peers_with_cloud{false};
+};
+
+// A router: one per (AS, city) pair.
+struct router_info {
+  router_index index;
+  as_index owner;
+  city_id city;
+  // Loopback/representative address used for alias resolution ground truth.
+  ipv4_addr loopback;
+  // Links incident to this router.
+  std::vector<link_index> links;
+};
+
+// One directed view of a link's two interfaces.
+struct link_info {
+  link_index index;
+  link_kind kind{link_kind::backbone};
+  router_index a;
+  router_index b;
+  // Interface addresses: addr_a sits on router a, addr_b on router b.
+  ipv4_addr addr_a;
+  ipv4_addr addr_b;
+  mbps capacity{mbps::from_gbps(10.0)};
+  // One-way propagation delay.
+  millis propagation{millis{0.1}};
+  // Identifier of the load profile driving this link's utilization
+  // (index into link_load_model's profile table; set by the generator).
+  std::uint32_t load_profile{0};
+};
+
+// An attached end host (speed-test server, measurement VM or eyeball VP).
+struct host_info {
+  host_index index;
+  as_index owner;
+  city_id city;
+  ipv4_addr addr;
+  // First-hop link from the host NIC into the topology.
+  link_index access;
+  // The router the access link attaches to.
+  router_index attach;
+};
+
+class topology {
+ public:
+  explicit topology(const geo_database* geo);
+
+  // --- construction (used by the generator and the cloud layer) ---
+  as_index add_as(asn number, std::string name, as_role role);
+  router_index add_router(as_index owner, city_id city, ipv4_addr loopback);
+  link_index add_link(link_kind kind, router_index a, router_index b,
+                      ipv4_addr addr_a, ipv4_addr addr_b, mbps capacity,
+                      millis propagation);
+  host_index add_host(as_index owner, city_id city, ipv4_addr addr,
+                      router_index attach, mbps nic_capacity);
+  void announce_prefix(as_index owner, ipv4_prefix prefix, city_id anchor);
+  void set_primary_transit(as_index customer, as_index transit);
+
+  // --- lookups ---
+  const geo_database& geo() const { return *geo_; }
+  const as_info& as_at(as_index i) const;
+  as_info& as_at(as_index i);
+  const router_info& router_at(router_index i) const;
+  const link_info& link_at(link_index i) const;
+  link_info& link_at(link_index i);
+  const host_info& host_at(host_index i) const;
+
+  std::size_t as_count() const { return ases_.size(); }
+  std::size_t router_count() const { return routers_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  std::size_t host_count() const { return hosts_.size(); }
+
+  const std::vector<as_info>& ases() const { return ases_; }
+  const std::vector<link_info>& links() const { return links_; }
+  const std::vector<host_info>& hosts() const { return hosts_; }
+
+  // Router of an AS in a city; nullopt when the AS has no presence there.
+  std::optional<router_index> router_of(as_index owner, city_id city) const;
+  // All routers of an AS.
+  std::vector<router_index> routers_of(as_index owner) const;
+  // The AS owning a router.
+  as_index owner_of(router_index r) const;
+
+  // Find an AS by its public number.
+  std::optional<as_index> find_as(asn number) const;
+
+  // The interdomain links between two ASes (in either orientation).
+  std::vector<link_index> interdomain_links_between(as_index x,
+                                                    as_index y) const;
+  // All interdomain links incident to an AS.
+  std::vector<link_index> interdomain_links_of(as_index x) const;
+
+  // Interface-level observables -------------------------------------------
+  // The router owning an interface address; nullopt for host addresses.
+  std::optional<router_index> router_of_interface(ipv4_addr addr) const;
+  // All interface addresses of a router (alias-resolution ground truth).
+  std::vector<ipv4_addr> interfaces_of(router_index r) const;
+  // The link an interface address belongs to.
+  std::optional<link_index> link_of_interface(ipv4_addr addr) const;
+
+  // The prefix-to-AS view of this topology (prefix announcements only;
+  // interconnect interface space is announced by its owner, which is what
+  // makes border inference non-trivial). Rebuilt on demand.
+  prefix2as_table build_prefix2as() const;
+
+  // Convenience: interface address of router `r` on link `l`. Throws when
+  // `r` is not an endpoint of `l`.
+  ipv4_addr interface_on(router_index r, link_index l) const;
+  // The other endpoint of `l` relative to `r`.
+  router_index neighbor_on(router_index r, link_index l) const;
+
+ private:
+  const geo_database* geo_;
+  std::vector<as_info> ases_;
+  std::vector<router_info> routers_;
+  std::vector<link_info> links_;
+  std::vector<host_info> hosts_;
+  std::unordered_map<std::uint32_t, router_index> iface_to_router_;
+  std::unordered_map<std::uint32_t, link_index> iface_to_link_;
+  std::unordered_map<std::uint64_t, router_index> as_city_router_;
+  std::unordered_map<std::uint32_t, as_index> asn_to_index_;
+};
+
+}  // namespace clasp

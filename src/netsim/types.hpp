@@ -1,0 +1,90 @@
+// Core identifiers and enums for the simulated Internet topology.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace clasp {
+
+// Index of an AS within a topology (dense, 0-based). The AS's public
+// number (asn) is a separate attribute, as in the real Internet.
+struct as_index {
+  std::uint32_t value{0};
+  constexpr auto operator<=>(const as_index&) const = default;
+};
+
+// Index of a router within a topology.
+struct router_index {
+  std::uint32_t value{0};
+  constexpr auto operator<=>(const router_index&) const = default;
+};
+
+// Index of a link within a topology.
+struct link_index {
+  std::uint32_t value{0};
+  constexpr auto operator<=>(const link_index&) const = default;
+};
+
+// Index of an attached host (speed-test server, VM, eyeball VP).
+struct host_index {
+  std::uint32_t value{0};
+  constexpr auto operator<=>(const host_index&) const = default;
+};
+
+// The role a network plays in the synthetic Internet. Determines router
+// footprint, link capacities, load profiles and ipinfo business type.
+enum class as_role {
+  cloud,         // the cloud provider (Google analogue)
+  tier1,         // global transit backbone
+  transit,       // regional transit provider
+  access_isp,    // large consumer/eyeball ISP
+  regional_isp,  // small/regional eyeball ISP
+  hosting,       // datacenter / web hosting
+  education,     // university / NREN
+  business,      // enterprise network
+};
+
+// What a link physically is; selects capacity ranges and load profiles.
+enum class link_kind {
+  host_access,   // host NIC to first-hop aggregation/router
+  metro_agg,     // metro aggregation (shared by hosts of an AS in a city)
+  backbone,      // intra-AS long-haul between two cities
+  interdomain,   // peering/transit link between two ASes
+  cloud_wan,     // the cloud provider's private WAN
+};
+
+// Direction of travel across a link, relative to the link's (a, b) ends.
+enum class link_dir { a_to_b, b_to_a };
+
+constexpr link_dir reverse(link_dir d) {
+  return d == link_dir::a_to_b ? link_dir::b_to_a : link_dir::a_to_b;
+}
+
+}  // namespace clasp
+
+// Hashes so the ids can key unordered containers.
+template <>
+struct std::hash<clasp::as_index> {
+  std::size_t operator()(const clasp::as_index& x) const noexcept {
+    return std::hash<std::uint32_t>{}(x.value);
+  }
+};
+template <>
+struct std::hash<clasp::router_index> {
+  std::size_t operator()(const clasp::router_index& x) const noexcept {
+    return std::hash<std::uint32_t>{}(x.value);
+  }
+};
+template <>
+struct std::hash<clasp::link_index> {
+  std::size_t operator()(const clasp::link_index& x) const noexcept {
+    return std::hash<std::uint32_t>{}(x.value);
+  }
+};
+template <>
+struct std::hash<clasp::host_index> {
+  std::size_t operator()(const clasp::host_index& x) const noexcept {
+    return std::hash<std::uint32_t>{}(x.value);
+  }
+};

@@ -1,0 +1,202 @@
+#include "netsim/validate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace clasp {
+
+namespace {
+
+void add_error(validation_report& report, std::string what) {
+  report.issues.push_back(
+      {validation_issue::severity::error, std::move(what)});
+}
+
+void add_warning(validation_report& report, std::string what) {
+  report.issues.push_back(
+      {validation_issue::severity::warning, std::move(what)});
+}
+
+}  // namespace
+
+std::size_t validation_report::error_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      issues.begin(), issues.end(), [](const validation_issue& i) {
+        return i.level == validation_issue::severity::error;
+      }));
+}
+
+std::size_t validation_report::warning_count() const {
+  return issues.size() - error_count();
+}
+
+validation_report validate_topology(const topology& topo) {
+  validation_report report;
+
+  // Routers: owner consistency and presence bookkeeping.
+  for (std::uint32_t ri = 0; ri < topo.router_count(); ++ri) {
+    const router_info& r = topo.router_at(router_index{ri});
+    if (r.owner.value >= topo.as_count()) {
+      add_error(report, "router " + std::to_string(ri) + " has bad owner");
+      continue;
+    }
+    const as_info& owner = topo.as_at(r.owner);
+    if (std::find(owner.presence.begin(), owner.presence.end(), r.city) ==
+        owner.presence.end()) {
+      add_error(report, "router " + std::to_string(ri) + " city not in " +
+                            owner.name + "'s presence list");
+    }
+    if (topo.router_of(r.owner, r.city) != r.index) {
+      add_error(report, "router " + std::to_string(ri) +
+                            " not indexed under its (AS, city)");
+    }
+  }
+
+  // Links: endpoint validity and interface-address uniqueness.
+  std::unordered_map<std::uint32_t, std::uint32_t> seen_addr;  // addr -> link
+  for (const link_info& l : topo.links()) {
+    if (l.a.value >= topo.router_count() || l.b.value >= topo.router_count()) {
+      add_error(report, "link " + std::to_string(l.index.value) +
+                            " has bad endpoints");
+      continue;
+    }
+    if (l.a == l.b && l.kind != link_kind::host_access) {
+      add_error(report, "non-access self-link " +
+                            std::to_string(l.index.value));
+    }
+    if (l.capacity.value <= 0.0) {
+      add_error(report, "link " + std::to_string(l.index.value) +
+                            " has non-positive capacity");
+    }
+    if (l.propagation.value < 0.0) {
+      add_error(report, "link " + std::to_string(l.index.value) +
+                            " has negative propagation");
+    }
+    for (const ipv4_addr addr : {l.addr_a, l.addr_b}) {
+      const auto [it, inserted] = seen_addr.emplace(addr.value(),
+                                                    l.index.value);
+      // The a-side of a host-access stub reuses the router loopback by
+      // construction; only flag duplicates between distinct real links.
+      if (!inserted && l.kind != link_kind::host_access) {
+        add_error(report, "interface " + addr.to_string() +
+                              " assigned to links " +
+                              std::to_string(it->second) + " and " +
+                              std::to_string(l.index.value));
+      }
+    }
+  }
+
+  // Hosts.
+  for (const host_info& h : topo.hosts()) {
+    const link_info& access = topo.link_at(h.access);
+    if (access.kind != link_kind::host_access) {
+      add_error(report, "host " + std::to_string(h.index.value) +
+                            " access link is not host_access");
+    }
+    if (access.addr_b != h.addr) {
+      add_error(report, "host " + std::to_string(h.index.value) +
+                            " address mismatch with access link");
+    }
+    if (topo.router_at(h.attach).owner != h.owner) {
+      add_error(report, "host " + std::to_string(h.index.value) +
+                            " attached to a foreign router");
+    }
+  }
+
+  // Prefixes: anchors valid; no cross-AS overlap.
+  struct owned_prefix {
+    ipv4_prefix prefix;
+    std::uint32_t owner;
+  };
+  std::vector<owned_prefix> all;
+  for (const as_info& a : topo.ases()) {
+    for (const announced_prefix& p : a.prefixes) {
+      if (!a.presence.empty() &&
+          std::find(a.presence.begin(), a.presence.end(), p.anchor) ==
+              a.presence.end()) {
+        add_warning(report, a.name + " prefix " + p.prefix.to_string() +
+                                " anchored outside its presence");
+      }
+      all.push_back({p.prefix, a.index.value});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const owned_prefix& x, const owned_prefix& y) {
+              return x.prefix.base().value() < y.prefix.base().value();
+            });
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+    // Same-AS nesting (infra inside the block) is fine; cross-AS is not.
+    if (all[i].owner != all[i + 1].owner &&
+        all[i].prefix.contains(all[i + 1].prefix.base())) {
+      add_error(report, "prefixes overlap across ASes: " +
+                            all[i].prefix.to_string() + " and " +
+                            all[i + 1].prefix.to_string());
+    }
+  }
+
+  return report;
+}
+
+validation_report validate_internet(const internet& net) {
+  validation_report report = validate_topology(*net.topo);
+  const topology& topo = *net.topo;
+
+  // Cloud PoPs.
+  if (topo.as_at(net.cloud).role != as_role::cloud) {
+    add_error(report, "cloud index does not point at a cloud-role AS");
+  }
+  for (const city_id c : net.pop_cities) {
+    if (!topo.router_of(net.cloud, c)) {
+      add_error(report, "missing cloud PoP router in city " +
+                            net.geo->city(c).name);
+    }
+  }
+
+  // Edge ASes reach the cloud.
+  for (const as_info& a : topo.ases()) {
+    const bool carrier = a.role == as_role::cloud ||
+                         a.role == as_role::tier1 ||
+                         a.role == as_role::transit;
+    if (carrier) continue;
+    if (!a.primary_transit) {
+      add_error(report, a.name + " has no primary transit");
+      continue;
+    }
+    if (!net.transit_link_of.contains(a.index.value)) {
+      add_error(report, a.name + " has no transit link");
+    }
+  }
+
+  // Load profiles registered.
+  for (const link_info& l : topo.links()) {
+    if (l.load_profile >= net.load->profile_count()) {
+      add_error(report, "link " + std::to_string(l.index.value) +
+                            " references unknown load profile");
+    }
+  }
+
+  // Planted episodes really exist in the profiles.
+  for (const internet::planted_episode& p : net.planted) {
+    const link_info& l = topo.link_at(p.link);
+    const load_profile& prof = net.load->profile(l.load_profile);
+    const direction_load& d =
+        p.dir == link_dir::a_to_b ? prof.fwd : prof.rev;
+    if (d.episodes != p.kind || d.episode_prob <= 0.0) {
+      add_error(report, "planted episode on link " +
+                            std::to_string(p.link.value) +
+                            " missing from its load profile");
+    }
+  }
+
+  // Vantage points are hosts.
+  for (const host_index h : net.vantage_points) {
+    if (h.value >= topo.host_count()) {
+      add_error(report, "vantage point index out of range");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace clasp

@@ -1,0 +1,49 @@
+// Topology integrity validation.
+//
+// The generator builds tens of thousands of objects with cross-references
+// (routers -> ASes, links -> routers, hosts -> links, prefixes -> cities,
+// interface addresses -> owners). validate_topology() checks every
+// structural invariant the rest of the library assumes and returns a
+// list of human-readable violations — run by the generator tests and
+// available to users who build custom topologies by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/generator.hpp"
+
+namespace clasp {
+
+struct validation_issue {
+  enum class severity { error, warning };
+  severity level{severity::error};
+  std::string what;
+};
+
+struct validation_report {
+  std::vector<validation_issue> issues;
+
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  bool ok() const { return error_count() == 0; }
+};
+
+// Structural checks on a bare topology:
+//  * every router's owner exists and owns it back (presence list),
+//  * every link's endpoints exist; no self-links except host-access stubs,
+//  * interface addresses are globally unique,
+//  * every host's access link and attach router are consistent,
+//  * every announced prefix's anchor is a presence city of its AS,
+//  * announced prefixes of different ASes do not overlap.
+validation_report validate_topology(const topology& topo);
+
+// Additional checks on a generated internet:
+//  * the cloud AS exists with PoPs in every listed city,
+//  * every non-carrier AS has a primary transit and a transit link,
+//  * every link's load profile id is registered,
+//  * every planted episode's link/direction really has episode parameters,
+//  * every vantage point is an attached host.
+validation_report validate_internet(const internet& net);
+
+}  // namespace clasp

@@ -1,0 +1,300 @@
+#include "speedtest/registry.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace clasp {
+
+namespace {
+
+// The paper's named case-study servers: network ASN, display name of the
+// hosting company (when it differs from the AS name), and city.
+struct named_server_spec {
+  std::uint32_t network;
+  const char* display;  // nullptr -> use the AS name
+  const char* city;
+  speedtest_platform platform;
+};
+
+const named_server_spec kNamedServers[] = {
+    // Cox: three Southern-California/Nevada servers (daytime reverse-path
+    // congestion case, Fig. 3 & Fig. 6b).
+    {22773, nullptr, "San Diego, CA", speedtest_platform::ookla},
+    {22773, nullptr, "Las Vegas, NV", speedtest_platform::ookla},
+    {22773, nullptr, "Santa Barbara, CA", speedtest_platform::ookla},
+    // unWired / Suddenlink (Fig. 6b evening upticks).
+    {33548, nullptr, "Fresno, CA", speedtest_platform::ookla},
+    {19108, nullptr, "Lubbock, TX", speedtest_platform::ookla},
+    {19108, nullptr, "Tulsa, OK", speedtest_platform::ookla},
+    // Smarterbroadband (Fig. 6a all-day degradation).
+    {46276, nullptr, "Grass Valley, CA", speedtest_platform::ookla},
+    // Hosting companies with IPs inside Cogent (Fig. 6a evening peaks).
+    {174, "Axigent Technologies Group", "Ashburn, VA",
+     speedtest_platform::ookla},
+    {174, "fdcservers.net", "Chicago, IL", speedtest_platform::ookla},
+    // Differential-experiment destinations (Fig. 5 / Fig. 6c).
+    {1221, nullptr, "Sydney", speedtest_platform::ookla},
+    {1221, nullptr, "Melbourne", speedtest_platform::ookla},
+    {136334, nullptr, "Mumbai", speedtest_platform::ookla},
+    {45194, nullptr, "Mumbai", speedtest_platform::ookla},
+    {9498, nullptr, "Delhi", speedtest_platform::ookla},
+    {55836, nullptr, "Mumbai", speedtest_platform::ookla},
+    {4804, nullptr, "Sydney", speedtest_platform::ookla},
+    {7545, nullptr, "Sydney", speedtest_platform::mlab},
+    // European carriers near europe-west1.
+    {5432, nullptr, "Brussels", speedtest_platform::ookla},
+    {6848, nullptr, "Brussels", speedtest_platform::ookla},
+    {2856, nullptr, "London", speedtest_platform::ookla},
+    {3320, nullptr, "Frankfurt", speedtest_platform::ookla},
+    {3215, nullptr, "Paris", speedtest_platform::ookla},
+};
+
+mbps draw_capacity(speedtest_platform platform, rng& r) {
+  switch (platform) {
+    case speedtest_platform::ookla:
+      // Ookla requires >= 1 Gbps; larger hosts provision 10 Gbps.
+      return r.bernoulli(0.12) ? mbps::from_gbps(10.0) : mbps::from_gbps(1.0);
+    case speedtest_platform::mlab:
+      return mbps::from_gbps(1.0);
+    case speedtest_platform::comcast:
+      return mbps::from_gbps(10.0);
+  }
+  return mbps::from_gbps(1.0);
+}
+
+}  // namespace
+
+const char* to_string(speedtest_platform p) {
+  switch (p) {
+    case speedtest_platform::ookla: return "ookla";
+    case speedtest_platform::mlab: return "mlab";
+    case speedtest_platform::comcast: return "comcast";
+  }
+  return "?";
+}
+
+const speed_server& server_registry::server(std::size_t id) const {
+  if (id >= servers_.size()) {
+    throw not_found_error("server_registry: bad server id");
+  }
+  return servers_[id];
+}
+
+std::vector<std::size_t> server_registry::crawl(
+    const std::string& country) const {
+  std::vector<std::size_t> out;
+  for (const speed_server& s : servers_) {
+    if (!s.withdrawn && s.country == country) out.push_back(s.id);
+  }
+  return out;
+}
+
+std::vector<std::size_t> server_registry::in_city_as(city_id city,
+                                                     asn network) const {
+  std::vector<std::size_t> out;
+  for (const speed_server& s : servers_) {
+    if (!s.withdrawn && s.city == city && s.network == network) {
+      out.push_back(s.id);
+    }
+  }
+  return out;
+}
+
+std::size_t server_registry::add_server(internet& net, as_index owner,
+                                        city_id city,
+                                        speedtest_platform platform,
+                                        mbps capacity, rng& r) {
+  const host_index host =
+      net.attach_host(owner, city, host_flavor::server, capacity, r);
+  speed_server s;
+  s.id = servers_.size();
+  s.platform = platform;
+  s.host = host;
+  s.owner = owner;
+  s.network = net.topo->as_at(owner).number;
+  s.city = city;
+  s.country = net.geo->city(city).country;
+  s.capacity = capacity;
+  s.name = net.topo->as_at(owner).name + " (" +
+           net.geo->city(city).name + ")";
+  servers_.push_back(std::move(s));
+  return servers_.back().id;
+}
+
+void server_registry::retire_server(std::size_t id) {
+  if (id >= servers_.size()) {
+    throw not_found_error("server_registry: bad server id");
+  }
+  servers_[id].withdrawn = true;
+}
+
+bool server_registry::retired(std::size_t id) const {
+  return server(id).withdrawn;
+}
+
+std::size_t server_registry::distinct_ases(const std::string& country) const {
+  std::unordered_set<std::uint32_t> ases;
+  for (const speed_server& s : servers_) {
+    if (!s.withdrawn && s.country == country) ases.insert(s.network.value);
+  }
+  return ases.size();
+}
+
+server_registry deploy_servers(internet& net,
+                               const server_deploy_config& config) {
+  server_registry registry;
+  rng r = rng(net.config.seed).fork("servers");
+  const topology& topo = *net.topo;
+  const geo_database& geo = *net.geo;
+
+  const auto add_server = [&](as_index owner, city_id city,
+                              speedtest_platform platform,
+                              const char* display) {
+    const mbps capacity = draw_capacity(platform, r);
+    const host_index host =
+        net.attach_host(owner, city, host_flavor::server, capacity, r);
+    speed_server s;
+    s.id = registry.servers_.size();
+    s.platform = platform;
+    s.host = host;
+    s.owner = owner;
+    s.network = topo.as_at(owner).number;
+    s.city = city;
+    s.country = geo.city(city).country;
+    s.capacity = capacity;
+    const std::string company =
+        (display != nullptr) ? display : topo.as_at(owner).name;
+    s.name = company + " (" + geo.city(city).name + ")";
+    registry.servers_.push_back(std::move(s));
+  };
+
+  // 1. Named case-study servers. When the AS has no router in the exact
+  // city (carriers sample their footprint), fall back to its nearest
+  // presence city.
+  for (const named_server_spec& spec : kNamedServers) {
+    const auto owner = topo.find_as(asn{spec.network});
+    if (!owner) continue;  // config may have removed a named AS
+    const city_info& want = geo.city_by_name(spec.city);
+    const as_info& info = topo.as_at(*owner);
+    city_id best = info.presence.front();
+    double best_d = 1e18;
+    for (const city_id c : info.presence) {
+      const double d = haversine_km(geo.city(c), want);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    add_server(*owner, best, spec.platform, spec.display);
+  }
+
+  // 2. Candidate AS pools by role and country.
+  struct pool_entry {
+    as_index index;
+    bool us;
+  };
+  std::vector<pool_entry> isp_pool, hosting_pool, edu_pool, biz_pool;
+  for (const as_info& a : topo.ases()) {
+    if (a.index == net.cloud || a.presence.empty()) continue;
+    const bool us = geo.city(a.presence.front()).country == "US";
+    switch (a.role) {
+      case as_role::access_isp:
+      case as_role::regional_isp:
+        isp_pool.push_back({a.index, us});
+        break;
+      case as_role::hosting:
+        hosting_pool.push_back({a.index, us});
+        break;
+      case as_role::education:
+        edu_pool.push_back({a.index, us});
+        break;
+      case as_role::business:
+        biz_pool.push_back({a.index, us});
+        break;
+      default:
+        break;
+    }
+  }
+  r.shuffle(isp_pool);
+  r.shuffle(hosting_pool);
+  r.shuffle(edu_pool);
+  r.shuffle(biz_pool);
+
+  // 3. Fill to the U.S. and global targets, drawing roles by the mix.
+  const auto draw_platform = [&](as_role role) {
+    // Comcast-platform servers only live in the Comcast AS (handled
+    // separately); M-Lab prefers hosting/education sites.
+    if ((role == as_role::hosting || role == as_role::education) &&
+        r.bernoulli(config.mlab_fraction * 3.0)) {
+      return speedtest_platform::mlab;
+    }
+    return r.bernoulli(config.mlab_fraction * 0.4)
+               ? speedtest_platform::mlab
+               : speedtest_platform::ookla;
+  };
+
+  const auto fill = [&](bool us, std::size_t target) {
+    std::size_t isp_i = 0, host_i = 0, edu_i = 0, biz_i = 0;
+    while (registry.servers_.size() < target) {
+      const double roll = r.uniform();
+      std::vector<pool_entry>* pool;
+      std::size_t* cursor;
+      as_role role;
+      if (roll < config.isp_fraction) {
+        pool = &isp_pool; cursor = &isp_i; role = as_role::regional_isp;
+      } else if (roll < config.isp_fraction + config.hosting_fraction) {
+        pool = &hosting_pool; cursor = &host_i; role = as_role::hosting;
+      } else if (roll < config.isp_fraction + config.hosting_fraction +
+                            config.education_fraction) {
+        pool = &edu_pool; cursor = &edu_i; role = as_role::education;
+      } else {
+        pool = &biz_pool; cursor = &biz_i; role = as_role::business;
+      }
+      // Advance to the next AS in this pool with the right country.
+      std::size_t scanned = 0;
+      while (scanned < pool->size() &&
+             (*pool)[*cursor % pool->size()].us != us) {
+        ++*cursor;
+        ++scanned;
+      }
+      if (scanned >= pool->size()) continue;  // pool exhausted for country
+      const as_index owner = (*pool)[*cursor % pool->size()].index;
+      ++*cursor;
+      // Speed-test servers live disproportionately in networks that are
+      // not direct cloud peers (most of the cloud's thousands of peers are
+      // small multi-homed organizations without public test servers).
+      if (topo.as_at(owner).peers_with_cloud && r.bernoulli(0.92)) continue;
+      const as_info& info = topo.as_at(owner);
+      // 1-3 servers per AS, spread over its presence cities.
+      const std::size_t n = 1 + static_cast<std::size_t>(r.bernoulli(0.45)) +
+                            static_cast<std::size_t>(r.bernoulli(0.2));
+      for (std::size_t k = 0; k < n && registry.servers_.size() < target; ++k) {
+        const city_id c = info.presence[k % info.presence.size()];
+        add_server(owner, c, draw_platform(role), nullptr);
+      }
+    }
+  };
+
+  // Comcast Xfinity platform servers (in the Comcast AS).
+  if (const auto comcast = topo.find_as(asn{7922})) {
+    const as_info& info = topo.as_at(*comcast);
+    for (std::size_t k = 0; k < 36; ++k) {
+      add_server(*comcast, info.presence[k % info.presence.size()],
+                 speedtest_platform::comcast, nullptr);
+    }
+  }
+
+  fill(/*us=*/true, config.us_server_target);
+  fill(/*us=*/false, config.global_server_target);
+
+  CLASP_LOG(info, "speedtest")
+      << "deployed " << registry.size() << " servers ("
+      << registry.crawl("US").size() << " US across "
+      << registry.distinct_ases("US") << " ASes)";
+  return registry;
+}
+
+}  // namespace clasp

@@ -1,0 +1,83 @@
+// Speed-test platforms and server fleets (Ookla / M-Lab / Comcast Xfinity
+// analogues).
+//
+// deploy_servers() places a synthetic fleet matching the paper's March
+// 2021 crawl statistics: >11,000 servers globally, ~1,330 in the U.S.
+// across ~799 ASes, mostly in ISP networks, with Ookla requiring >=1 Gbps
+// server uplinks. The registry then plays the role of the paper's server
+// crawler: it exposes per-server metadata (IP, network name, AS, city,
+// platform) that the selection methods consume.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/generator.hpp"
+
+namespace clasp {
+
+enum class speedtest_platform { ookla, mlab, comcast };
+
+const char* to_string(speedtest_platform p);
+
+struct speed_server {
+  std::size_t id{0};
+  speedtest_platform platform{speedtest_platform::ookla};
+  std::string name;       // "<network> (<city>)" as shown in server pickers
+  host_index host;
+  as_index owner;
+  asn network;
+  city_id city;
+  std::string country;    // ISO alpha-2
+  mbps capacity{mbps::from_gbps(1.0)};
+  // Withdrawn servers stay addressable by id but vanish from crawls.
+  bool withdrawn{false};
+};
+
+struct server_deploy_config {
+  std::size_t us_server_target{1330};
+  std::size_t global_server_target{11200};
+  // Fraction of servers per platform (Ookla dominates deployments).
+  double ookla_fraction{0.80};
+  double mlab_fraction{0.12};
+  // Business-type mix of hosting ASes (Fig. 8: most servers are in ISPs).
+  double isp_fraction{0.72};
+  double hosting_fraction{0.14};
+  double education_fraction{0.08};
+  double business_fraction{0.06};
+};
+
+class server_registry {
+ public:
+  const std::vector<speed_server>& all() const { return servers_; }
+
+  // Fleet churn (the §5 re-pilot motivation: "any new deployment of
+  // speed test servers"). add_server attaches a new host in the AS's
+  // given city and returns the server id; retire_server marks a server
+  // withdrawn (crawls stop returning it, lookups by id still work).
+  std::size_t add_server(internet& net, as_index owner, city_id city,
+                         speedtest_platform platform, mbps capacity, rng& r);
+  void retire_server(std::size_t id);
+  bool retired(std::size_t id) const;
+  std::size_t size() const { return servers_.size(); }
+  const speed_server& server(std::size_t id) const;
+
+  // The crawler interface: servers filtered by country.
+  std::vector<std::size_t> crawl(const std::string& country) const;
+  // Servers in an exact <city, AS> (differential selection).
+  std::vector<std::size_t> in_city_as(city_id city, asn network) const;
+  // Number of distinct ASes hosting servers in a country.
+  std::size_t distinct_ases(const std::string& country) const;
+
+ private:
+  friend server_registry deploy_servers(internet& net,
+                                        const server_deploy_config& config);
+  std::vector<speed_server> servers_;
+};
+
+// Place the fleet into the topology (attaches hosts + access profiles).
+server_registry deploy_servers(internet& net,
+                               const server_deploy_config& config);
+
+}  // namespace clasp

@@ -1,0 +1,64 @@
+#include "speedtest/webtest.hpp"
+
+#include "util/error.hpp"
+
+namespace clasp {
+
+speed_test_session::speed_test_session(const gcp_cloud* cloud,
+                                       const network_view* view,
+                                       gcp_cloud::vm_id vm,
+                                       const speed_server& server,
+                                       speed_test_config config)
+    : cloud_(cloud),
+      view_(view),
+      vm_(vm),
+      server_id_(server.id),
+      config_(config) {
+  if (cloud == nullptr || view == nullptr) {
+    throw invalid_argument_error("speed_test_session: null dependency");
+  }
+  const vm_instance& inst = cloud->vm(vm);
+  tier_ = inst.tier;
+  shaping_ = inst.shaping;
+  const route_planner& planner = cloud->planner();
+  const endpoint vm_ep = cloud->vm_endpoint(vm);
+  const endpoint server_ep = planner.endpoint_of_host(server.host);
+  down_ = planner.to_cloud(server_ep, vm_ep, tier_);
+  up_ = planner.from_cloud(vm_ep, server_ep, tier_);
+}
+
+speed_test_report speed_test_session::run(hour_stamp at, rng& r) const {
+  speed_test_report report;
+  report.server_id = server_id_;
+  report.at = at;
+  report.tier = tier_;
+
+  const path_metrics down_m = view_->evaluate(down_, at);
+  const path_metrics up_m = view_->evaluate(up_, at);
+
+  // Latency phase (HTTP pings on the download path).
+  report.latency = run_latency_probe(down_m, config_.latency_probes, r);
+
+  // Download phase: server -> VM, capped by the VM's tc downlink shaping.
+  tcp_config down_cfg = config_.tcp;
+  down_cfg.duration_seconds = config_.download_seconds;
+  const flow_result down =
+      run_speedtest_flow(down_m, down_cfg, shaping_.downlink, r);
+  report.download = down.goodput;
+  report.download_loss = down.reported_loss;
+  report.download_loss_limited = down.loss_limited;
+  report.volume_down = down.volume;
+
+  // Upload phase: VM -> server, capped by the tc uplink shaping.
+  tcp_config up_cfg = config_.tcp;
+  up_cfg.duration_seconds = config_.upload_seconds;
+  const flow_result up = run_speedtest_flow(up_m, up_cfg, shaping_.uplink, r);
+  report.upload = up.goodput;
+  report.upload_loss = up.reported_loss;
+  report.volume_up = up.volume;
+
+  report.ground_truth_episode = down_m.episode || up_m.episode;
+  return report;
+}
+
+}  // namespace clasp

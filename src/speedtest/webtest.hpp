@@ -1,0 +1,70 @@
+// Web speed-test execution (the headless-Chromium script analogue).
+//
+// A speed_test_session binds one measurement VM to one server and caches
+// the four unidirectional paths it needs (download data path server->VM,
+// upload data path VM->server, both on the VM's network tier). run()
+// evaluates the paths at an hour and produces the report the web UI would
+// show plus the tcpdump-derived flow statistics the analysis pipeline
+// uses (RTT, loss).
+#pragma once
+
+#include "cloud/gcp.hpp"
+#include "netsim/network.hpp"
+#include "speedtest/registry.hpp"
+#include "tcp/model.hpp"
+#include "util/sim_time.hpp"
+
+namespace clasp {
+
+// What one hourly test yields (web UI numbers + captured flow stats).
+struct speed_test_report {
+  std::size_t server_id{0};
+  hour_stamp at;
+  service_tier tier{service_tier::premium};
+  mbps download;
+  mbps upload;
+  millis latency;
+  double download_loss{0.0};
+  double upload_loss{0.0};
+  bool download_loss_limited{false};
+  megabytes volume_down;
+  megabytes volume_up;
+  bool ground_truth_episode{false};  // planted episode active on a path
+};
+
+struct speed_test_config {
+  tcp_config tcp{};
+  unsigned latency_probes{10};
+  double download_seconds{15.0};
+  double upload_seconds{15.0};
+};
+
+class speed_test_session {
+ public:
+  // Paths are computed once (routing in the substrate is load-independent,
+  // as BGP paths were stable over the paper's campaign).
+  speed_test_session(const gcp_cloud* cloud, const network_view* view,
+                     gcp_cloud::vm_id vm, const speed_server& server,
+                     speed_test_config config = {});
+
+  // Execute one test. `r` supplies client-side measurement noise.
+  speed_test_report run(hour_stamp at, rng& r) const;
+
+  const route_path& download_path() const { return down_; }
+  const route_path& upload_path() const { return up_; }
+  std::size_t server_id() const { return server_id_; }
+  gcp_cloud::vm_id vm_id() const { return vm_; }
+
+ private:
+  const gcp_cloud* cloud_;
+  const network_view* view_;
+  gcp_cloud::vm_id vm_;
+  std::size_t server_id_;
+  service_tier tier_;
+  vm_shaping shaping_;
+  speed_test_config config_;
+  route_path down_;  // server -> VM (data direction of the download test)
+  route_path up_;    // VM -> server
+};
+
+}  // namespace clasp

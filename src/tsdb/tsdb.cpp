@@ -1,0 +1,157 @@
+#include "tsdb/tsdb.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace clasp {
+
+std::optional<std::string> ts_series::tag(const std::string& key) const {
+  const auto it = tags_.find(key);
+  if (it == tags_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ts_series::append(hour_stamp at, double value) {
+  if (!points_.empty() && at < points_.back().at) {
+    throw invalid_argument_error("ts_series: out-of-order append");
+  }
+  points_.push_back({at, value});
+}
+
+std::span<const ts_point> ts_series::range(hour_stamp begin,
+                                           hour_stamp end) const {
+  const auto lo = std::lower_bound(
+      points_.begin(), points_.end(), begin,
+      [](const ts_point& p, hour_stamp h) { return p.at < h; });
+  const auto hi = std::lower_bound(
+      lo, points_.end(), end,
+      [](const ts_point& p, hour_stamp h) { return p.at < h; });
+  return {&*points_.begin() + (lo - points_.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+std::vector<double> ts_series::values_in(hour_stamp begin,
+                                         hour_stamp end) const {
+  std::vector<double> out;
+  for (const ts_point& p : range(begin, end)) out.push_back(p.value);
+  return out;
+}
+
+bool tag_filter::matches(const tag_set& tags) const {
+  for (const auto& [k, v] : required) {
+    const auto it = tags.find(k);
+    if (it == tags.end() || it->second != v) return false;
+  }
+  return true;
+}
+
+std::string tsdb::series_key(const std::string& metric, const tag_set& tags) {
+  std::string key = metric;
+  for (const auto& [k, v] : tags) {
+    key += '\x1f';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+void tsdb::write(const std::string& metric, const tag_set& tags,
+                 hour_stamp at, double value) {
+  const std::string key = series_key(metric, tags);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    it = index_.emplace(key, series_.size()).first;
+    series_.emplace_back(metric, tags);
+    by_metric_[metric].push_back(series_.size() - 1);
+  }
+  series_[it->second].append(at, value);
+}
+
+std::vector<const ts_series*> tsdb::query(const std::string& metric,
+                                          const tag_filter& filter) const {
+  std::vector<const ts_series*> out;
+  const auto it = by_metric_.find(metric);
+  if (it == by_metric_.end()) return out;
+  for (const std::size_t idx : it->second) {
+    if (filter.matches(series_[idx].tags())) out.push_back(&series_[idx]);
+  }
+  return out;
+}
+
+const ts_series* tsdb::find(const std::string& metric,
+                            const tag_set& tags) const {
+  const auto it = index_.find(series_key(metric, tags));
+  if (it == index_.end()) return nullptr;
+  return &series_[it->second];
+}
+
+std::vector<std::string> tsdb::tag_values(const std::string& metric,
+                                          const std::string& key) const {
+  std::vector<std::string> out;
+  const auto it = by_metric_.find(metric);
+  if (it == by_metric_.end()) return out;
+  for (const std::size_t idx : it->second) {
+    if (const auto v = series_[idx].tag(key)) {
+      if (std::find(out.begin(), out.end(), *v) == out.end()) {
+        out.push_back(*v);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// RFC-4180 quoting for fields containing separators or quotes.
+void write_csv_field(std::ostream& os, const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    os << field;
+    return;
+  }
+  os << '"';
+  for (const char c : field) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void tsdb::export_csv(std::ostream& os, const std::string& metric,
+                      const tag_filter& filter) const {
+  const auto matched = query(metric, filter);
+  // Union of tag keys across matched series, sorted.
+  std::set<std::string> keys;
+  for (const ts_series* s : matched) {
+    for (const auto& [k, v] : s->tags()) keys.insert(k);
+  }
+  os << "hour,value";
+  for (const std::string& k : keys) {
+    os << ',';
+    write_csv_field(os, k);
+  }
+  os << '\n';
+  for (const ts_series* s : matched) {
+    for (const ts_point& p : s->points()) {
+      os << p.at.hours_since_epoch() << ',' << p.value;
+      for (const std::string& k : keys) {
+        os << ',';
+        write_csv_field(os, s->tag(k).value_or(""));
+      }
+      os << '\n';
+    }
+  }
+}
+
+std::size_t tsdb::point_count() const {
+  std::size_t n = 0;
+  for (const ts_series& s : series_) n += s.size();
+  return n;
+}
+
+}  // namespace clasp

@@ -1,0 +1,104 @@
+// Embedded tag-indexed time-series store (InfluxDB analogue).
+//
+// The campaign indexes every measurement as (metric, tags, hour, value).
+// Series are identified by metric name plus a sorted tag set; queries
+// filter by metric and tag equality and can group results by tag or
+// aggregate over time ranges. The store is append-mostly and keeps each
+// series as a flat (hour, value) vector sorted by insertion time —
+// campaigns append in time order, so range scans are binary searches.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace clasp {
+
+// Sorted tag set ("region" -> "us-west1", "server" -> "123", ...).
+using tag_set = std::map<std::string, std::string>;
+
+struct ts_point {
+  hour_stamp at;
+  double value{0.0};
+};
+
+// A single series: metric + tags + points.
+class ts_series {
+ public:
+  ts_series(std::string metric, tag_set tags)
+      : metric_(std::move(metric)), tags_(std::move(tags)) {}
+
+  const std::string& metric() const { return metric_; }
+  const tag_set& tags() const { return tags_; }
+  const std::vector<ts_point>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+
+  // Tag value or nullopt.
+  std::optional<std::string> tag(const std::string& key) const;
+
+  void append(hour_stamp at, double value);
+
+  // Points with begin <= at < end. Requires time-ordered appends (the
+  // store enforces this).
+  std::span<const ts_point> range(hour_stamp begin, hour_stamp end) const;
+
+  // All raw values in a range.
+  std::vector<double> values_in(hour_stamp begin, hour_stamp end) const;
+
+ private:
+  std::string metric_;
+  tag_set tags_;
+  std::vector<ts_point> points_;
+};
+
+// Equality filter used by queries; empty matches everything.
+struct tag_filter {
+  tag_set required;
+  bool matches(const tag_set& tags) const;
+};
+
+class tsdb {
+ public:
+  // Append a point; creates the series on first use. Throws
+  // invalid_argument_error when `at` precedes the series' last point
+  // (campaigns write in time order).
+  void write(const std::string& metric, const tag_set& tags, hour_stamp at,
+             double value);
+
+  // All series for a metric matching the filter.
+  std::vector<const ts_series*> query(const std::string& metric,
+                                      const tag_filter& filter = {}) const;
+
+  // The single series with exactly these tags, or nullptr.
+  const ts_series* find(const std::string& metric, const tag_set& tags) const;
+
+  // Distinct values of `key` across a metric's series.
+  std::vector<std::string> tag_values(const std::string& metric,
+                                      const std::string& key) const;
+
+  std::size_t series_count() const { return series_.size(); }
+  std::size_t point_count() const;
+
+  // Grafana-style CSV export: one row per point, tag columns in sorted
+  // key order ("hour,value,<tag keys...>"). Rows come from every series
+  // of the metric matching the filter.
+  void export_csv(std::ostream& os, const std::string& metric,
+                  const tag_filter& filter = {}) const;
+
+ private:
+  static std::string series_key(const std::string& metric,
+                                const tag_set& tags);
+
+  std::vector<ts_series> series_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_metric_;
+};
+
+}  // namespace clasp

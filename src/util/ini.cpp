@@ -1,0 +1,92 @@
+#include "util/ini.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace clasp {
+
+ini_document ini_document::parse(const std::string& text) {
+  ini_document doc;
+  std::string section;
+  std::size_t line_no = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw invalid_argument_error("ini line " + std::to_string(line_no) +
+                                     ": bad section header");
+      }
+      section = std::string(trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw invalid_argument_error("ini line " + std::to_string(line_no) +
+                                   ": expected key = value");
+    }
+    const std::string key(trim(line.substr(0, eq)));
+    const std::string value(trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      throw invalid_argument_error("ini line " + std::to_string(line_no) +
+                                   ": empty key");
+    }
+    doc.entries_[section.empty() ? key : section + "." + key] = value;
+  }
+  return doc;
+}
+
+bool ini_document::contains(const std::string& key) const {
+  return entries_.contains(key);
+}
+
+const std::string& ini_document::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    throw not_found_error("ini: missing key " + key);
+  }
+  return it->second;
+}
+
+std::string ini_document::get_or(const std::string& key,
+                                 std::string fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t ini_document::get_int(const std::string& key) const {
+  const std::string& value = get(key);
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw invalid_argument_error("ini: key " + key +
+                                 " is not an integer: " + value);
+  }
+}
+
+double ini_document::get_double(const std::string& key) const {
+  const std::string& value = get(key);
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw invalid_argument_error("ini: key " + key +
+                                 " is not a number: " + value);
+  }
+}
+
+bool ini_document::get_bool(const std::string& key) const {
+  const std::string value = to_lower(get(key));
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  throw invalid_argument_error("ini: key " + key +
+                               " is not a boolean: " + value);
+}
+
+}  // namespace clasp

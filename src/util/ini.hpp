@@ -1,0 +1,40 @@
+// Minimal INI-style configuration parser.
+//
+// Supports `[section]` headers, `key = value` pairs, `#`/`;` comments and
+// blank lines. Values keep internal whitespace; keys are
+// section-qualified as "section.key" (or bare when before any section).
+// Strictness is the caller's job: parse() returns every pair, and typed
+// getters throw on malformed numbers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace clasp {
+
+class ini_document {
+ public:
+  // Parse from text. Throws invalid_argument_error on malformed lines
+  // (no '=', unterminated section header), with the line number.
+  static ini_document parse(const std::string& text);
+
+  bool contains(const std::string& key) const;
+  // Raw string value; throws not_found_error when absent.
+  const std::string& get(const std::string& key) const;
+  std::string get_or(const std::string& key, std::string fallback) const;
+
+  // Typed accessors; throw invalid_argument_error on malformed values.
+  std::int64_t get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;  // true/false/1/0/yes/no
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace clasp

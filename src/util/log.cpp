@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace clasp {
+
+namespace {
+
+std::atomic<log_level> g_level{log_level::warn};
+
+const char* level_name(log_level level) {
+  switch (level) {
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO";
+    case log_level::warn: return "WARN";
+    case log_level::error: return "ERROR";
+    case log_level::off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(log_level level) { g_level.store(level); }
+log_level get_log_level() { return g_level.load(); }
+
+void log_message(log_level level, std::string_view component,
+                 std::string_view message) {
+  if (level < g_level.load()) return;
+  std::cerr << '[' << level_name(level) << "] " << component << ": " << message
+            << '\n';
+}
+
+}  // namespace clasp

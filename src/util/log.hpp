@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// The library itself logs sparingly (campaign milestones, budget events);
+// benches and examples raise the level for progress visibility. A single
+// global sink keeps the substrate deterministic — logging never consumes
+// random state or simulated time.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace clasp {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+// Global minimum level; messages below it are discarded. Defaults to warn
+// so tests and benches stay quiet unless they opt in.
+void set_log_level(log_level level);
+log_level get_log_level();
+
+// Emit one line to stderr as "[LEVEL] component: message".
+void log_message(log_level level, std::string_view component,
+                 std::string_view message);
+
+// Stream-style convenience: CLASP_LOG(info, "campaign") << "hour " << h;
+class log_line {
+ public:
+  log_line(log_level level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~log_line() {
+    if (level_ >= get_log_level()) log_message(level_, component_, out_.str());
+  }
+  log_line(const log_line&) = delete;
+  log_line& operator=(const log_line&) = delete;
+
+  template <typename T>
+  log_line& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  log_level level_;
+  std::string component_;
+  std::ostringstream out_;
+};
+
+}  // namespace clasp
+
+#define CLASP_LOG(level, component) \
+  ::clasp::log_line(::clasp::log_level::level, component)

@@ -1,0 +1,88 @@
+#include "util/sim_time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace clasp {
+
+namespace {
+
+// Days between 1970-01-01 and 2020-01-01.
+constexpr std::int64_t kEpoch2020Days = 18262;
+
+// Floor division/modulo for possibly-negative hour counts.
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  return (a >= 0) ? a / b : -((-a + b - 1) / b);
+}
+constexpr std::int64_t floor_mod(std::int64_t a, std::int64_t b) {
+  return a - floor_div(a, b) * b;
+}
+
+}  // namespace
+
+std::int64_t days_from_civil(civil_date d) {
+  // Howard Hinnant's algorithm, exact over the proleptic Gregorian calendar.
+  const int y = d.year - (d.month <= 2 ? 1 : 0);
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153 * (d.month + (d.month > 2 ? -3 : 9)) + 2) / 5 + d.day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+civil_date civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned month = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  return civil_date{static_cast<int>(y + (month <= 2 ? 1 : 0)), month, day};
+}
+
+hour_stamp hour_stamp::from_civil(civil_date date, unsigned utc_hour) {
+  const std::int64_t days = days_from_civil(date) - kEpoch2020Days;
+  return hour_stamp{days * 24 + static_cast<std::int64_t>(utc_hour)};
+}
+
+std::int64_t hour_stamp::utc_day_index() const { return floor_div(hours_, 24); }
+
+unsigned hour_stamp::utc_hour_of_day() const {
+  return static_cast<unsigned>(floor_mod(hours_, 24));
+}
+
+unsigned hour_stamp::local_hour_of_day(timezone_offset tz) const {
+  return static_cast<unsigned>(floor_mod(hours_ + tz.hours_east_of_utc, 24));
+}
+
+std::int64_t hour_stamp::local_day_index(timezone_offset tz) const {
+  return floor_div(hours_ + tz.hours_east_of_utc, 24);
+}
+
+civil_date hour_stamp::utc_date() const {
+  return civil_from_days(utc_day_index() + kEpoch2020Days);
+}
+
+std::string hour_stamp::to_string() const {
+  const civil_date d = utc_date();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u %02u:00Z", d.year, d.month,
+                d.day, utc_hour_of_day());
+  return std::string(buf);
+}
+
+hour_range topology_campaign_window() {
+  return hour_range{hour_stamp::from_civil({2020, 5, 1}, 0),
+                    hour_stamp::from_civil({2020, 10, 1}, 0)};
+}
+
+hour_range differential_campaign_window() {
+  return hour_range{hour_stamp::from_civil({2020, 8, 1}, 0),
+                    hour_stamp::from_civil({2020, 10, 1}, 0)};
+}
+
+}  // namespace clasp

@@ -1,0 +1,94 @@
+// Simulated campaign time.
+//
+// The measurement campaign runs on a simulated wall clock with hourly
+// granularity (the paper's cron cadence). Time is carried as whole hours
+// since 2020-01-01 00:00 UTC; civil-date conversions use the standard
+// days-from-civil algorithm so day/month boundaries are exact.
+//
+// Local time matters because congestion is diurnal in the *server's*
+// timezone (the paper converts to server-local time for Fig. 6). Zones are
+// modeled as fixed UTC offsets — DST shifts every profile by one hour for
+// part of the campaign and does not change any of the paper's conclusions,
+// so we trade it for determinism and note the substitution in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clasp {
+
+// Civil date (proleptic Gregorian).
+struct civil_date {
+  int year{2020};
+  unsigned month{1};  // 1..12
+  unsigned day{1};    // 1..31
+
+  auto operator<=>(const civil_date&) const = default;
+};
+
+// Days since 1970-01-01 for a civil date (negative before the epoch).
+std::int64_t days_from_civil(civil_date d);
+// Inverse of days_from_civil.
+civil_date civil_from_days(std::int64_t days);
+
+// A fixed UTC offset timezone.
+struct timezone_offset {
+  int hours_east_of_utc{0};
+};
+
+// Whole hours since 2020-01-01 00:00 UTC. The campaign's native tick.
+class hour_stamp {
+ public:
+  constexpr hour_stamp() = default;
+  constexpr explicit hour_stamp(std::int64_t hours) : hours_(hours) {}
+
+  // Build from a civil date + UTC hour-of-day.
+  static hour_stamp from_civil(civil_date date, unsigned utc_hour);
+
+  constexpr std::int64_t hours_since_epoch() const { return hours_; }
+
+  // Day index since 2020-01-01 (UTC calendar day).
+  std::int64_t utc_day_index() const;
+  // UTC hour of day, 0..23.
+  unsigned utc_hour_of_day() const;
+  // Hour of day in a fixed-offset local zone, 0..23.
+  unsigned local_hour_of_day(timezone_offset tz) const;
+  // Day index since 2020-01-01 in a fixed-offset local zone.
+  std::int64_t local_day_index(timezone_offset tz) const;
+  // Civil date of the UTC day containing this hour.
+  civil_date utc_date() const;
+
+  constexpr hour_stamp operator+(std::int64_t h) const {
+    return hour_stamp{hours_ + h};
+  }
+  constexpr std::int64_t operator-(hour_stamp other) const {
+    return hours_ - other.hours_;
+  }
+  constexpr hour_stamp& operator++() {
+    ++hours_;
+    return *this;
+  }
+  constexpr auto operator<=>(const hour_stamp&) const = default;
+
+  // "2020-05-17 13:00Z" — used in logs and exported series.
+  std::string to_string() const;
+
+ private:
+  std::int64_t hours_{0};
+};
+
+// Inclusive-exclusive range of hours [begin, end), iterable hour by hour.
+struct hour_range {
+  hour_stamp begin_at;
+  hour_stamp end_at;  // one past the last measured hour
+
+  std::int64_t count() const { return end_at - begin_at; }
+};
+
+// The paper's campaign windows.
+// Topology-based: May 1 - Sep 30, 2020 (5 months, 5 U.S. regions).
+hour_range topology_campaign_window();
+// Differential-based: Aug 1 - Sep 30, 2020 (2 months, 3 regions).
+hour_range differential_campaign_window();
+
+}  // namespace clasp

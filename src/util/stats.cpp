@@ -1,0 +1,178 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace clasp {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double sample_stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw invalid_argument_error("percentile: empty input");
+  if (p < 0.0 || p > 100.0) {
+    throw invalid_argument_error("percentile: p outside [0, 100]");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+std::vector<cdf_point> empirical_cdf(std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<cdf_point> cdf;
+  cdf.reserve(sorted.size());
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // Collapse runs of equal values into one step at the run's end.
+    if (i + 1 < sorted.size() && sorted[i + 1] == sorted[i]) continue;
+    cdf.push_back({sorted[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+double cdf_at(std::span<const double> sorted_xs, double x) {
+  if (sorted_xs.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_xs.begin(), sorted_xs.end(), x);
+  return static_cast<double>(it - sorted_xs.begin()) /
+         static_cast<double>(sorted_xs.size());
+}
+
+double silverman_bandwidth(std::span<const double> xs) {
+  const double sd = sample_stddev(xs);
+  const double n = static_cast<double>(std::max<std::size_t>(xs.size(), 1));
+  const double bw = 1.06 * sd * std::pow(n, -0.2);
+  return bw > 0.0 ? bw : 1.0;
+}
+
+std::vector<kde_point> gaussian_kde(std::span<const double> xs, double lo,
+                                    double hi, std::size_t grid_points) {
+  if (xs.empty()) throw invalid_argument_error("gaussian_kde: empty input");
+  if (grid_points < 2) {
+    throw invalid_argument_error("gaussian_kde: grid_points < 2");
+  }
+  const double bw = silverman_bandwidth(xs);
+  const double norm =
+      1.0 / (static_cast<double>(xs.size()) * bw * std::sqrt(2.0 * std::numbers::pi));
+  std::vector<kde_point> out(grid_points);
+  const double step = (hi - lo) / static_cast<double>(grid_points - 1);
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double gx = lo + step * static_cast<double>(i);
+    double density = 0.0;
+    for (const double x : xs) {
+      const double z = (gx - x) / bw;
+      density += std::exp(-0.5 * z * z);
+    }
+    out[i] = {gx, density * norm};
+  }
+  return out;
+}
+
+std::size_t elbow_index(std::span<const double> xs,
+                        std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw invalid_argument_error("elbow_index: size mismatch");
+  }
+  if (xs.size() < 3) throw invalid_argument_error("elbow_index: <3 points");
+  // Normalize both axes so the chord distance is scale-free.
+  const double x0 = xs.front(), x1 = xs.back();
+  const double ymin = *std::min_element(ys.begin(), ys.end());
+  const double ymax = *std::max_element(ys.begin(), ys.end());
+  const double xspan = (x1 != x0) ? (x1 - x0) : 1.0;
+  const double yspan = (ymax != ymin) ? (ymax - ymin) : 1.0;
+
+  const double ax = 0.0, ay = (ys.front() - ymin) / yspan;
+  const double bx = 1.0, by = (ys.back() - ymin) / yspan;
+  const double chord_len = std::hypot(bx - ax, by - ay);
+
+  std::size_t best = 1;
+  double best_dist = -1.0;
+  for (std::size_t i = 1; i + 1 < xs.size(); ++i) {
+    const double px = (xs[i] - x0) / xspan;
+    const double py = (ys[i] - ymin) / yspan;
+    // Perpendicular distance from (px, py) to the chord A-B.
+    const double cross =
+        (bx - ax) * (ay - py) - (ax - px) * (by - ay);
+    const double dist = std::abs(cross) / chord_len;
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  if (xs.size() <= lag + 1) return 0.0;
+  const double m = mean(xs);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    den += (xs[i] - m) * (xs[i] - m);
+  }
+  if (den == 0.0) return 0.0;
+  for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+    num += (xs[i] - m) * (xs[i + lag] - m);
+  }
+  return num / den;
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::size_t histogram::total() const {
+  return std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+}
+
+histogram make_histogram(std::span<const double> xs, double lo, double hi,
+                         std::size_t bins) {
+  if (bins == 0) throw invalid_argument_error("make_histogram: bins == 0");
+  if (!(hi > lo)) throw invalid_argument_error("make_histogram: hi <= lo");
+  histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double x : xs) {
+    if (x < lo || x > hi) continue;
+    std::size_t bin = static_cast<std::size_t>((x - lo) / width);
+    if (bin >= bins) bin = bins - 1;  // x == hi lands in the last bin
+    ++h.counts[bin];
+  }
+  return h;
+}
+
+}  // namespace clasp

@@ -1,0 +1,80 @@
+// Statistical primitives used by the analysis pipeline and the benches.
+//
+// The paper's analysis relies on order statistics (95th-percentile
+// throughput, 5th-percentile latency, medians), empirical CDFs (Fig. 5),
+// kernel-density estimates (Fig. 4 margins), an elbow-method threshold
+// choice (Fig. 2), and — for the extension detector — autocorrelation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace clasp {
+
+// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+// Unbiased sample standard deviation; 0 for fewer than two samples.
+double sample_stddev(std::span<const double> xs);
+
+// Linear-interpolated percentile, p in [0, 100]. Throws
+// invalid_argument_error on an empty input or p outside [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+// Convenience wrappers.
+double median(std::span<const double> xs);
+
+// One (x, F(x)) step of an empirical CDF.
+struct cdf_point {
+  double x{0.0};
+  double cumulative_fraction{0.0};
+};
+
+// Empirical CDF evaluated at every distinct sample value (sorted).
+std::vector<cdf_point> empirical_cdf(std::span<const double> xs);
+
+// Fraction of samples <= x under the empirical CDF; 0 for empty input.
+double cdf_at(std::span<const double> sorted_xs, double x);
+
+// Gaussian kernel density estimate on an evaluation grid.
+struct kde_point {
+  double x{0.0};
+  double density{0.0};
+};
+
+// Silverman's rule-of-thumb bandwidth; returns a positive fallback for
+// degenerate (constant) samples.
+double silverman_bandwidth(std::span<const double> xs);
+
+// KDE over [lo, hi] with grid_points evaluation points. Throws on empty
+// input or grid_points < 2.
+std::vector<kde_point> gaussian_kde(std::span<const double> xs, double lo,
+                                    double hi, std::size_t grid_points);
+
+// Elbow (knee) locator for a monotonically decreasing curve y(x): the
+// point with maximum distance from the chord joining the endpoints
+// (the "kneedle" construction). Returns the index of the elbow.
+// Throws on fewer than three points.
+std::size_t elbow_index(std::span<const double> xs, std::span<const double> ys);
+
+// Lag-k autocorrelation of a series (mean-removed); 0 when undefined.
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+// Pearson correlation of two equal-length series; 0 when undefined.
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys);
+
+// Simple histogram with equal-width bins over [lo, hi].
+struct histogram {
+  double lo{0.0};
+  double hi{1.0};
+  std::vector<std::size_t> counts;
+
+  std::size_t total() const;
+};
+
+histogram make_histogram(std::span<const double> xs, double lo, double hi,
+                         std::size_t bins);
+
+}  // namespace clasp

@@ -1,0 +1,34 @@
+// Small string helpers shared by the data loaders and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clasp {
+
+// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+// Fixed-precision double formatting ("12.34"); strips a trailing ".0" when
+// precision is 0.
+std::string format_double(double value, int precision);
+
+// True if text starts with prefix.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// Lowercase an ASCII string.
+std::string to_lower(std::string_view text);
+
+// Unicode block-character sparkline of a series, scaled to [min, max].
+// Empty input renders as an empty string; constant input renders at the
+// lowest level.
+std::string sparkline(const std::vector<double>& values);
+
+}  // namespace clasp

@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace clasp {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw invalid_argument_error("text_table: no headers");
+  }
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw invalid_argument_error("text_table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void text_table::print(std::ostream& os) const { os << render(); }
+
+std::string text_table::to_csv() const {
+  std::ostringstream out;
+  out << join(headers_, ",") << '\n';
+  for (const auto& row : rows_) out << join(row, ",") << '\n';
+  return out.str();
+}
+
+series_writer::series_writer(std::ostream& os, std::string name,
+                             std::vector<std::string> columns)
+    : os_(os) {
+  os_ << "# series: " << name;
+  for (const auto& c : columns) os_ << ' ' << c;
+  os_ << '\n';
+}
+
+void series_writer::add(const std::vector<double>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os_ << ' ';
+    os_ << format_double(values[i], 4);
+  }
+  os_ << '\n';
+}
+
+series_writer::~series_writer() { os_ << "# end series\n"; }
+
+}  // namespace clasp

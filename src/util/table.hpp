@@ -1,0 +1,50 @@
+// Plain-text table and CSV emitters used by benches to print the paper's
+// tables/figures as aligned rows or machine-readable series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace clasp {
+
+// A simple column-aligned text table. Columns are sized to the widest cell.
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> headers);
+
+  // Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Render with column padding and a header underline.
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+  // Render as CSV (no quoting of commas; callers control cell content).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Write a named (x, y...) series block that plotting scripts can consume:
+//   # series: <name>  [column headers]
+//   x y1 y2 ...
+class series_writer {
+ public:
+  series_writer(std::ostream& os, std::string name,
+                std::vector<std::string> columns);
+  void add(const std::vector<double>& values);
+  ~series_writer();
+
+  series_writer(const series_writer&) = delete;
+  series_writer& operator=(const series_writer&) = delete;
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace clasp

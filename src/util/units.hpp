@@ -1,0 +1,71 @@
+// Lightweight strongly-named units used throughout the library.
+//
+// Throughput is carried as megabits per second (the unit every speed-test
+// platform reports) and latency as milliseconds. The wrappers are thin —
+// a single double — but prevent the classic bug of mixing Mbps with MB/s
+// or milliseconds with seconds at an interface boundary.
+#pragma once
+
+#include <compare>
+
+namespace clasp {
+
+// Network throughput in megabits per second.
+struct mbps {
+  double value{0.0};
+
+  constexpr mbps() = default;
+  constexpr explicit mbps(double v) : value(v) {}
+
+  constexpr auto operator<=>(const mbps&) const = default;
+
+  constexpr mbps operator+(mbps other) const { return mbps{value + other.value}; }
+  constexpr mbps operator-(mbps other) const { return mbps{value - other.value}; }
+  constexpr mbps operator*(double k) const { return mbps{value * k}; }
+  constexpr mbps operator/(double k) const { return mbps{value / k}; }
+  constexpr double operator/(mbps other) const { return value / other.value; }
+
+  constexpr double bits_per_second() const { return value * 1e6; }
+  constexpr double bytes_per_second() const { return value * 1e6 / 8.0; }
+
+  static constexpr mbps from_gbps(double g) { return mbps{g * 1000.0}; }
+};
+
+// One-way or round-trip latency in milliseconds.
+struct millis {
+  double value{0.0};
+
+  constexpr millis() = default;
+  constexpr explicit millis(double v) : value(v) {}
+
+  constexpr auto operator<=>(const millis&) const = default;
+
+  constexpr millis operator+(millis other) const { return millis{value + other.value}; }
+  constexpr millis operator-(millis other) const { return millis{value - other.value}; }
+  constexpr millis operator*(double k) const { return millis{value * k}; }
+
+  constexpr double seconds() const { return value / 1000.0; }
+  static constexpr millis from_seconds(double s) { return millis{s * 1000.0}; }
+};
+
+// Data volume in megabytes (cloud egress billing unit granularity).
+struct megabytes {
+  double value{0.0};
+
+  constexpr megabytes() = default;
+  constexpr explicit megabytes(double v) : value(v) {}
+
+  constexpr auto operator<=>(const megabytes&) const = default;
+
+  constexpr megabytes operator+(megabytes other) const {
+    return megabytes{value + other.value};
+  }
+  constexpr double gigabytes() const { return value / 1024.0; }
+};
+
+// Volume transferred by a flow of rate r over duration d.
+constexpr megabytes transfer_volume(mbps rate, double duration_seconds) {
+  return megabytes{rate.bytes_per_second() * duration_seconds / 1e6};
+}
+
+}  // namespace clasp

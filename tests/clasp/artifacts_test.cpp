@@ -1,0 +1,242 @@
+#include "clasp/artifacts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clasp {
+namespace {
+
+speed_test_report sample_report() {
+  speed_test_report r;
+  r.server_id = 421;
+  r.at = hour_stamp::from_civil({2020, 7, 14}, 19);
+  r.tier = service_tier::standard;
+  r.download = mbps{487.25};
+  r.upload = mbps{93.118};
+  r.latency = millis{42.75};
+  r.download_loss = 0.0123;
+  r.upload_loss = 0.0004;
+  r.ground_truth_episode = true;
+  return r;
+}
+
+traceroute_result sample_trace() {
+  traceroute_result t;
+  t.src = ipv4_addr::parse("35.4.0.17");
+  t.dst = ipv4_addr::parse("16.22.8.3");
+  t.at = hour_stamp::from_civil({2020, 7, 14}, 19);
+  t.reached = true;
+  t.hops.push_back({1, ipv4_addr::parse("35.0.0.14"), millis{0.4}});
+  t.hops.push_back({2, std::nullopt, millis{0.0}});  // "*"
+  t.hops.push_back({3, ipv4_addr::parse("72.14.0.3"), millis{12.5}});
+  t.hops.push_back({4, ipv4_addr::parse("16.22.8.3"), millis{31.125}});
+  return t;
+}
+
+TEST(ArtifactsTest, ReportRoundTrip) {
+  const speed_test_report original = sample_report();
+  const speed_test_report parsed = parse_report(serialize_report(original));
+  EXPECT_EQ(parsed.server_id, original.server_id);
+  EXPECT_EQ(parsed.at, original.at);
+  EXPECT_EQ(parsed.tier, original.tier);
+  EXPECT_DOUBLE_EQ(parsed.download.value, original.download.value);
+  EXPECT_DOUBLE_EQ(parsed.upload.value, original.upload.value);
+  EXPECT_DOUBLE_EQ(parsed.latency.value, original.latency.value);
+  EXPECT_DOUBLE_EQ(parsed.download_loss, original.download_loss);
+  EXPECT_DOUBLE_EQ(parsed.upload_loss, original.upload_loss);
+  EXPECT_EQ(parsed.ground_truth_episode, original.ground_truth_episode);
+}
+
+TEST(ArtifactsTest, ReportRoundTripIsExactForRandomValues) {
+  rng r(7);
+  for (int i = 0; i < 100; ++i) {
+    speed_test_report original = sample_report();
+    original.download = mbps{r.uniform(0.01, 1000.0)};
+    original.latency = millis{r.uniform(1.0, 400.0)};
+    original.download_loss = r.uniform(0.0, 0.9);
+    original.at = hour_stamp{r.uniform_int(0, 100000)};
+    const speed_test_report parsed =
+        parse_report(serialize_report(original));
+    EXPECT_DOUBLE_EQ(parsed.download.value, original.download.value);
+    EXPECT_DOUBLE_EQ(parsed.latency.value, original.latency.value);
+    EXPECT_DOUBLE_EQ(parsed.download_loss, original.download_loss);
+    EXPECT_EQ(parsed.at, original.at);
+  }
+}
+
+TEST(ArtifactsTest, TracerouteRoundTrip) {
+  const traceroute_result original = sample_trace();
+  const traceroute_result parsed =
+      parse_traceroute(serialize_traceroute(original));
+  EXPECT_EQ(parsed.src, original.src);
+  EXPECT_EQ(parsed.dst, original.dst);
+  EXPECT_EQ(parsed.at, original.at);
+  EXPECT_EQ(parsed.reached, original.reached);
+  ASSERT_EQ(parsed.hops.size(), original.hops.size());
+  for (std::size_t i = 0; i < parsed.hops.size(); ++i) {
+    EXPECT_EQ(parsed.hops[i].ttl, original.hops[i].ttl);
+    EXPECT_EQ(parsed.hops[i].address, original.hops[i].address);
+    EXPECT_DOUBLE_EQ(parsed.hops[i].rtt.value, original.hops[i].rtt.value);
+  }
+}
+
+TEST(ArtifactsTest, BundleRoundTrip) {
+  artifact_bundle bundle;
+  bundle.reports.push_back(sample_report());
+  bundle.reports.push_back(sample_report());
+  bundle.traces.push_back(sample_trace());
+  const artifact_bundle parsed = parse_bundle(serialize_bundle(bundle));
+  EXPECT_EQ(parsed.reports.size(), 2u);
+  EXPECT_EQ(parsed.traces.size(), 1u);
+  EXPECT_EQ(parsed.reports[0].server_id, 421u);
+}
+
+TEST(ArtifactsTest, EmptyBundle) {
+  const artifact_bundle parsed = parse_bundle("");
+  EXPECT_TRUE(parsed.reports.empty());
+  EXPECT_TRUE(parsed.traces.empty());
+}
+
+TEST(ArtifactsTest, MalformedLinesRejected) {
+  EXPECT_THROW(parse_report("R|notanumber|0|premium|1|1|1|0|0|0"),
+               invalid_argument_error);
+  EXPECT_THROW(parse_report("R|1|0|gold|1|1|1|0|0|0"),
+               invalid_argument_error);
+  EXPECT_THROW(parse_report("X|1|0"), invalid_argument_error);
+  EXPECT_THROW(parse_traceroute("T|1.2.3.4|5.6.7.8|0|1"),
+               invalid_argument_error);
+  EXPECT_THROW(parse_traceroute("T|1.2.3.4|5.6.7.8|0|1|1:bad"),
+               invalid_argument_error);
+  EXPECT_THROW(parse_bundle("R|1|0|premium|1|1|1|0|0|0\nGARBAGE\n"),
+               invalid_argument_error);
+}
+
+TEST(ArtifactsTest, BundleErrorReportsLineNumber) {
+  try {
+    parse_bundle("R|1|0|premium|1|1|1|0|0|0\nZ|bad\n");
+    FAIL() << "expected throw";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace clasp
+// Appended: binary (warts-lite) codec tests.
+namespace clasp {
+namespace {
+
+artifact_bundle sample_bundle() {
+  artifact_bundle b;
+  speed_test_report r;
+  r.server_id = 421;
+  r.at = hour_stamp::from_civil({2020, 7, 14}, 19);
+  r.tier = service_tier::standard;
+  r.download = mbps{487.25};
+  r.upload = mbps{93.118};
+  r.latency = millis{42.75};
+  r.download_loss = 0.0123;
+  r.upload_loss = 0.0004;
+  r.ground_truth_episode = true;
+  b.reports.push_back(r);
+  r.at = r.at + 1;
+  r.tier = service_tier::premium;
+  r.download = mbps{12.5};
+  r.ground_truth_episode = false;
+  b.reports.push_back(r);
+
+  traceroute_result t;
+  t.src = ipv4_addr::parse("35.4.0.17");
+  t.dst = ipv4_addr::parse("16.22.8.3");
+  t.at = hour_stamp::from_civil({2020, 7, 14}, 19);
+  t.reached = true;
+  t.hops.push_back({1, ipv4_addr::parse("35.0.0.14"), millis{0.4}});
+  t.hops.push_back({2, std::nullopt, millis{0.0}});
+  t.hops.push_back({3, ipv4_addr::parse("72.14.0.3"), millis{12.5}});
+  b.traces.push_back(t);
+  return b;
+}
+
+TEST(WartsLiteTest, RoundTripsAtMilliPrecision) {
+  const artifact_bundle original = sample_bundle();
+  const auto bytes = serialize_bundle_binary(original);
+  const artifact_bundle parsed = parse_bundle_binary(bytes);
+  ASSERT_EQ(parsed.reports.size(), 2u);
+  ASSERT_EQ(parsed.traces.size(), 1u);
+  // Fixed-point codec: values agree to 1e-3 (1e-6 for losses).
+  EXPECT_NEAR(parsed.reports[0].download.value, 487.25, 1e-3);
+  EXPECT_NEAR(parsed.reports[0].latency.value, 42.75, 1e-3);
+  EXPECT_NEAR(parsed.reports[0].download_loss, 0.0123, 1e-6);
+  EXPECT_EQ(parsed.reports[0].at, original.reports[0].at);
+  EXPECT_EQ(parsed.reports[1].tier, service_tier::premium);
+  EXPECT_TRUE(parsed.reports[0].ground_truth_episode);
+  EXPECT_FALSE(parsed.reports[1].ground_truth_episode);
+  ASSERT_EQ(parsed.traces[0].hops.size(), 3u);
+  EXPECT_EQ(parsed.traces[0].hops[0].address, original.traces[0].hops[0].address);
+  EXPECT_FALSE(parsed.traces[0].hops[1].address.has_value());
+  EXPECT_NEAR(parsed.traces[0].hops[2].rtt.value, 12.5, 1e-3);
+}
+
+TEST(WartsLiteTest, BinaryBeatsTextOnSize) {
+  artifact_bundle big;
+  rng r(3);
+  hour_stamp t = hour_stamp::from_civil({2020, 6, 1}, 0);
+  for (int i = 0; i < 200; ++i) {
+    speed_test_report rep;
+    rep.server_id = static_cast<std::size_t>(r.uniform_int(0, 2000));
+    rep.at = t = t + 1;
+    rep.download = mbps{r.uniform(10.0, 900.0)};
+    rep.upload = mbps{r.uniform(10.0, 100.0)};
+    rep.latency = millis{r.uniform(5.0, 200.0)};
+    rep.download_loss = r.uniform(0.0, 0.3);
+    rep.upload_loss = r.uniform(0.0, 0.05);
+    big.reports.push_back(rep);
+  }
+  const auto bytes = serialize_bundle_binary(big);
+  const std::string text = serialize_bundle(big);
+  EXPECT_LT(bytes.size() * 2, text.size());
+  const artifact_bundle parsed = parse_bundle_binary(bytes);
+  EXPECT_EQ(parsed.reports.size(), big.reports.size());
+}
+
+TEST(WartsLiteTest, EmptyBundle) {
+  const auto bytes = serialize_bundle_binary({});
+  const artifact_bundle parsed = parse_bundle_binary(bytes);
+  EXPECT_TRUE(parsed.reports.empty());
+  EXPECT_TRUE(parsed.traces.empty());
+}
+
+TEST(WartsLiteTest, CorruptInputRejected) {
+  const artifact_bundle original = sample_bundle();
+  auto bytes = serialize_bundle_binary(original);
+  // Bad magic.
+  auto bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(parse_bundle_binary(bad_magic), invalid_argument_error);
+  // Truncation at every prefix length must throw, never crash.
+  for (std::size_t cut = 4; cut < bytes.size(); cut += 7) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + cut);
+    EXPECT_THROW(parse_bundle_binary(truncated), invalid_argument_error)
+        << "cut at " << cut;
+  }
+  // Trailing garbage.
+  auto trailing = bytes;
+  trailing.push_back(0x42);
+  EXPECT_THROW(parse_bundle_binary(trailing), invalid_argument_error);
+}
+
+TEST(WartsLiteTest, ImplausibleCountsRejected) {
+  std::vector<std::uint8_t> bytes{'C', 'L', 'W', '1'};
+  // Claim 2^40 reports.
+  for (const std::uint8_t b : {0x80, 0x80, 0x80, 0x80, 0x80, 0x40}) {
+    bytes.push_back(b);
+  }
+  bytes.push_back(0);
+  EXPECT_THROW(parse_bundle_binary(bytes), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace clasp

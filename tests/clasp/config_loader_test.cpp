@@ -1,0 +1,103 @@
+#include "clasp/config_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+TEST(ConfigLoaderTest, EmptyTextGivesDefaults) {
+  const platform_config cfg = load_platform_config("");
+  const platform_config defaults;
+  EXPECT_EQ(cfg.internet.seed, defaults.internet.seed);
+  EXPECT_EQ(cfg.servers.us_server_target, defaults.servers.us_server_target);
+  EXPECT_EQ(cfg.topology_budgets, defaults.topology_budgets);
+}
+
+TEST(ConfigLoaderTest, OverridesApply) {
+  const platform_config cfg = load_platform_config(
+      "[internet]\n"
+      "seed = 99\n"
+      "regional_isp_count = 500\n"
+      "congestion_prone_fraction = 0.7\n"
+      "[servers]\n"
+      "us_server_target = 700\n"
+      "global_server_target = 5000\n"
+      "[differential]\n"
+      "target_servers = 17\n");
+  EXPECT_EQ(cfg.internet.seed, 99u);
+  EXPECT_EQ(cfg.internet.regional_isp_count, 500u);
+  EXPECT_DOUBLE_EQ(cfg.internet.congestion_prone_fraction, 0.7);
+  EXPECT_EQ(cfg.servers.us_server_target, 700u);
+  EXPECT_EQ(cfg.differential.target_servers, 17u);
+}
+
+TEST(ConfigLoaderTest, BudgetsReplaceDefaults) {
+  const platform_config cfg = load_platform_config(
+      "[budgets]\n"
+      "us-west1 = 10\n"
+      "us-east1 = 20\n");
+  EXPECT_EQ(cfg.topology_budgets.size(), 2u);
+  EXPECT_EQ(cfg.topology_budgets.at("us-west1"), 10u);
+  EXPECT_EQ(cfg.topology_budgets.at("us-east1"), 20u);
+}
+
+TEST(ConfigLoaderTest, UnknownKeyRejected) {
+  EXPECT_THROW(load_platform_config("[internet]\nseeed = 1\n"),
+               invalid_argument_error);
+  EXPECT_THROW(load_platform_config("random = 1\n"), invalid_argument_error);
+}
+
+TEST(ConfigLoaderTest, BadValuesRejected) {
+  EXPECT_THROW(load_platform_config("[internet]\nseed = abc\n"),
+               invalid_argument_error);
+  EXPECT_THROW(
+      load_platform_config("[internet]\ncongestion_prone_fraction = 1.5\n"),
+      invalid_argument_error);
+  EXPECT_THROW(load_platform_config("[internet]\ntier1_count = -3\n"),
+               invalid_argument_error);
+  EXPECT_THROW(load_platform_config("[budgets]\nmars-north1 = 5\n"),
+               not_found_error);
+  EXPECT_THROW(load_platform_config("[servers]\nus_server_target = 100\n"
+                                    "global_server_target = 50\n"),
+               invalid_argument_error);
+}
+
+TEST(ConfigLoaderTest, FileRoundTrip) {
+  const char* path = "/tmp/clasp_config_test.ini";
+  {
+    std::ofstream out(path);
+    out << "[internet]\nseed = 1234\n";
+  }
+  const platform_config cfg = load_platform_config_file(path);
+  EXPECT_EQ(cfg.internet.seed, 1234u);
+  std::remove(path);
+  EXPECT_THROW(load_platform_config_file(path), not_found_error);
+}
+
+TEST(ConfigLoaderTest, LoadedConfigBuildsAPlatform) {
+  const platform_config cfg = load_platform_config(
+      "[internet]\n"
+      "seed = 5\n"
+      "regional_isp_count = 150\n"
+      "hosting_count = 80\n"
+      "business_count = 150\n"
+      "education_count = 30\n"
+      "vantage_point_count = 100\n"
+      "[servers]\n"
+      "us_server_target = 150\n"
+      "global_server_target = 700\n"
+      "[budgets]\n"
+      "us-west1 = 12\n");
+  clasp_platform platform(cfg);
+  EXPECT_EQ(platform.registry().size(), 700u);
+  const auto& sel = platform.select_topology("us-west1");
+  EXPECT_LE(sel.selected.size(), 12u);
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,92 @@
+#include "clasp/differential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_platform;
+
+TEST(DifferentialTest, SelectionProducesServers) {
+  auto& p = small_platform();
+  const differential_selection_result& result =
+      p.select_differential("europe-west1");
+  EXPECT_GT(result.tuples_measured, 50u);
+  EXPECT_FALSE(result.candidates.empty());
+  EXPECT_FALSE(result.selected.empty());
+  EXPECT_LE(result.selected.size(), p.config().differential.target_servers);
+}
+
+TEST(DifferentialTest, CandidatesRespectThresholds) {
+  auto& p = small_platform();
+  const auto& cfg = p.config().differential;
+  const auto& result = p.select_differential("europe-west1");
+  for (const diff_candidate& c : result.candidates) {
+    const double delta = std::abs(c.delta_ms());
+    switch (c.cls) {
+      case latency_class::comparable:
+        EXPECT_LE(delta, cfg.small_delta_ms + 1e-9);
+        break;
+      case latency_class::premium_lower:
+        EXPECT_GE(c.delta_ms(), cfg.big_delta_ms - 1e-9);
+        break;
+      case latency_class::standard_lower:
+        EXPECT_LE(c.delta_ms(), -(cfg.big_delta_ms - 1e-9));
+        break;
+    }
+    EXPECT_GE(c.samples, cfg.min_measurements);
+  }
+}
+
+TEST(DifferentialTest, SelectedServersMatchCandidateTuples) {
+  auto& p = small_platform();
+  const auto& result = p.select_differential("europe-west1");
+  for (const auto& chosen : result.selected) {
+    const speed_server& s = p.registry().server(chosen.server_id);
+    bool matches_candidate = false;
+    for (const diff_candidate& c : result.candidates) {
+      if (c.city == s.city && c.network == s.network &&
+          c.cls == chosen.cls) {
+        matches_candidate = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matches_candidate) << s.name;
+  }
+}
+
+TEST(DifferentialTest, NoDuplicateServers) {
+  auto& p = small_platform();
+  const auto& result = p.select_differential("europe-west1");
+  std::vector<std::size_t> ids;
+  for (const auto& chosen : result.selected) ids.push_back(chosen.server_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(DifferentialTest, MediansArePositive) {
+  auto& p = small_platform();
+  const auto& result = p.select_differential("europe-west1");
+  for (const diff_candidate& c : result.candidates) {
+    EXPECT_GT(c.median_premium_ms, 0.0);
+    EXPECT_GT(c.median_standard_ms, 0.0);
+  }
+}
+
+TEST(DifferentialTest, ClassNames) {
+  EXPECT_STREQ(to_string(latency_class::premium_lower), "premium_lower");
+  EXPECT_STREQ(to_string(latency_class::comparable), "comparable");
+  EXPECT_STREQ(to_string(latency_class::standard_lower), "standard_lower");
+}
+
+TEST(DifferentialTest, CachedPerRegion) {
+  auto& p = small_platform();
+  const auto& a = p.select_differential("europe-west1");
+  const auto& b = p.select_differential("europe-west1");
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace clasp

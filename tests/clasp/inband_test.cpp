@@ -1,0 +1,130 @@
+#include "clasp/inband.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_internet;
+
+class InbandTest : public ::testing::Test {
+ protected:
+  InbandTest() : net_(small_internet()), planner_(&net_), view_(&net_) {
+    const city_id region = net_.geo->city_by_name("Ashburn, VA").id;
+    const auto router = net_.topo->router_of(net_.cloud, region);
+    const endpoint vm{net_.cloud, region,
+                      net_.topo->router_at(*router).loopback, std::nullopt};
+    const endpoint src =
+        planner_.endpoint_of_host(net_.vantage_points[11]);
+    path_ = planner_.to_cloud(src, vm, service_tier::premium);
+  }
+
+  internet& net_;
+  route_planner planner_;
+  network_view view_;
+  route_path path_;
+};
+
+TEST_F(InbandTest, EstimateTracksTruth) {
+  rng r(1);
+  inband_config cfg;
+  const hour_stamp t = hour_stamp::from_civil({2020, 6, 10}, 4);
+  const path_metrics truth = view_.evaluate(path_, t);
+  // Median of many probes lands near the true available bandwidth.
+  std::vector<double> estimates;
+  for (int i = 0; i < 200; ++i) {
+    estimates.push_back(
+        run_inband_probe(view_, path_, t, cfg, r).available_estimate.value);
+  }
+  EXPECT_NEAR(median(estimates), truth.bottleneck.value,
+              truth.bottleneck.value * 0.15);
+}
+
+TEST_F(InbandTest, LongerTrainsReduceVariance) {
+  rng r1(2), r2(2);
+  inband_config short_cfg;
+  short_cfg.train_length = 8;
+  inband_config long_cfg;
+  long_cfg.train_length = 256;
+  const hour_stamp t = hour_stamp::from_civil({2020, 6, 10}, 4);
+  std::vector<double> short_est, long_est;
+  for (int i = 0; i < 300; ++i) {
+    short_est.push_back(
+        run_inband_probe(view_, path_, t, short_cfg, r1)
+            .available_estimate.value);
+    long_est.push_back(
+        run_inband_probe(view_, path_, t, long_cfg, r2)
+            .available_estimate.value);
+  }
+  EXPECT_LT(sample_stddev(long_est), sample_stddev(short_est));
+}
+
+TEST_F(InbandTest, VolumeIsTiny) {
+  inband_config cfg;
+  const megabytes v = inband_probe_volume(cfg);
+  // 3 trains x 64 packets x 1500 B = 288 KB — vs >100 MB for a full test.
+  EXPECT_NEAR(v.value, 0.288, 1e-9);
+  rng r(3);
+  const auto result = run_inband_probe(
+      view_, path_, hour_stamp::from_civil({2020, 6, 10}, 4), cfg, r);
+  EXPECT_DOUBLE_EQ(result.volume.value, v.value);
+}
+
+TEST_F(InbandTest, DetectsCongestionDrop) {
+  rng r(4);
+  inband_config cfg;
+  cfg.trains = 5;
+  // Compare trough vs evening estimates over a month of probing: the
+  // diurnal dip must be visible through the probe noise.
+  double trough_sum = 0.0, peak_sum = 0.0;
+  const int tz = net_.geo->city(
+      planner_.endpoint_of_address(path_.src_addr).city)
+                     .tz.hours_east_of_utc;
+  for (int d = 0; d < 28; ++d) {
+    const hour_stamp base = hour_stamp::from_civil({2020, 6, 1}, 0) + d * 24;
+    const hour_stamp trough = base + ((4 - tz + 24) % 24);
+    const hour_stamp peak = base + ((20 - tz + 24) % 24);
+    trough_sum +=
+        run_inband_probe(view_, path_, trough, cfg, r).available_estimate.value;
+    peak_sum +=
+        run_inband_probe(view_, path_, peak, cfg, r).available_estimate.value;
+  }
+  EXPECT_LT(peak_sum, trough_sum);
+}
+
+TEST_F(InbandTest, BottleneckIdentified) {
+  rng r(5);
+  const hour_stamp t = hour_stamp::from_civil({2020, 6, 10}, 20);
+  const auto result = run_inband_probe(view_, path_, t, {}, r);
+  EXPECT_EQ(result.bottleneck.value,
+            view_.evaluate(path_, t).bottleneck_link.value);
+}
+
+TEST_F(InbandTest, ConfigValidation) {
+  rng r(6);
+  inband_config bad;
+  bad.train_length = 1;
+  EXPECT_THROW(run_inband_probe(view_, path_, hour_stamp{0}, bad, r),
+               invalid_argument_error);
+  bad = {};
+  bad.trains = 0;
+  EXPECT_THROW(run_inband_probe(view_, path_, hour_stamp{0}, bad, r),
+               invalid_argument_error);
+}
+
+TEST_F(InbandTest, RttAtLeastPathRtt) {
+  rng r(7);
+  const hour_stamp t = hour_stamp::from_civil({2020, 6, 10}, 12);
+  const path_metrics truth = view_.evaluate(path_, t);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_GE(run_inband_probe(view_, path_, t, {}, r).rtt.value,
+              truth.rtt.value);
+  }
+}
+
+}  // namespace
+}  // namespace clasp

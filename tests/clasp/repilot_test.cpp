@@ -1,0 +1,138 @@
+#include "clasp/repilot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_internet_config;
+using ::clasp::testing::small_server_config;
+
+// A dedicated platform: re-piloting mutates the fleet (new servers), so
+// the shared fixture must not be touched.
+clasp_platform& repilot_platform() {
+  static clasp_platform* p = [] {
+    platform_config cfg;
+    cfg.internet = small_internet_config();
+    cfg.internet.seed = 77;
+    cfg.servers = small_server_config();
+    cfg.topology_budgets = {};  // no budget: selection covers all links
+    return new clasp_platform(cfg);
+  }();
+  return *p;
+}
+
+TEST(RepilotTest, StableWorldMeansEmptyDiff) {
+  auto& p = repilot_platform();
+  const auto& original = p.select_topology("us-west1");
+
+  topology_selector selector(&p.planner(), &p.view(), &p.registry());
+  topology_selection_config cfg;  // same defaults as the platform's
+  const gcp_cloud::vm_id vm =
+      p.cloud().create_vm("us-west1", service_tier::premium);
+  rng r(123);
+  const repilot_result refreshed = refresh_selection(
+      selector, p.cloud().vm_endpoint(vm), cfg,
+      original, topology_campaign_window().begin_at + 24 * 60, r);
+
+  // The substrate's links and fleet are static, so the refresh must find
+  // nearly the same picture; only residual probe-noise churn (unresolved
+  // after retries) is tolerated.
+  const std::size_t links = original.pilot.links.size();
+  EXPECT_LT(refreshed.diff.links_gained.size(), links / 50 + 2);
+  EXPECT_LT(refreshed.diff.links_lost.size(), links / 50 + 2);
+  // Server choice within a link group tie-breaks on probed RTT, which
+  // varies with the load at probe time — the churn that made the paper
+  // pin its server lists at campaign start ("for consistency and
+  // continuity"). A quarter of the list may rotate; the link picture may
+  // not.
+  const std::size_t servers = original.selected.size();
+  EXPECT_LT(refreshed.diff.servers_to_deploy.size(), servers / 4 + 2);
+  EXPECT_LT(refreshed.diff.servers_to_retire.size(), servers / 4 + 2);
+}
+
+TEST(RepilotTest, NewServersDetectedAfterFleetGrowth) {
+  auto& p = repilot_platform();
+  const auto original = p.select_topology("us-west1");  // copy
+
+  // Fleet churn: a brand-new Ookla server appears in a U.S. eyeball AS
+  // that hosted none before. The re-pilot must be able to pick it up,
+  // and the rollover plan must stay internally consistent.
+  rng r(5);
+  server_registry& registry = const_cast<server_registry&>(p.registry());
+  as_index fresh_as{};
+  bool found = false;
+  for (const as_info& a : p.net().topo->ases()) {
+    if (a.role != as_role::regional_isp || !a.peers_with_cloud) continue;
+    if (p.net().geo->city(a.presence.front()).country != "US") continue;
+    bool hosts_server = false;
+    for (const speed_server& s : registry.all()) {
+      if (s.owner == a.index) hosts_server = true;
+    }
+    if (!hosts_server) {
+      fresh_as = a.index;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found) << "fixture has no peering AS without servers";
+  const std::size_t new_id = registry.add_server(
+      p.net(), fresh_as, p.net().topo->as_at(fresh_as).presence.front(),
+      speedtest_platform::ookla, mbps::from_gbps(1.0), r);
+
+  topology_selector selector(&p.planner(), &p.view(), &p.registry());
+  topology_selection_config cfg;
+  const gcp_cloud::vm_id vm =
+      p.cloud().create_vm("us-west1", service_tier::premium);
+  const repilot_result refreshed = refresh_selection(
+      selector, p.cloud().vm_endpoint(vm), cfg, original,
+      topology_campaign_window().begin_at + 24 * 90, r);
+
+  // The new server covers a link no previous server covered, so the plan
+  // deploys it.
+  EXPECT_NE(std::find(refreshed.diff.servers_to_deploy.begin(),
+                      refreshed.diff.servers_to_deploy.end(), new_id),
+            refreshed.diff.servers_to_deploy.end())
+      << "re-pilot missed the newly deployed server";
+
+  // Internal consistency of the plan.
+  for (const std::size_t sid : refreshed.diff.servers_to_deploy) {
+    bool in_fresh = false;
+    for (const selected_server& s : refreshed.fresh.selected) {
+      if (s.server_id == sid) in_fresh = true;
+    }
+    EXPECT_TRUE(in_fresh);
+  }
+  for (const std::size_t sid : refreshed.diff.servers_to_retire) {
+    bool in_original = false;
+    for (const selected_server& s : original.selected) {
+      if (s.server_id == sid) in_original = true;
+    }
+    EXPECT_TRUE(in_original);
+  }
+  registry.retire_server(new_id);  // leave the shared fixture clean
+}
+
+TEST(RepilotTest, DiffIsSymmetricOnSwap) {
+  auto& p = repilot_platform();
+  const auto& a = p.select_topology("us-west1");
+  const auto& b = p.select_topology("us-east4");
+  const selection_diff forward = diff_selections(a, b);
+  const selection_diff backward = diff_selections(b, a);
+  EXPECT_EQ(forward.links_gained.size(), backward.links_lost.size());
+  EXPECT_EQ(forward.links_lost.size(), backward.links_gained.size());
+  EXPECT_EQ(forward.servers_to_deploy.size(),
+            backward.servers_to_retire.size());
+  EXPECT_FALSE(forward.unchanged());  // different regions differ
+}
+
+TEST(RepilotTest, SelfDiffIsEmpty) {
+  auto& p = repilot_platform();
+  const auto& a = p.select_topology("us-west1");
+  EXPECT_TRUE(diff_selections(a, a).unchanged());
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,48 @@
+#include "clasp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_platform;
+
+TEST(ReportTest, RendersAllSections) {
+  auto& p = small_platform();
+  ::clasp::testing::ensure_east1_campaign(p);
+  const std::string report = render_campaign_report(p, "us-east1");
+  EXPECT_NE(report.find("CLASP campaign report — us-east1"),
+            std::string::npos);
+  EXPECT_NE(report.find("servers measured:"), std::string::npos);
+  EXPECT_NE(report.find("interdomain links:"), std::string::npos);
+  EXPECT_NE(report.find("spend to date:"), std::string::npos);
+  EXPECT_NE(report.find("congested servers"), std::string::npos);
+  EXPECT_NE(report.find("most congested interconnects:"), std::string::npos);
+  EXPECT_NE(report.find("direction"), std::string::npos);
+}
+
+TEST(ReportTest, TopServersOptionLimitsRows) {
+  auto& p = small_platform();
+  ::clasp::testing::ensure_east1_campaign(p);
+  report_options opts;
+  opts.top_servers = 3;
+  const std::string report = render_campaign_report(p, "us-east1", opts);
+  // Header + underline + 3 rows => the table section has 5 lines.
+  const std::size_t table_start = report.find("network");
+  ASSERT_NE(table_start, std::string::npos);
+  const std::string rest = report.substr(table_start);
+  const std::size_t blank = rest.find("\n\n");
+  ASSERT_NE(blank, std::string::npos);
+  EXPECT_EQ(std::count(rest.begin(), rest.begin() + blank, '\n'), 4);
+}
+
+TEST(ReportTest, NoDataThrows) {
+  auto& p = small_platform();
+  EXPECT_THROW(render_campaign_report(p, "europe-west1"), state_error);
+}
+
+}  // namespace
+}  // namespace clasp

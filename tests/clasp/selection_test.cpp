@@ -1,0 +1,101 @@
+#include "clasp/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_support.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_platform;
+
+TEST(SelectionTest, PilotAndSelectionShapes) {
+  auto& p = small_platform();
+  const topology_selection_result& result = p.select_topology("us-west1");
+
+  EXPECT_GT(result.pilot.links.size(), 200u);
+  EXPECT_GT(result.servers_probed, 100u);
+  EXPECT_GT(result.links_traversed_by_servers, 10u);
+  // One selected server per unique link, capped by the budget.
+  EXPECT_LE(result.selected.size(), result.links_traversed_by_servers);
+  EXPECT_LE(result.selected.size(), 40u);  // fixture budget
+  EXPECT_GT(result.coverage(), 0.0);
+  EXPECT_LE(result.coverage(), 1.0);
+}
+
+TEST(SelectionTest, SelectedServersCoverDistinctLinks) {
+  auto& p = small_platform();
+  const auto& result = p.select_topology("us-west1");
+  std::unordered_set<std::uint32_t> far_sides;
+  std::unordered_set<std::size_t> servers;
+  for (const selected_server& s : result.selected) {
+    EXPECT_TRUE(far_sides.insert(s.far_side.value()).second)
+        << "duplicate link " << s.far_side.to_string();
+    servers.insert(s.server_id);
+    // Every covered link was seen in the pilot.
+    EXPECT_TRUE(result.pilot.contains(s.far_side));
+  }
+  // A server may cover at most one link in the result.
+  EXPECT_EQ(servers.size(), result.selected.size());
+}
+
+TEST(SelectionTest, PrefersDirectPeering) {
+  auto& p = small_platform();
+  const auto& result = p.select_topology("us-west1");
+  ASSERT_FALSE(result.selected.empty());
+  // Sorted by AS-path length: the first entries are direct peers.
+  EXPECT_EQ(result.selected.front().as_path_len, 1u);
+  for (std::size_t i = 1; i < result.selected.size(); ++i) {
+    EXPECT_GE(result.selected[i].as_path_len,
+              result.selected[i - 1].as_path_len);
+  }
+}
+
+TEST(SelectionTest, SharedInterconnectFractionInPaperBand) {
+  auto& p = small_platform();
+  const auto& result = p.select_topology("us-west1");
+  // Paper: 75.5%-91.6% of U.S. servers share interconnects. The scaled
+  // fixture loosens the band slightly.
+  EXPECT_GT(result.shared_interconnect_fraction, 0.55);
+  EXPECT_LE(result.shared_interconnect_fraction, 1.0);
+}
+
+TEST(SelectionTest, CachedPerRegion) {
+  auto& p = small_platform();
+  const auto& a = p.select_topology("us-west1");
+  const auto& b = p.select_topology("us-west1");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(SelectionTest, RegionsDiffer) {
+  auto& p = small_platform();
+  const auto& west = p.select_topology("us-west1");
+  const auto& east = p.select_topology("us-east4");
+  // Different policies (visibility/concentration) must change the picture.
+  EXPECT_NE(west.pilot.links.size(), east.pilot.links.size());
+  EXPECT_GT(west.links_traversed_by_servers,
+            east.links_traversed_by_servers);
+}
+
+TEST(SelectionTest, NeighborsAreRealAses) {
+  auto& p = small_platform();
+  const auto& result = p.select_topology("us-west1");
+  for (const selected_server& s : result.selected) {
+    EXPECT_TRUE(p.net().topo->find_as(s.neighbor).has_value());
+    EXPECT_NE(s.neighbor, cloud_asn());
+  }
+}
+
+TEST(SelectionTest, RttsArePlausible) {
+  auto& p = small_platform();
+  const auto& result = p.select_topology("us-west1");
+  for (const selected_server& s : result.selected) {
+    EXPECT_GT(s.rtt.value, 0.0);
+    EXPECT_LT(s.rtt.value, 250.0);  // U.S. servers from a U.S. region
+  }
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,117 @@
+#include "clasp/speedchecker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_internet;
+
+class SpeedcheckerTest : public ::testing::Test {
+ protected:
+  SpeedcheckerTest() : net_(small_internet()), planner_(&net_), view_(&net_) {
+    const city_id region = net_.geo->city_by_name("St. Ghislain").id;
+    const auto router = net_.topo->router_of(net_.cloud, region);
+    target_ = endpoint{net_.cloud, region,
+                       net_.topo->router_at(*router).loopback, std::nullopt};
+  }
+
+  internet& net_;
+  route_planner planner_;
+  network_view view_;
+  endpoint target_;
+};
+
+TEST_F(SpeedcheckerTest, NullDependenciesRejected) {
+  EXPECT_THROW(speedchecker_service(nullptr, &view_), invalid_argument_error);
+  EXPECT_THROW(speedchecker_service(&planner_, nullptr),
+               invalid_argument_error);
+}
+
+TEST_F(SpeedcheckerTest, ProbeReturnsPlausibleRtt) {
+  speedchecker_service svc(&planner_, &view_);
+  rng r(1);
+  const hour_stamp t = hour_stamp::from_civil({2020, 7, 10}, 12);
+  for (int i = 0; i < 10; ++i) {
+    const auto result = svc.probe(svc.vantage_points()[i * 7], target_,
+                                  service_tier::premium, t, r);
+    EXPECT_GT(result.rtt.value, 0.5);
+    EXPECT_LT(result.rtt.value, 500.0);
+    EXPECT_EQ(result.at, t);
+  }
+  EXPECT_EQ(svc.used_in_month(t), 10u);
+}
+
+TEST_F(SpeedcheckerTest, QuotaEnforcedPerMonth) {
+  speedchecker_config cfg;
+  cfg.monthly_quota = 5;
+  speedchecker_service svc(&planner_, &view_, cfg);
+  rng r(2);
+  const hour_stamp july = hour_stamp::from_civil({2020, 7, 10}, 0);
+  for (int i = 0; i < 5; ++i) {
+    svc.probe(svc.vantage_points()[0], target_, service_tier::premium,
+              july + i, r);
+  }
+  EXPECT_THROW(svc.probe(svc.vantage_points()[0], target_,
+                         service_tier::premium, july + 6, r),
+               budget_exceeded_error);
+  // A new month resets the quota.
+  const hour_stamp august = hour_stamp::from_civil({2020, 8, 1}, 0);
+  EXPECT_NO_THROW(svc.probe(svc.vantage_points()[0], target_,
+                            service_tier::premium, august, r));
+  EXPECT_EQ(svc.used_in_month(august), 1u);
+  EXPECT_EQ(svc.used_in_month(july), 5u);
+}
+
+TEST_F(SpeedcheckerTest, RetirementEndsService) {
+  speedchecker_service svc(&planner_, &view_);
+  rng r(3);
+  // Footnote 1: retired June 2021.
+  const hour_stamp after = hour_stamp::from_civil({2021, 6, 1}, 0);
+  EXPECT_THROW(svc.probe(svc.vantage_points()[0], target_,
+                         service_tier::premium, after, r),
+               state_error);
+  const hour_stamp just_before = hour_stamp::from_civil({2021, 5, 31}, 23);
+  EXPECT_NO_THROW(svc.probe(svc.vantage_points()[0], target_,
+                            service_tier::premium, just_before, r));
+}
+
+TEST_F(SpeedcheckerTest, TiersProduceDifferentPaths) {
+  speedchecker_service svc(&planner_, &view_);
+  rng r(4);
+  const hour_stamp t = hour_stamp::from_civil({2020, 7, 10}, 4);
+  // Find a VP far from the region: tier latencies should differ for at
+  // least some of the fleet.
+  std::size_t differing = 0, probed = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const host_index vp = svc.vantage_points()[i * 11 %
+                                               svc.vantage_points().size()];
+    const double prem =
+        svc.probe(vp, target_, service_tier::premium, t, r).rtt.value;
+    const double stnd =
+        svc.probe(vp, target_, service_tier::standard, t, r).rtt.value;
+    ++probed;
+    if (std::abs(prem - stnd) > 5.0) ++differing;
+  }
+  EXPECT_GT(differing, probed / 10);
+}
+
+TEST_F(SpeedcheckerTest, DifferentialSelectorRespectsQuota) {
+  // A pre-test that needs more probes than the plan allows must fail
+  // loudly rather than silently truncate the tuple samples.
+  auto& p = ::clasp::testing::small_platform();
+  differential_selector selector(&p.planner(), &p.view(), &p.registry());
+  differential_config cfg;
+  cfg.platform.monthly_quota = 100;  // far below what the pre-test needs
+  rng r(5);
+  const gcp_cloud::vm_id vm =
+      p.cloud().create_vm("europe-west1", service_tier::premium);
+  EXPECT_THROW(selector.run(p.cloud().vm_endpoint(vm), cfg, r),
+               budget_exceeded_error);
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,161 @@
+#include "cloud/gcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/generator.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_internet_config;
+
+class GcpTest : public ::testing::Test {
+ protected:
+  GcpTest()
+      : net_(generate_internet(small_internet_config())),
+        planner_(&net_),
+        cloud_(&net_, &planner_) {}
+
+  internet net_;
+  route_planner planner_;
+  gcp_cloud cloud_;
+};
+
+TEST(GcpStaticTest, RegionTableMatchesPaper) {
+  const auto& regions = gcp_regions();
+  EXPECT_EQ(regions.size(), 7u);
+  EXPECT_EQ(region_by_name("us-west1").city_name, "The Dalles, OR");
+  EXPECT_EQ(region_by_name("europe-west1").city_name, "St. Ghislain");
+  EXPECT_THROW(region_by_name("mars-north1"), not_found_error);
+}
+
+TEST(GcpStaticTest, MachineTypesMatchPaper) {
+  const machine_type& n1 = machine_type_by_name("n1-standard-2");
+  EXPECT_EQ(n1.vcpus, 2u);
+  EXPECT_NEAR(n1.memory_gb, 7.5, 0.1);
+  EXPECT_DOUBLE_EQ(n1.max_egress.value, 10000.0);
+  EXPECT_NO_THROW(machine_type_by_name("n2-standard-2"));
+  EXPECT_THROW(machine_type_by_name("z9-mega"), not_found_error);
+}
+
+TEST(GcpStaticTest, EgressPricing) {
+  EXPECT_GT(egress_usd_per_gb(service_tier::premium),
+            egress_usd_per_gb(service_tier::standard));
+}
+
+TEST_F(GcpTest, NullDependenciesRejected) {
+  EXPECT_THROW(gcp_cloud(nullptr, &planner_), invalid_argument_error);
+  EXPECT_THROW(gcp_cloud(&net_, nullptr), invalid_argument_error);
+}
+
+TEST_F(GcpTest, CreateVmAttachesHostInRegionCity) {
+  const auto id = cloud_.create_vm("us-east1", service_tier::premium);
+  const vm_instance& vm = cloud_.vm(id);
+  EXPECT_TRUE(vm.running);
+  EXPECT_EQ(vm.region, "us-east1");
+  EXPECT_EQ(vm.tier, service_tier::premium);
+  const host_info& host = net_.topo->host_at(vm.host);
+  EXPECT_EQ(host.owner, net_.cloud);
+  EXPECT_EQ(host.city, cloud_.region_city("us-east1"));
+  // Default tc shaping from the paper.
+  EXPECT_DOUBLE_EQ(vm.shaping.downlink.value, 1000.0);
+  EXPECT_DOUBLE_EQ(vm.shaping.uplink.value, 100.0);
+}
+
+TEST_F(GcpTest, ZonesRoundRobin) {
+  const auto a = cloud_.create_vm("us-west1", service_tier::premium);
+  const auto b = cloud_.create_vm("us-west1", service_tier::premium);
+  const auto c = cloud_.create_vm("us-west1", service_tier::premium);
+  const auto d = cloud_.create_vm("us-west1", service_tier::premium);
+  EXPECT_EQ(cloud_.vm(a).zone, 0u);
+  EXPECT_EQ(cloud_.vm(b).zone, 1u);
+  EXPECT_EQ(cloud_.vm(c).zone, 2u);
+  EXPECT_EQ(cloud_.vm(d).zone, 0u);
+}
+
+TEST_F(GcpTest, VmIdsAreUnique) {
+  const auto a = cloud_.create_vm("us-west1", service_tier::premium);
+  const auto b = cloud_.create_vm("us-west1", service_tier::standard);
+  EXPECT_NE(cloud_.vm(a).id, cloud_.vm(b).id);
+}
+
+TEST_F(GcpTest, TerminateLifecycle) {
+  const auto id = cloud_.create_vm("us-central1", service_tier::standard);
+  cloud_.terminate_vm(id);
+  EXPECT_FALSE(cloud_.vm(id).running);
+  EXPECT_THROW(cloud_.terminate_vm(id), state_error);
+  EXPECT_THROW(cloud_.charge_vm_hour(id), state_error);
+}
+
+TEST_F(GcpTest, UnknownLookupsThrow) {
+  EXPECT_THROW(cloud_.create_vm("nowhere", service_tier::premium),
+               not_found_error);
+  EXPECT_THROW(cloud_.create_vm("us-east1", service_tier::premium, "bogus"),
+               not_found_error);
+  EXPECT_THROW(cloud_.vm(999), not_found_error);
+}
+
+TEST_F(GcpTest, BillingAccumulates) {
+  const auto id = cloud_.create_vm("us-east1", service_tier::premium);
+  cloud_.charge_vm_hour(id);
+  cloud_.charge_vm_hour(id);
+  cloud_.charge_egress(service_tier::premium, megabytes{1024.0});
+  cloud_.charge_storage_month(10.0);
+  const cost_report& costs = cloud_.costs();
+  EXPECT_NEAR(costs.vm_usd, 2 * 0.095, 1e-9);
+  EXPECT_NEAR(costs.egress_usd, 0.12, 1e-9);
+  EXPECT_NEAR(costs.storage_usd, 0.20, 1e-9);
+  EXPECT_NEAR(costs.total(), costs.vm_usd + costs.egress_usd + costs.storage_usd,
+              1e-12);
+  EXPECT_DOUBLE_EQ(cloud_.vm(id).hours_run, 2.0);
+}
+
+TEST_F(GcpTest, BucketAccumulates) {
+  storage_bucket& bucket = cloud_.bucket("us-east1");
+  bucket.put("raw/1.tar.gz", 5.0);
+  bucket.put("raw/2.tar.gz", 7.5);
+  EXPECT_DOUBLE_EQ(bucket.total_megabytes(), 12.5);
+  EXPECT_EQ(bucket.object_count(), 2u);
+  EXPECT_EQ(bucket.name(), "clasp-data-us-east1");
+  EXPECT_THROW(bucket.put("x", -1.0), invalid_argument_error);
+  // Same region returns the same bucket.
+  EXPECT_DOUBLE_EQ(cloud_.bucket("us-east1").total_megabytes(), 12.5);
+}
+
+TEST_F(GcpTest, VmEndpointUsable) {
+  const auto id = cloud_.create_vm("europe-west1", service_tier::standard);
+  const endpoint e = cloud_.vm_endpoint(id);
+  EXPECT_EQ(e.owner, net_.cloud);
+  EXPECT_TRUE(e.host.has_value());
+  EXPECT_EQ(e.city, cloud_.region_city("europe-west1"));
+}
+
+TEST_F(GcpTest, RegionPoliciesInstalledInPlanner) {
+  // The constructor pushes each region's policy into the planner.
+  const egress_policy p =
+      planner_.region_policy(cloud_.region_city("us-east4"));
+  EXPECT_NEAR(p.concentration, region_by_name("us-east4").policy.concentration,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace clasp
+// Appended: sustained-use discount.
+namespace clasp {
+namespace {
+
+TEST_F(GcpTest, SustainedUseDiscountKicksInMidMonth) {
+  const auto id = cloud_.create_vm("us-west4", service_tier::premium);
+  // First 365 hours at list price.
+  for (int i = 0; i < 365; ++i) cloud_.charge_vm_hour(id);
+  const double list_phase = cloud_.costs().vm_usd;
+  EXPECT_NEAR(list_phase, 365 * 0.095, 1e-6);
+  // The second half of the month bills at 70%.
+  for (int i = 0; i < 100; ++i) cloud_.charge_vm_hour(id);
+  EXPECT_NEAR(cloud_.costs().vm_usd - list_phase, 100 * 0.095 * 0.70, 1e-6);
+}
+
+}  // namespace
+}  // namespace clasp

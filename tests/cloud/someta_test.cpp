@@ -1,0 +1,67 @@
+#include "cloud/someta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clasp {
+namespace {
+
+TEST(SometaTest, GigabitTestFitsOnNStandard2) {
+  // The paper's claim: n1-standard-2 handles a 1 Gbps test without
+  // depleting the CPU.
+  const machine_type& n1 = machine_type_by_name("n1-standard-2");
+  rng r(1);
+  someta_recorder recorder(n1);
+  for (int i = 0; i < 500; ++i) {
+    recorder.record(mbps{950.0}, hour_stamp{i}, r);
+  }
+  EXPECT_DOUBLE_EQ(recorder.saturation_fraction(), 0.0);
+  EXPECT_LT(recorder.peak_cpu(), 0.6);
+}
+
+TEST(SometaTest, CpuScalesWithThroughput) {
+  const machine_type& n1 = machine_type_by_name("n1-standard-2");
+  rng r1(2), r2(2);
+  const auto slow = record_test_metadata(n1, mbps{50.0}, hour_stamp{0}, r1);
+  const auto fast = record_test_metadata(n1, mbps{950.0}, hour_stamp{0}, r2);
+  EXPECT_GT(fast.cpu_utilization, slow.cpu_utilization);
+}
+
+TEST(SometaTest, SampleFieldsPlausible) {
+  const machine_type& n1 = machine_type_by_name("n1-standard-2");
+  rng r(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto s = record_test_metadata(n1, mbps{r.uniform(10, 1000)},
+                                        hour_stamp{i}, r);
+    EXPECT_GE(s.cpu_utilization, 0.0);
+    EXPECT_LE(s.cpu_utilization, 1.0);
+    EXPECT_GT(s.memory_gb, 1.0);
+    EXPECT_LT(s.memory_gb, n1.memory_gb);
+    EXPECT_GE(s.io_wait, 0.0);
+    EXPECT_LE(s.io_wait, 0.2);
+  }
+}
+
+TEST(SometaTest, SingleCoreMachineWouldSaturate) {
+  // A hypothetical 1-vCPU machine at 10 Gbps clearly saturates — the
+  // degradation the paper's VM sizing avoided.
+  machine_type tiny{"tiny-1", 1, 1.0, mbps::from_gbps(10.0), 0.01};
+  rng r(4);
+  someta_recorder recorder(tiny);
+  for (int i = 0; i < 100; ++i) {
+    recorder.record(mbps{9500.0}, hour_stamp{i}, r);
+  }
+  EXPECT_GT(recorder.saturation_fraction(), 0.9);
+}
+
+TEST(SometaTest, RecorderAccumulates) {
+  someta_recorder recorder(machine_type_by_name("n2-standard-2"));
+  rng r(5);
+  EXPECT_DOUBLE_EQ(recorder.saturation_fraction(), 0.0);  // empty
+  recorder.record(mbps{100.0}, hour_stamp{1}, r);
+  recorder.record(mbps{200.0}, hour_stamp{2}, r);
+  EXPECT_EQ(recorder.samples().size(), 2u);
+  EXPECT_EQ(recorder.samples()[1].at, hour_stamp{2});
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,40 @@
+#include "data/ipinfo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clasp {
+namespace {
+
+TEST(IpinfoTest, RegisterAndLookup) {
+  ipinfo_database db;
+  db.add(asn{22773}, business_type::isp, "Cox");
+  EXPECT_EQ(db.type_of(asn{22773}), business_type::isp);
+  EXPECT_EQ(db.company_of(asn{22773}).value_or(""), "Cox");
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(IpinfoTest, UnknownForMissing) {
+  ipinfo_database db;
+  EXPECT_EQ(db.type_of(asn{12345}), business_type::unknown);
+  EXPECT_FALSE(db.company_of(asn{12345}).has_value());
+}
+
+TEST(IpinfoTest, ReRegisterOverwrites) {
+  ipinfo_database db;
+  db.add(asn{1}, business_type::hosting, "A");
+  db.add(asn{1}, business_type::education, "B");
+  EXPECT_EQ(db.type_of(asn{1}), business_type::education);
+  EXPECT_EQ(db.company_of(asn{1}).value_or(""), "B");
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(IpinfoTest, TypeNames) {
+  EXPECT_EQ(to_string(business_type::isp), "ISP");
+  EXPECT_EQ(to_string(business_type::hosting), "Hosting");
+  EXPECT_EQ(to_string(business_type::business), "Business");
+  EXPECT_EQ(to_string(business_type::education), "Education");
+  EXPECT_EQ(to_string(business_type::unknown), "Unknown");
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,129 @@
+#include "data/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clasp {
+namespace {
+
+TEST(Ipv4AddrTest, ParseAndToString) {
+  const ipv4_addr a = ipv4_addr::parse("192.168.1.42");
+  EXPECT_EQ(a.value(), 0xC0A8012Au);
+  EXPECT_EQ(a.to_string(), "192.168.1.42");
+}
+
+TEST(Ipv4AddrTest, BoundaryValues) {
+  EXPECT_EQ(ipv4_addr::parse("0.0.0.0").value(), 0u);
+  EXPECT_EQ(ipv4_addr::parse("255.255.255.255").value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4AddrTest, ParseErrors) {
+  EXPECT_THROW(ipv4_addr::parse("1.2.3"), invalid_argument_error);
+  EXPECT_THROW(ipv4_addr::parse("1.2.3.4.5"), invalid_argument_error);
+  EXPECT_THROW(ipv4_addr::parse("1.2.3.256"), invalid_argument_error);
+  EXPECT_THROW(ipv4_addr::parse("a.b.c.d"), invalid_argument_error);
+  EXPECT_THROW(ipv4_addr::parse("1..2.3"), invalid_argument_error);
+}
+
+TEST(Ipv4AddrTest, RoundTripProperty) {
+  rng r(1);
+  for (int i = 0; i < 500; ++i) {
+    const ipv4_addr a{static_cast<std::uint32_t>(r())};
+    EXPECT_EQ(ipv4_addr::parse(a.to_string()), a);
+  }
+}
+
+TEST(Ipv4PrefixTest, BasicProperties) {
+  const ipv4_prefix p = ipv4_prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(p.length(), 8u);
+  EXPECT_EQ(p.size(), 1u << 24);
+  EXPECT_EQ(p.netmask(), 0xFF000000u);
+  EXPECT_EQ(p.to_string(), "10.0.0.0/8");
+}
+
+TEST(Ipv4PrefixTest, Contains) {
+  const ipv4_prefix p = ipv4_prefix::parse("192.168.0.0/16");
+  EXPECT_TRUE(p.contains(ipv4_addr::parse("192.168.255.1")));
+  EXPECT_FALSE(p.contains(ipv4_addr::parse("192.169.0.1")));
+}
+
+TEST(Ipv4PrefixTest, Slash32AndSlash0) {
+  const ipv4_prefix host = ipv4_prefix::parse("1.2.3.4/32");
+  EXPECT_EQ(host.size(), 1u);
+  EXPECT_TRUE(host.contains(ipv4_addr::parse("1.2.3.4")));
+  const ipv4_prefix all = ipv4_prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(all.contains(ipv4_addr::parse("200.200.200.200")));
+}
+
+TEST(Ipv4PrefixTest, AddressAt) {
+  const ipv4_prefix p = ipv4_prefix::parse("10.0.0.0/30");
+  EXPECT_EQ(p.address_at(0).to_string(), "10.0.0.0");
+  EXPECT_EQ(p.address_at(3).to_string(), "10.0.0.3");
+  EXPECT_THROW(p.address_at(4), invalid_argument_error);
+}
+
+TEST(Ipv4PrefixTest, RejectsHostBits) {
+  EXPECT_THROW(ipv4_prefix(ipv4_addr::parse("10.0.0.1"), 24),
+               invalid_argument_error);
+  EXPECT_THROW(ipv4_prefix(ipv4_addr::parse("10.0.0.0"), 33),
+               invalid_argument_error);
+}
+
+TEST(PrefixAllocatorTest, SequentialNonOverlapping) {
+  prefix_allocator alloc(ipv4_prefix::parse("10.0.0.0/16"));
+  const ipv4_prefix a = alloc.allocate(24);
+  const ipv4_prefix b = alloc.allocate(24);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.contains(b.base()));
+  EXPECT_FALSE(b.contains(a.base()));
+}
+
+TEST(PrefixAllocatorTest, AlignsMixedSizes) {
+  prefix_allocator alloc(ipv4_prefix::parse("10.0.0.0/16"));
+  const ipv4_prefix small = alloc.allocate(26);  // 64 addresses
+  const ipv4_prefix big = alloc.allocate(24);    // must align to /24
+  EXPECT_EQ(big.base().value() % 256, 0u);
+  EXPECT_FALSE(big.contains(small.base()));
+}
+
+TEST(PrefixAllocatorTest, ExhaustionThrows) {
+  prefix_allocator alloc(ipv4_prefix::parse("10.0.0.0/30"));
+  (void)alloc.allocate(31);
+  (void)alloc.allocate(31);
+  EXPECT_THROW(alloc.allocate(31), state_error);
+}
+
+TEST(PrefixAllocatorTest, RejectsOversizedRequest) {
+  prefix_allocator alloc(ipv4_prefix::parse("10.0.0.0/24"));
+  EXPECT_THROW(alloc.allocate(16), invalid_argument_error);
+}
+
+TEST(PrefixAllocatorTest, RemainingDecreases) {
+  prefix_allocator alloc(ipv4_prefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(alloc.remaining(), 256u);
+  (void)alloc.allocate(26);
+  EXPECT_EQ(alloc.remaining(), 192u);
+}
+
+// Property: many allocations from one pool never overlap pairwise.
+TEST(PrefixAllocatorTest, ManyAllocationsDisjoint) {
+  prefix_allocator alloc(ipv4_prefix::parse("10.0.0.0/12"));
+  rng r(2);
+  std::vector<ipv4_prefix> allocated;
+  for (int i = 0; i < 200; ++i) {
+    allocated.push_back(
+        alloc.allocate(22 + static_cast<unsigned>(r.uniform_int(0, 4))));
+  }
+  for (std::size_t i = 0; i < allocated.size(); ++i) {
+    for (std::size_t j = i + 1; j < allocated.size(); ++j) {
+      EXPECT_FALSE(allocated[i].contains(allocated[j].base()))
+          << allocated[i].to_string() << " overlaps "
+          << allocated[j].to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,57 @@
+#include "data/prefix2as.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clasp {
+namespace {
+
+TEST(Prefix2AsTest, LongestPrefixWins) {
+  prefix2as_table table;
+  table.add(ipv4_prefix::parse("10.0.0.0/8"), asn{100});
+  table.add(ipv4_prefix::parse("10.1.0.0/16"), asn{200});
+  table.add(ipv4_prefix::parse("10.1.2.0/24"), asn{300});
+
+  EXPECT_EQ(table.lookup(ipv4_addr::parse("10.9.9.9"))->value, 100u);
+  EXPECT_EQ(table.lookup(ipv4_addr::parse("10.1.9.9"))->value, 200u);
+  EXPECT_EQ(table.lookup(ipv4_addr::parse("10.1.2.9"))->value, 300u);
+}
+
+TEST(Prefix2AsTest, UnroutedReturnsNullopt) {
+  prefix2as_table table;
+  table.add(ipv4_prefix::parse("10.0.0.0/8"), asn{100});
+  EXPECT_FALSE(table.lookup(ipv4_addr::parse("11.0.0.1")).has_value());
+}
+
+TEST(Prefix2AsTest, ReinsertOverwrites) {
+  prefix2as_table table;
+  table.add(ipv4_prefix::parse("10.0.0.0/8"), asn{100});
+  table.add(ipv4_prefix::parse("10.0.0.0/8"), asn{999});
+  EXPECT_EQ(table.lookup(ipv4_addr::parse("10.0.0.1"))->value, 999u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(Prefix2AsTest, DefaultRoute) {
+  prefix2as_table table;
+  table.add(ipv4_prefix::parse("0.0.0.0/0"), asn{1});
+  table.add(ipv4_prefix::parse("8.0.0.0/8"), asn{2});
+  EXPECT_EQ(table.lookup(ipv4_addr::parse("9.9.9.9"))->value, 1u);
+  EXPECT_EQ(table.lookup(ipv4_addr::parse("8.8.8.8"))->value, 2u);
+}
+
+TEST(Prefix2AsTest, EntriesEnumerable) {
+  prefix2as_table table;
+  table.add(ipv4_prefix::parse("10.0.0.0/8"), asn{100});
+  table.add(ipv4_prefix::parse("20.0.0.0/8"), asn{200});
+  const auto entries = table.entries();
+  EXPECT_EQ(entries.size(), 2u);
+}
+
+TEST(Prefix2AsTest, Slash32Host) {
+  prefix2as_table table;
+  table.add(ipv4_prefix::parse("1.2.3.4/32"), asn{7});
+  EXPECT_EQ(table.lookup(ipv4_addr::parse("1.2.3.4"))->value, 7u);
+  EXPECT_FALSE(table.lookup(ipv4_addr::parse("1.2.3.5")).has_value());
+}
+
+}  // namespace
+}  // namespace clasp

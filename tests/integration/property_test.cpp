@@ -1,0 +1,199 @@
+// Cross-module property tests: invariants that must hold for every
+// region, tier, server and hour — checked over parameterized sweeps of
+// the shared fixture.
+#include <gtest/gtest.h>
+
+#include "clasp/artifacts.hpp"
+#include "probes/traceroute.hpp"
+#include "test_support.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_platform;
+
+// ---------------------------------------------------------------------------
+// Selection invariants across every U.S. region.
+// ---------------------------------------------------------------------------
+
+class SelectionInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SelectionInvariants, HoldPerRegion) {
+  auto& p = small_platform();
+  const std::string region = GetParam();
+  const topology_selection_result& sel = p.select_topology(region);
+
+  // Coverage is a fraction; the budget caps the selection.
+  EXPECT_GE(sel.coverage(), 0.0);
+  EXPECT_LE(sel.coverage(), 1.0);
+  const auto budget = p.config().topology_budgets.find(region);
+  if (budget != p.config().topology_budgets.end()) {
+    EXPECT_LE(sel.selected.size(), budget->second);
+  }
+  // Pilot discovered at least as many links as servers traversed (the
+  // pilot probes all prefixes, servers are a subset of destinations).
+  EXPECT_GE(sel.pilot.links.size(), sel.links_traversed_by_servers / 2);
+
+  // Far sides unique; neighbors real and never the cloud itself; every
+  // selected far side is in the pilot.
+  std::unordered_set<std::uint32_t> fars;
+  for (const selected_server& s : sel.selected) {
+    EXPECT_TRUE(fars.insert(s.far_side.value()).second);
+    EXPECT_NE(s.neighbor, cloud_asn());
+    EXPECT_TRUE(p.net().topo->find_as(s.neighbor).has_value());
+    EXPECT_TRUE(sel.pilot.contains(s.far_side));
+    EXPECT_GE(s.as_path_len, 1u);
+    EXPECT_LE(s.as_path_len, 4u);
+  }
+  // Pilot observations are internally consistent.
+  for (const border_observation& obs : sel.pilot.links) {
+    EXPECT_GT(obs.path_count, 0u);
+    EXPECT_GE(obs.min_rtt.value, 0.0);
+    EXPECT_TRUE(cloud_interconnect_pool().contains(obs.far_side));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUsRegions, SelectionInvariants,
+                         ::testing::Values("us-west1", "us-west2", "us-west4",
+                                           "us-east1", "us-east4",
+                                           "us-central1"));
+
+// ---------------------------------------------------------------------------
+// Speed-test report invariants across servers, hours and tiers.
+// ---------------------------------------------------------------------------
+
+struct report_case {
+  std::size_t server_stride;
+  service_tier tier;
+};
+
+class ReportInvariants
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReportInvariants, ReportsAlwaysSane) {
+  auto& p = small_platform();
+  const int server_pick = std::get<0>(GetParam());
+  const service_tier tier = std::get<1>(GetParam()) == 0
+                                ? service_tier::premium
+                                : service_tier::standard;
+  static std::map<int, gcp_cloud::vm_id> vms;
+  const int tier_key = std::get<1>(GetParam());
+  if (!vms.contains(tier_key)) {
+    vms[tier_key] = p.cloud().create_vm("us-central1", tier);
+  }
+  const auto us = p.registry().crawl("US");
+  const speed_server& server =
+      p.registry().server(us[static_cast<std::size_t>(server_pick) * 13 %
+                             us.size()]);
+  speed_test_session session(&p.cloud(), &p.view(), vms[tier_key], server);
+  rng r(static_cast<std::uint64_t>(server_pick) * 7919 + tier_key);
+  for (int h = 0; h < 24 * 3; h += 5) {
+    const auto report =
+        session.run(hour_stamp::from_civil({2020, 7, 1}, 0) + h, r);
+    EXPECT_GT(report.download.value, 0.0);
+    EXPECT_LE(report.download.value, 1100.0);
+    EXPECT_GT(report.upload.value, 0.0);
+    EXPECT_LE(report.upload.value, 110.0);
+    EXPECT_GT(report.latency.value, 1.0);
+    EXPECT_LT(report.latency.value, 600.0);
+    EXPECT_GE(report.download_loss, 0.0);
+    EXPECT_LE(report.download_loss, 0.95);
+    EXPECT_GE(report.upload_loss, 0.0);
+    EXPECT_LE(report.upload_loss, 0.95);
+    EXPECT_GT(report.volume_down.value, 0.0);
+    EXPECT_GT(report.volume_up.value, 0.0);
+    EXPECT_EQ(report.tier, tier);
+
+    // Serialization round-trips every report exactly.
+    const speed_test_report parsed =
+        parse_report(serialize_report(report));
+    EXPECT_DOUBLE_EQ(parsed.download.value, report.download.value);
+    EXPECT_DOUBLE_EQ(parsed.latency.value, report.latency.value);
+    EXPECT_EQ(parsed.at, report.at);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerTierSweep, ReportInvariants,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Values(0, 1)));
+
+// ---------------------------------------------------------------------------
+// Traceroute serialization fuzz: real probe outputs round-trip exactly.
+// ---------------------------------------------------------------------------
+
+class TracerouteRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TracerouteRoundTrip, SerializesExactly) {
+  auto& p = small_platform();
+  const auto& vps = p.net().vantage_points;
+  const endpoint src = p.planner().endpoint_of_host(
+      vps[static_cast<std::size_t>(GetParam()) * 31 % vps.size()]);
+  const city_id region = p.cloud().region_city("us-west1");
+  const auto router = p.net().topo->router_of(p.net().cloud, region);
+  const endpoint vm{p.net().cloud, region,
+                    p.net().topo->router_at(*router).loopback, std::nullopt};
+  network_view view(&p.net());
+  prober probe(&p.planner(), &view, /*nonresponse_prob=*/0.15);
+  rng r(static_cast<std::uint64_t>(GetParam()) + 99);
+  const route_path path = p.planner().to_cloud(src, vm, service_tier::premium);
+  const traceroute_result trace =
+      probe.traceroute(path, hour_stamp::from_civil({2020, 8, 8}, 8), r);
+
+  const traceroute_result parsed =
+      parse_traceroute(serialize_traceroute(trace));
+  ASSERT_EQ(parsed.hops.size(), trace.hops.size());
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    EXPECT_EQ(parsed.hops[i].address, trace.hops[i].address);
+    EXPECT_DOUBLE_EQ(parsed.hops[i].rtt.value, trace.hops[i].rtt.value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyPaths, TracerouteRoundTrip,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Analysis invariants over whatever campaign data the fixture holds.
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisInvariants, VariabilityAlwaysInUnitRange) {
+  auto& p = small_platform();
+  ::clasp::testing::ensure_east1_campaign(p);
+  const auto data = p.download_series("topology", "us-east1");
+  for (std::size_t i = 0; i < data.series.size(); ++i) {
+    for (const day_variability& d :
+         daily_variability(*data.series[i], data.tz[i])) {
+      EXPECT_GE(d.v, 0.0);
+      EXPECT_LE(d.v, 1.0);
+      EXPECT_GE(d.t_max, d.t_min);
+      EXPECT_GT(d.samples, 0u);
+    }
+    for (const hour_label& l :
+         intraday_labels(*data.series[i], data.tz[i], 0.5)) {
+      EXPECT_GE(l.v_h, 0.0);
+      EXPECT_LE(l.v_h, 1.0);
+      EXPECT_EQ(l.congested, l.v_h > 0.5);
+    }
+    const auto prob =
+        hourly_congestion_probability(*data.series[i], data.tz[i], 0.5);
+    for (const double q : prob) {
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 1.0);
+    }
+  }
+}
+
+TEST(AnalysisInvariants, SummariesAddUp) {
+  auto& p = small_platform();
+  ::clasp::testing::ensure_east1_campaign(p);
+  const auto data = p.download_series("topology", "us-east1");
+  for (std::size_t i = 0; i < data.series.size(); ++i) {
+    const auto s = summarize_server(*data.series[i], data.tz[i], 0.5);
+    EXPECT_LE(s.congested_days, s.days_measured);
+    EXPECT_LE(s.congested_hours, s.hours_measured);
+    EXPECT_LE(s.congested_days, s.congested_hours + 1);
+    EXPECT_EQ(s.congested_server, s.congested_day_fraction() > 0.10);
+  }
+}
+
+}  // namespace
+}  // namespace clasp

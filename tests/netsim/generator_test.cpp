@@ -1,0 +1,284 @@
+#include "netsim/generator.hpp"
+
+#include "netsim/routing.hpp"
+#include "netsim/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_internet;
+using ::clasp::testing::small_internet_config;
+
+TEST(GeneratorTest, PopulationScalesWithConfig) {
+  const internet& net = small_internet();
+  const internet_config& cfg = net.config;
+  // Named table adds a few dozen on top of the procedural counts.
+  const std::size_t expected_min = cfg.regional_isp_count + cfg.hosting_count +
+                                   cfg.business_count + cfg.education_count +
+                                   cfg.large_isp_count + cfg.tier1_count;
+  EXPECT_GE(net.topo->as_count(), expected_min);
+  EXPECT_LE(net.topo->as_count(), expected_min + 80);
+}
+
+TEST(GeneratorTest, CloudAsExistsWithPops) {
+  const internet& net = small_internet();
+  EXPECT_EQ(net.cloud_as().number, cloud_asn());
+  EXPECT_EQ(net.cloud_as().role, as_role::cloud);
+  EXPECT_GT(net.pop_cities.size(), 30u);
+  // Region host cities must be PoPs.
+  for (const char* name : {"The Dalles, OR", "Ashburn, VA", "St. Ghislain"}) {
+    const city_id c = net.geo->city_by_name(name).id;
+    EXPECT_TRUE(net.topo->router_of(net.cloud, c).has_value()) << name;
+  }
+}
+
+TEST(GeneratorTest, NamedCaseStudyAsesExist) {
+  const internet& net = small_internet();
+  const struct {
+    std::uint32_t number;
+    congestion_archetype archetype;
+  } expected[] = {
+      {22773, congestion_archetype::daytime_reverse},    // Cox
+      {46276, congestion_archetype::all_day},            // Smarterbroadband
+      {174, congestion_archetype::evening_eyeball},      // Cogent
+      {1221, congestion_archetype::std_path_episodes},   // Telstra
+      {136334, congestion_archetype::std_path_episodes}, // Vortex
+      {55836, congestion_archetype::lossy_premium},      // Jio
+  };
+  for (const auto& e : expected) {
+    const auto idx = net.topo->find_as(asn{e.number});
+    ASSERT_TRUE(idx.has_value()) << "AS" << e.number;
+    EXPECT_EQ(net.archetype(*idx), e.archetype) << "AS" << e.number;
+    EXPECT_TRUE(net.topo->as_at(*idx).peers_with_cloud) << "AS" << e.number;
+  }
+}
+
+TEST(GeneratorTest, EveryEdgeAsHasTransitAndPrefixes) {
+  const internet& net = small_internet();
+  for (const as_info& a : net.topo->ases()) {
+    if (a.role == as_role::cloud || a.role == as_role::tier1 ||
+        a.role == as_role::transit) {
+      continue;
+    }
+    EXPECT_TRUE(a.primary_transit.has_value()) << a.name;
+    EXPECT_TRUE(net.transit_link_of.contains(a.index.value)) << a.name;
+    // prefixes[0] = infra, then at least one host prefix.
+    EXPECT_GE(a.prefixes.size(), 2u) << a.name;
+    EXPECT_FALSE(a.presence.empty()) << a.name;
+  }
+}
+
+TEST(GeneratorTest, InterdomainLinksUseProviderAddressing) {
+  const internet& net = small_internet();
+  const ipv4_prefix pool = cloud_interconnect_pool();
+  std::size_t cloud_links = 0;
+  for (const link_info& l : net.topo->links()) {
+    if (l.kind != link_kind::interdomain) continue;
+    const bool cloud_side = net.topo->owner_of(l.a) == net.cloud ||
+                            net.topo->owner_of(l.b) == net.cloud;
+    if (cloud_side) {
+      ++cloud_links;
+      // Both interfaces come from the announced interconnect pool: this is
+      // precisely what makes naive prefix2as mis-attribute the far side.
+      EXPECT_TRUE(pool.contains(l.addr_a));
+      EXPECT_TRUE(pool.contains(l.addr_b));
+    }
+  }
+  EXPECT_GT(cloud_links, 300u);
+}
+
+TEST(GeneratorTest, PlantedEpisodesRecorded) {
+  const internet& net = small_internet();
+  EXPECT_GT(net.planted.size(), 20u);
+  for (const auto& p : net.planted) {
+    const link_info& l = net.topo->link_at(p.link);
+    const load_profile& prof = net.load->profile(l.load_profile);
+    const direction_load& d =
+        (p.dir == link_dir::a_to_b) ? prof.fwd : prof.rev;
+    EXPECT_EQ(d.episodes, p.kind);
+    EXPECT_GT(d.episode_prob, 0.0);
+  }
+}
+
+TEST(GeneratorTest, VantagePointsAttached) {
+  const internet& net = small_internet();
+  // The configured count plus the seeded VPs in the named case-study ASes.
+  EXPECT_GE(net.vantage_points.size(), net.config.vantage_point_count);
+  EXPECT_LE(net.vantage_points.size(), net.config.vantage_point_count + 80);
+  for (const host_index h : net.vantage_points) {
+    const host_info& info = net.topo->host_at(h);
+    const as_role role = net.topo->as_at(info.owner).role;
+    EXPECT_TRUE(role == as_role::access_isp || role == as_role::regional_isp);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  internet a = generate_internet(small_internet_config());
+  internet b = generate_internet(small_internet_config());
+  EXPECT_EQ(a.topo->as_count(), b.topo->as_count());
+  EXPECT_EQ(a.topo->link_count(), b.topo->link_count());
+  EXPECT_EQ(a.topo->host_count(), b.topo->host_count());
+  // Spot check structural equality.
+  for (std::size_t i = 0; i < a.topo->link_count(); i += 97) {
+    const link_info& la = a.topo->link_at(link_index{(std::uint32_t)i});
+    const link_info& lb = b.topo->link_at(link_index{(std::uint32_t)i});
+    EXPECT_EQ(la.addr_a, lb.addr_a);
+    EXPECT_EQ(la.capacity.value, lb.capacity.value);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  internet_config cfg = small_internet_config();
+  cfg.seed = 999;
+  internet b = generate_internet(cfg);
+  const internet& a = small_internet();
+  // Same structure sizes are possible, but link addressing layouts differ.
+  bool any_diff = a.topo->link_count() != b.topo->link_count();
+  const std::size_t n = std::min(a.topo->link_count(), b.topo->link_count());
+  for (std::size_t i = 0; i < n && !any_diff; i += 13) {
+    any_diff = a.topo->link_at(link_index{(std::uint32_t)i}).capacity.value !=
+               b.topo->link_at(link_index{(std::uint32_t)i}).capacity.value;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, ConfigValidation) {
+  internet_config bad = small_internet_config();
+  bad.tier1_count = 0;
+  EXPECT_THROW(generate_internet(bad), invalid_argument_error);
+  bad = small_internet_config();
+  bad.congestion_prone_fraction = 1.5;
+  EXPECT_THROW(generate_internet(bad), invalid_argument_error);
+  bad = small_internet_config();
+  bad.episode_prob_lo = 0.9;
+  bad.episode_prob_hi = 0.1;
+  EXPECT_THROW(generate_internet(bad), invalid_argument_error);
+}
+
+TEST(GeneratorTest, AttachHostAllocatesFromOwnSpace) {
+  internet net = generate_internet(small_internet_config());
+  rng r(5);
+  // Find an eyeball AS.
+  const as_index cox = *net.topo->find_as(asn{22773});
+  const city_id city = net.topo->as_at(cox).presence.front();
+  const host_index h =
+      net.attach_host(cox, city, host_flavor::server, mbps{1000.0}, r);
+  const host_info& info = net.topo->host_at(h);
+  bool in_own_prefix = false;
+  for (const announced_prefix& p : net.topo->as_at(cox).prefixes) {
+    if (p.prefix.contains(info.addr)) in_own_prefix = true;
+  }
+  EXPECT_TRUE(in_own_prefix);
+}
+
+TEST(GeneratorTest, AttachHostRejectsForeignCity) {
+  internet net = generate_internet(small_internet_config());
+  rng r(5);
+  const as_index smarter = *net.topo->find_as(asn{46276});
+  const city_id tokyo = net.geo->city_by_name("Tokyo").id;
+  EXPECT_THROW(
+      net.attach_host(smarter, tokyo, host_flavor::server, mbps{1.0}, r),
+      not_found_error);
+}
+
+TEST(GeneratorTest, WanIsFullMesh) {
+  const internet& net = small_internet();
+  std::size_t wan_links = 0;
+  for (const link_info& l : net.topo->links()) {
+    if (l.kind == link_kind::cloud_wan) ++wan_links;
+  }
+  const std::size_t n = net.pop_cities.size();
+  EXPECT_EQ(wan_links, n * (n - 1) / 2);
+}
+
+TEST(GeneratorTest, IpinfoCoversMostAses) {
+  const internet& net = small_internet();
+  std::size_t known = 0, total = 0;
+  for (const as_info& a : net.topo->ases()) {
+    if (a.role == as_role::cloud) continue;
+    ++total;
+    if (net.ipinfo.type_of(a.number) != business_type::unknown) ++known;
+  }
+  const double coverage = static_cast<double>(known) / total;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LT(coverage, 1.0);  // the configured gap exists
+}
+
+}  // namespace
+}  // namespace clasp
+// Appended: configuration-extremes property sweep.
+namespace clasp {
+namespace {
+
+struct extreme_case {
+  const char* name;
+  internet_config config;
+};
+
+class GeneratorExtremes : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorExtremes, SurvivesAndValidates) {
+  internet_config cfg = ::clasp::testing::small_internet_config();
+  switch (GetParam()) {
+    case 0:  // minimal edge population
+      cfg.regional_isp_count = 0;
+      cfg.hosting_count = 5;
+      cfg.business_count = 5;
+      cfg.education_count = 0;
+      cfg.vantage_point_count = 10;
+      break;
+    case 1:  // everyone peers
+      cfg.peering_prob_regional_isp = 1.0;
+      cfg.peering_prob_business = 1.0;
+      cfg.peering_prob_hosting = 1.0;
+      break;
+    case 2:  // nobody (procedurally) peers
+      cfg.peering_prob_large_isp = 0.0;
+      cfg.peering_prob_regional_isp = 0.0;
+      cfg.peering_prob_business = 0.0;
+      cfg.peering_prob_hosting = 0.0;
+      cfg.peering_prob_education = 0.0;
+      break;
+    case 3:  // all congestion-prone, max episodes
+      cfg.congestion_prone_fraction = 1.0;
+      cfg.episode_prob_lo = 0.9;
+      cfg.episode_prob_hi = 0.95;
+      break;
+    case 4:  // single transit, minimum carriers
+      cfg.tier1_count = 1;
+      cfg.transit_count = 0;
+      break;
+  }
+  internet net = generate_internet(cfg);
+  // Every generated world passes the integrity validator...
+  const validation_report report = validate_internet(net);
+  for (const auto& issue : report.issues) {
+    if (issue.level == validation_issue::severity::error) {
+      ADD_FAILURE() << issue.what;
+    }
+  }
+  // ...and can still route from a vantage point into a region.
+  if (!net.vantage_points.empty()) {
+    route_planner planner(&net);
+    const city_id region = net.geo->city_by_name("Ashburn, VA").id;
+    const auto router = net.topo->router_of(net.cloud, region);
+    const endpoint vm{net.cloud, region,
+                      net.topo->router_at(*router).loopback, std::nullopt};
+    const endpoint src = planner.endpoint_of_host(net.vantage_points[0]);
+    for (const service_tier tier :
+         {service_tier::premium, service_tier::standard}) {
+      const route_path path = planner.to_cloud(src, vm, tier);
+      EXPECT_TRUE(path.cloud_edge.has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Extremes, GeneratorExtremes, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,230 @@
+#include "netsim/load.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+load_profile flat_profile(double base, double amp, double noise = 0.0) {
+  load_profile p;
+  p.fwd = {base, amp, noise, 0.0, episode_kind::none, 0, 0, 0};
+  p.rev = {base, amp, noise, 0.0, episode_kind::none, 0, 0, 0};
+  return p;
+}
+
+TEST(DiurnalShapeTest, TroughAndPeak) {
+  EXPECT_DOUBLE_EQ(link_load_model::diurnal_shape(4), 0.0);
+  EXPECT_DOUBLE_EQ(link_load_model::diurnal_shape(20), 1.0);
+  for (unsigned h = 0; h < 24; ++h) {
+    EXPECT_GE(link_load_model::diurnal_shape(h), 0.0);
+    EXPECT_LE(link_load_model::diurnal_shape(h), 1.0);
+  }
+  // Evening (FCC peak window) above midday.
+  EXPECT_GT(link_load_model::diurnal_shape(21),
+            link_load_model::diurnal_shape(12));
+}
+
+TEST(LoadModelTest, DeterministicAcrossInstances) {
+  link_load_model m1(77), m2(77);
+  const auto id1 = m1.add_profile(flat_profile(0.3, 0.2, 0.1));
+  const auto id2 = m2.add_profile(flat_profile(0.3, 0.2, 0.1));
+  const hour_stamp t = hour_stamp::from_civil({2020, 6, 15}, 20);
+  EXPECT_DOUBLE_EQ(m1.utilization(id1, link_index{5}, link_dir::a_to_b, t),
+                   m2.utilization(id2, link_index{5}, link_dir::a_to_b, t));
+}
+
+TEST(LoadModelTest, SeedChangesNoise) {
+  link_load_model m1(1), m2(2);
+  const auto id1 = m1.add_profile(flat_profile(0.3, 0.2, 0.1));
+  const auto id2 = m2.add_profile(flat_profile(0.3, 0.2, 0.1));
+  const hour_stamp t = hour_stamp::from_civil({2020, 6, 15}, 20);
+  EXPECT_NE(m1.utilization(id1, link_index{5}, link_dir::a_to_b, t),
+            m2.utilization(id2, link_index{5}, link_dir::a_to_b, t));
+}
+
+TEST(LoadModelTest, NoiselessUtilizationFollowsDiurnal) {
+  link_load_model m(1);
+  load_profile p = flat_profile(0.3, 0.2);
+  p.tz = timezone_offset{0};
+  const auto id = m.add_profile(p);
+  // Trough (04:00 local): base only.
+  const hour_stamp trough = hour_stamp::from_civil({2020, 6, 15}, 4);
+  EXPECT_DOUBLE_EQ(m.utilization(id, link_index{0}, link_dir::a_to_b, trough),
+                   0.3);
+  // Peak (20:00 local): base + amp.
+  const hour_stamp peak = hour_stamp::from_civil({2020, 6, 15}, 20);
+  EXPECT_DOUBLE_EQ(m.utilization(id, link_index{0}, link_dir::a_to_b, peak),
+                   0.5);
+}
+
+TEST(LoadModelTest, TimezoneShiftsDiurnalPhase) {
+  link_load_model m(1);
+  load_profile p = flat_profile(0.2, 0.3);
+  p.tz = timezone_offset{-8};  // Pacific
+  const auto id = m.add_profile(p);
+  // 04:00 UTC = 20:00 local previous day -> peak.
+  const hour_stamp t = hour_stamp::from_civil({2020, 6, 15}, 4);
+  EXPECT_DOUBLE_EQ(m.utilization(id, link_index{0}, link_dir::a_to_b, t), 0.5);
+}
+
+TEST(LoadModelTest, DirectionsAreIndependent) {
+  link_load_model m(1);
+  load_profile p;
+  p.fwd = {0.1, 0.0, 0.0, 0.0, episode_kind::none, 0, 0, 0};
+  p.rev = {0.7, 0.0, 0.0, 0.0, episode_kind::none, 0, 0, 0};
+  const auto id = m.add_profile(p);
+  const hour_stamp t = hour_stamp::from_civil({2020, 6, 15}, 4);
+  EXPECT_DOUBLE_EQ(m.utilization(id, link_index{0}, link_dir::a_to_b, t), 0.1);
+  EXPECT_DOUBLE_EQ(m.utilization(id, link_index{0}, link_dir::b_to_a, t), 0.7);
+}
+
+TEST(LoadModelTest, WeekendBoostAppliesOnSaturday) {
+  link_load_model m(1);
+  load_profile p = flat_profile(0.2, 0.4);
+  p.fwd.weekend_boost = 0.5;
+  const auto id = m.add_profile(p);
+  // 2020-06-13 was a Saturday; 2020-06-15 a Monday. Peak hour.
+  const double sat = m.utilization(id, link_index{0}, link_dir::a_to_b,
+                                   hour_stamp::from_civil({2020, 6, 13}, 20));
+  const double mon = m.utilization(id, link_index{0}, link_dir::a_to_b,
+                                   hour_stamp::from_civil({2020, 6, 15}, 20));
+  EXPECT_DOUBLE_EQ(mon, 0.6);
+  EXPECT_DOUBLE_EQ(sat, 0.2 + 0.4 * 1.5);
+}
+
+TEST(LoadModelTest, EpisodesOnlyInWindow) {
+  link_load_model m(1);
+  load_profile p = flat_profile(0.2, 0.0);
+  p.rev.episodes = episode_kind::evening_peak;
+  p.rev.episode_prob = 1.0;  // every day
+  p.rev.episode_severity = 0.8;
+  const auto id = m.add_profile(p);
+  for (unsigned h = 0; h < 24; ++h) {
+    const hour_stamp t = hour_stamp::from_civil({2020, 6, 15}, h);
+    const bool active = m.episode_active(id, link_index{3}, link_dir::b_to_a, t);
+    EXPECT_EQ(active, h >= 18 && h <= 23) << "hour " << h;
+    // The non-episode direction never fires.
+    EXPECT_FALSE(m.episode_active(id, link_index{3}, link_dir::a_to_b, t));
+  }
+}
+
+TEST(LoadModelTest, DaytimeAndAllDayWindows) {
+  link_load_model m(1);
+  load_profile day = flat_profile(0.2, 0.0);
+  day.rev.episodes = episode_kind::daytime;
+  day.rev.episode_prob = 1.0;
+  day.rev.episode_severity = 0.5;
+  load_profile all = flat_profile(0.2, 0.0);
+  all.rev.episodes = episode_kind::all_day;
+  all.rev.episode_prob = 1.0;
+  all.rev.episode_severity = 0.5;
+  const auto day_id = m.add_profile(day);
+  const auto all_id = m.add_profile(all);
+  EXPECT_TRUE(m.episode_active(day_id, link_index{0}, link_dir::b_to_a,
+                               hour_stamp::from_civil({2020, 6, 15}, 12)));
+  EXPECT_FALSE(m.episode_active(day_id, link_index{0}, link_dir::b_to_a,
+                                hour_stamp::from_civil({2020, 6, 15}, 20)));
+  EXPECT_TRUE(m.episode_active(all_id, link_index{0}, link_dir::b_to_a,
+                               hour_stamp::from_civil({2020, 6, 15}, 19)));
+  EXPECT_FALSE(m.episode_active(all_id, link_index{0}, link_dir::b_to_a,
+                                hour_stamp::from_civil({2020, 6, 15}, 3)));
+}
+
+TEST(LoadModelTest, EpisodeProbabilityRoughlyHonored) {
+  link_load_model m(9);
+  load_profile p = flat_profile(0.2, 0.0);
+  p.rev.episodes = episode_kind::evening_peak;
+  p.rev.episode_prob = 0.3;
+  p.rev.episode_severity = 0.5;
+  const auto id = m.add_profile(p);
+  int episode_days = 0;
+  const int days = 400;
+  for (int d = 0; d < days; ++d) {
+    const hour_stamp t = hour_stamp::from_civil({2020, 1, 1}, 20) + d * 24;
+    if (m.episode_active(id, link_index{1}, link_dir::b_to_a, t)) {
+      ++episode_days;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(episode_days) / days, 0.3, 0.07);
+}
+
+TEST(ConditionTest, CleanLinkHasHeadroomAndNoLoss) {
+  link_load_model m(1);
+  const auto id = m.add_profile(flat_profile(0.3, 0.0));
+  const link_condition c =
+      m.condition(id, link_index{0}, link_dir::a_to_b,
+                  hour_stamp::from_civil({2020, 6, 15}, 4),
+                  mbps::from_gbps(1.0), link_kind::host_access);
+  EXPECT_NEAR(c.available.value, 700.0, 1e-9);
+  EXPECT_LT(c.loss_rate, 1e-4);
+  EXPECT_DOUBLE_EQ(c.queue_delay.value, 0.0);
+}
+
+TEST(ConditionTest, OverloadCausesLossAndQueueing) {
+  link_load_model m(1);
+  const auto id = m.add_profile(flat_profile(1.1, 0.0));
+  const link_condition c =
+      m.condition(id, link_index{0}, link_dir::a_to_b,
+                  hour_stamp::from_civil({2020, 6, 15}, 4),
+                  mbps::from_gbps(1.0), link_kind::metro_agg);
+  EXPECT_GT(c.loss_rate, 0.02);
+  EXPECT_GT(c.queue_delay.value, 5.0);
+  // Overloaded links still yield a small elastic share, never zero.
+  EXPECT_GT(c.available.value, 0.0);
+  EXPECT_LT(c.available.value, 50.0);
+}
+
+TEST(ConditionTest, LossMonotoneInUtilization) {
+  link_load_model m(1);
+  double prev_loss = -1.0;
+  for (double base : {0.5, 0.92, 1.0, 1.1, 1.3}) {
+    const auto id = m.add_profile(flat_profile(base, 0.0));
+    const link_condition c =
+        m.condition(id, link_index{0}, link_dir::a_to_b,
+                    hour_stamp::from_civil({2020, 6, 15}, 4), mbps{1000.0},
+                    link_kind::interdomain);
+    EXPECT_GT(c.loss_rate, prev_loss);
+    prev_loss = c.loss_rate;
+  }
+}
+
+TEST(ConditionTest, PersistentLossFloor) {
+  link_load_model m(1);
+  load_profile p = flat_profile(0.2, 0.0);
+  p.fwd.persistent_loss = 0.02;
+  const auto id = m.add_profile(p);
+  const link_condition c =
+      m.condition(id, link_index{0}, link_dir::a_to_b,
+                  hour_stamp::from_civil({2020, 6, 15}, 4), mbps{1000.0},
+                  link_kind::interdomain);
+  EXPECT_GE(c.loss_rate, 0.02);
+}
+
+TEST(ConditionTest, QueueDelayBoundedByKind) {
+  for (const link_kind kind :
+       {link_kind::host_access, link_kind::metro_agg, link_kind::backbone,
+        link_kind::interdomain, link_kind::cloud_wan}) {
+    link_load_model m(1);
+    const auto id = m.add_profile(flat_profile(2.0, 0.0));
+    const link_condition c =
+        m.condition(id, link_index{0}, link_dir::a_to_b,
+                    hour_stamp::from_civil({2020, 6, 15}, 4), mbps{1000.0},
+                    kind);
+    EXPECT_LE(c.queue_delay.value, max_queue_delay(kind).value + 1e-9);
+    EXPECT_GT(c.queue_delay.value, 0.0);
+  }
+  EXPECT_GT(max_queue_delay(link_kind::metro_agg).value,
+            max_queue_delay(link_kind::cloud_wan).value);
+}
+
+TEST(LoadModelTest, BadProfileIdThrows) {
+  link_load_model m(1);
+  EXPECT_THROW(m.utilization(0, link_index{0}, link_dir::a_to_b,
+                             hour_stamp{0}),
+               not_found_error);
+}
+
+}  // namespace
+}  // namespace clasp

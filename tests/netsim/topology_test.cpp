@@ -1,0 +1,137 @@
+#include "netsim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  TopologyTest() : geo_(geo_database::builtin()), topo_(&geo_) {
+    a_ = topo_.add_as(asn{100}, "NetA", as_role::access_isp);
+    b_ = topo_.add_as(asn{200}, "NetB", as_role::transit);
+    const city_id la = geo_.city_by_name("Los Angeles, CA").id;
+    const city_id ny = geo_.city_by_name("New York, NY").id;
+    ra_ = topo_.add_router(a_, la, ipv4_addr::parse("10.0.0.1"));
+    rb_ = topo_.add_router(b_, la, ipv4_addr::parse("10.1.0.1"));
+    rb2_ = topo_.add_router(b_, ny, ipv4_addr::parse("10.1.0.2"));
+    link_ = topo_.add_link(link_kind::interdomain, ra_, rb_,
+                           ipv4_addr::parse("10.9.0.0"),
+                           ipv4_addr::parse("10.9.0.1"),
+                           mbps::from_gbps(10.0), millis{1.0});
+  }
+
+  geo_database geo_;
+  topology topo_;
+  as_index a_, b_;
+  router_index ra_, rb_, rb2_;
+  link_index link_;
+};
+
+TEST_F(TopologyTest, BasicCounts) {
+  EXPECT_EQ(topo_.as_count(), 2u);
+  EXPECT_EQ(topo_.router_count(), 3u);
+  EXPECT_EQ(topo_.link_count(), 1u);
+}
+
+TEST_F(TopologyTest, AsLookup) {
+  EXPECT_EQ(topo_.as_at(a_).name, "NetA");
+  EXPECT_EQ(topo_.find_as(asn{200}), b_);
+  EXPECT_FALSE(topo_.find_as(asn{999}).has_value());
+}
+
+TEST_F(TopologyTest, DuplicateAsnRejected) {
+  EXPECT_THROW(topo_.add_as(asn{100}, "Dup", as_role::hosting),
+               invalid_argument_error);
+}
+
+TEST_F(TopologyTest, DuplicateRouterCityRejected) {
+  const city_id la = geo_.city_by_name("Los Angeles, CA").id;
+  EXPECT_THROW(topo_.add_router(a_, la, ipv4_addr::parse("10.0.0.9")),
+               invalid_argument_error);
+}
+
+TEST_F(TopologyTest, SelfLinkRejected) {
+  EXPECT_THROW(
+      topo_.add_link(link_kind::backbone, ra_, ra_,
+                     ipv4_addr::parse("10.9.1.0"), ipv4_addr::parse("10.9.1.1"),
+                     mbps{1.0}, millis{1.0}),
+      invalid_argument_error);
+}
+
+TEST_F(TopologyTest, RouterOfCity) {
+  const city_id la = geo_.city_by_name("Los Angeles, CA").id;
+  const city_id chi = geo_.city_by_name("Chicago, IL").id;
+  EXPECT_EQ(topo_.router_of(a_, la), ra_);
+  EXPECT_FALSE(topo_.router_of(a_, chi).has_value());
+  EXPECT_EQ(topo_.routers_of(b_).size(), 2u);
+}
+
+TEST_F(TopologyTest, InterfaceResolution) {
+  EXPECT_EQ(topo_.router_of_interface(ipv4_addr::parse("10.9.0.0")), ra_);
+  EXPECT_EQ(topo_.router_of_interface(ipv4_addr::parse("10.9.0.1")), rb_);
+  EXPECT_EQ(topo_.router_of_interface(ipv4_addr::parse("10.0.0.1")), ra_);
+  EXPECT_FALSE(
+      topo_.router_of_interface(ipv4_addr::parse("99.9.9.9")).has_value());
+}
+
+TEST_F(TopologyTest, InterfacesOfRouterIncludeLoopbackAndLinks) {
+  const auto ifaces = topo_.interfaces_of(ra_);
+  EXPECT_EQ(ifaces.size(), 2u);  // loopback + link side
+}
+
+TEST_F(TopologyTest, InterfaceOnAndNeighbor) {
+  EXPECT_EQ(topo_.interface_on(ra_, link_), ipv4_addr::parse("10.9.0.0"));
+  EXPECT_EQ(topo_.interface_on(rb_, link_), ipv4_addr::parse("10.9.0.1"));
+  EXPECT_EQ(topo_.neighbor_on(ra_, link_), rb_);
+  EXPECT_THROW(topo_.interface_on(rb2_, link_), invalid_argument_error);
+}
+
+TEST_F(TopologyTest, InterdomainQueries) {
+  EXPECT_EQ(topo_.interdomain_links_between(a_, b_).size(), 1u);
+  EXPECT_EQ(topo_.interdomain_links_between(b_, a_).size(), 1u);
+  EXPECT_EQ(topo_.interdomain_links_of(a_).size(), 1u);
+}
+
+TEST_F(TopologyTest, HostsAttach) {
+  const city_id la = geo_.city_by_name("Los Angeles, CA").id;
+  const host_index h = topo_.add_host(a_, la, ipv4_addr::parse("10.0.4.4"),
+                                      ra_, mbps::from_gbps(1.0));
+  const host_info& info = topo_.host_at(h);
+  EXPECT_EQ(info.owner, a_);
+  EXPECT_EQ(info.attach, ra_);
+  EXPECT_EQ(topo_.link_at(info.access).kind, link_kind::host_access);
+  EXPECT_EQ(topo_.link_of_interface(ipv4_addr::parse("10.0.4.4")),
+            info.access);
+}
+
+TEST_F(TopologyTest, PrefixAnnouncementsBuildTable) {
+  const city_id la = geo_.city_by_name("Los Angeles, CA").id;
+  topo_.announce_prefix(a_, ipv4_prefix::parse("10.0.0.0/16"), la);
+  topo_.announce_prefix(b_, ipv4_prefix::parse("10.1.0.0/16"), la);
+  const prefix2as_table table = topo_.build_prefix2as();
+  EXPECT_EQ(table.lookup(ipv4_addr::parse("10.0.5.5"))->value, 100u);
+  EXPECT_EQ(table.lookup(ipv4_addr::parse("10.1.5.5"))->value, 200u);
+}
+
+TEST_F(TopologyTest, PrimaryTransit) {
+  topo_.set_primary_transit(a_, b_);
+  EXPECT_EQ(topo_.as_at(a_).primary_transit, b_);
+  EXPECT_THROW(topo_.set_primary_transit(a_, a_), invalid_argument_error);
+}
+
+TEST_F(TopologyTest, BadIndicesThrow) {
+  EXPECT_THROW(topo_.as_at(as_index{99}), not_found_error);
+  EXPECT_THROW(topo_.router_at(router_index{99}), not_found_error);
+  EXPECT_THROW(topo_.link_at(link_index{99}), not_found_error);
+  EXPECT_THROW(topo_.host_at(host_index{99}), not_found_error);
+}
+
+TEST(TopologyCtorTest, NullGeoRejected) {
+  EXPECT_THROW(topology(nullptr), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,97 @@
+#include "netsim/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_internet;
+
+TEST(ValidateTest, GeneratedInternetIsClean) {
+  const validation_report report = validate_internet(small_internet());
+  for (const validation_issue& issue : report.issues) {
+    ADD_FAILURE() << (issue.level == validation_issue::severity::error
+                          ? "error: "
+                          : "warning: ")
+                  << issue.what;
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.error_count(), 0u);
+}
+
+TEST(ValidateTest, DetectsDuplicateInterfaceAddresses) {
+  geo_database geo = geo_database::builtin();
+  topology topo(&geo);
+  const as_index a = topo.add_as(asn{1}, "A", as_role::transit);
+  const city_id la = geo.city_by_name("Los Angeles, CA").id;
+  const city_id ny = geo.city_by_name("New York, NY").id;
+  const city_id chi = geo.city_by_name("Chicago, IL").id;
+  const auto r1 = topo.add_router(a, la, ipv4_addr::parse("10.0.0.1"));
+  const auto r2 = topo.add_router(a, ny, ipv4_addr::parse("10.0.0.2"));
+  const auto r3 = topo.add_router(a, chi, ipv4_addr::parse("10.0.0.3"));
+  // Two links reusing the same interface address.
+  topo.add_link(link_kind::backbone, r1, r2, ipv4_addr::parse("10.1.0.0"),
+                ipv4_addr::parse("10.1.0.1"), mbps{1000.0}, millis{1.0});
+  topo.add_link(link_kind::backbone, r1, r3, ipv4_addr::parse("10.1.0.0"),
+                ipv4_addr::parse("10.1.0.3"), mbps{1000.0}, millis{1.0});
+  const validation_report report = validate_topology(topo);
+  EXPECT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& issue : report.issues) {
+    if (issue.what.find("10.1.0.0") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ValidateTest, DetectsBadCapacity) {
+  geo_database geo = geo_database::builtin();
+  topology topo(&geo);
+  const as_index a = topo.add_as(asn{1}, "A", as_role::transit);
+  const city_id la = geo.city_by_name("Los Angeles, CA").id;
+  const city_id ny = geo.city_by_name("New York, NY").id;
+  const auto r1 = topo.add_router(a, la, ipv4_addr::parse("10.0.0.1"));
+  const auto r2 = topo.add_router(a, ny, ipv4_addr::parse("10.0.0.2"));
+  topo.add_link(link_kind::backbone, r1, r2, ipv4_addr::parse("10.1.0.0"),
+                ipv4_addr::parse("10.1.0.1"), mbps{0.0}, millis{1.0});
+  const validation_report report = validate_topology(topo);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidateTest, WarnsOnForeignPrefixAnchor) {
+  geo_database geo = geo_database::builtin();
+  topology topo(&geo);
+  const as_index a = topo.add_as(asn{1}, "A", as_role::hosting);
+  const city_id la = geo.city_by_name("Los Angeles, CA").id;
+  const city_id tokyo = geo.city_by_name("Tokyo").id;
+  topo.add_router(a, la, ipv4_addr::parse("10.0.0.1"));
+  topo.announce_prefix(a, ipv4_prefix::parse("10.2.0.0/16"), tokyo);
+  const validation_report report = validate_topology(topo);
+  EXPECT_TRUE(report.ok());  // warning only
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(ValidateTest, DetectsCrossAsPrefixOverlap) {
+  geo_database geo = geo_database::builtin();
+  topology topo(&geo);
+  const as_index a = topo.add_as(asn{1}, "A", as_role::hosting);
+  const as_index b = topo.add_as(asn{2}, "B", as_role::hosting);
+  const city_id la = geo.city_by_name("Los Angeles, CA").id;
+  const city_id ny = geo.city_by_name("New York, NY").id;
+  topo.add_router(a, la, ipv4_addr::parse("10.0.0.1"));
+  topo.add_router(b, ny, ipv4_addr::parse("10.0.0.2"));
+  topo.announce_prefix(a, ipv4_prefix::parse("20.0.0.0/8"), la);
+  topo.announce_prefix(b, ipv4_prefix::parse("20.5.0.0/16"), ny);
+  const validation_report report = validate_topology(topo);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidateTest, EmptyTopologyIsValid) {
+  geo_database geo = geo_database::builtin();
+  topology topo(&geo);
+  EXPECT_TRUE(validate_topology(topo).ok());
+}
+
+}  // namespace
+}  // namespace clasp

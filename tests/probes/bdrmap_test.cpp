@@ -1,0 +1,156 @@
+#include "probes/bdrmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_internet;
+
+class BdrmapTest : public ::testing::Test {
+ protected:
+  BdrmapTest()
+      : net_(small_internet()),
+        planner_(&net_),
+        view_(&net_),
+        probe_(&planner_, &view_, /*nonresponse_prob=*/0.0),
+        prefix2as_(net_.topo->build_prefix2as()),
+        mapper_(&planner_, &probe_, &prefix2as_) {
+    const city_id region = net_.geo->city_by_name("The Dalles, OR").id;
+    const auto router = net_.topo->router_of(net_.cloud, region);
+    vm_ = endpoint{net_.cloud, region,
+                   net_.topo->router_at(*router).loopback, std::nullopt};
+  }
+
+  internet& net_;
+  route_planner planner_;
+  network_view view_;
+  prober probe_;
+  prefix2as_table prefix2as_;
+  bdrmap mapper_;
+  endpoint vm_;
+};
+
+TEST_F(BdrmapTest, DependenciesValidated) {
+  EXPECT_THROW(bdrmap(nullptr, &probe_, &prefix2as_), invalid_argument_error);
+  EXPECT_THROW(bdrmap(&planner_, nullptr, &prefix2as_),
+               invalid_argument_error);
+  EXPECT_THROW(bdrmap(&planner_, &probe_, nullptr), invalid_argument_error);
+}
+
+TEST_F(BdrmapTest, FindBorderOnSingleTrace) {
+  rng r(1);
+  // Traceroute toward a vantage point host.
+  const endpoint dst = planner_.endpoint_of_host(net_.vantage_points[0]);
+  const route_path p = planner_.from_cloud(vm_, dst, service_tier::premium);
+  const auto trace =
+      probe_.traceroute(p, hour_stamp::from_civil({2020, 4, 20}, 9), r);
+  const auto border = mapper_.find_border(trace);
+  ASSERT_TRUE(border.has_value());
+  const auto [far, neighbor] = *border;
+  // Ground truth: the far side is the non-cloud interface of cloud_edge.
+  ASSERT_TRUE(p.cloud_edge.has_value());
+  const link_info& edge = net_.topo->link_at(*p.cloud_edge);
+  const bool a_is_cloud = net_.topo->owner_of(edge.a) == net_.cloud;
+  EXPECT_EQ(far, a_is_cloud ? edge.addr_b : edge.addr_a);
+  // Neighbor attribution: the owner of the far-side router, or the first
+  // AS after the border (its transit customer path still attributes the
+  // link to the AS whose space follows — here the far router's owner).
+  const as_index far_owner =
+      net_.topo->owner_of(a_is_cloud ? edge.b : edge.a);
+  EXPECT_EQ(neighbor, net_.topo->as_at(far_owner).number);
+}
+
+TEST_F(BdrmapTest, FarSideIsInInterconnectPool) {
+  rng r(2);
+  const endpoint dst = planner_.endpoint_of_host(net_.vantage_points[5]);
+  const route_path p = planner_.from_cloud(vm_, dst, service_tier::premium);
+  const auto trace =
+      probe_.traceroute(p, hour_stamp::from_civil({2020, 4, 20}, 9), r);
+  const auto border = mapper_.find_border(trace);
+  ASSERT_TRUE(border.has_value());
+  EXPECT_TRUE(cloud_interconnect_pool().contains(border->first));
+  // Naive prefix2as calls it Google — the whole point of bdrmap.
+  EXPECT_EQ(prefix2as_.lookup(border->first)->value, cloud_asn().value);
+}
+
+TEST_F(BdrmapTest, AbsorbDeduplicatesByFarSide) {
+  rng r(3);
+  bdrmap_result result;
+  const endpoint dst = planner_.endpoint_of_host(net_.vantage_points[0]);
+  const route_path p = planner_.from_cloud(vm_, dst, service_tier::premium);
+  const hour_stamp t = hour_stamp::from_civil({2020, 4, 20}, 9);
+  mapper_.absorb(probe_.traceroute(p, t, r), result);
+  mapper_.absorb(probe_.traceroute(p, t, r), result);
+  EXPECT_EQ(result.links.size(), 1u);
+  EXPECT_EQ(result.links[0].path_count, 2u);
+}
+
+TEST_F(BdrmapTest, PilotDiscoversMostVisibleLinks) {
+  rng r(4);
+  const auto result = mapper_.run_pilot(
+      vm_, service_tier::premium, hour_stamp::from_civil({2020, 4, 20}, 9), r);
+  EXPECT_GT(result.traceroutes_run, 500u);
+
+  // Ground truth cloud links.
+  std::size_t cloud_links = 0;
+  for (const link_info& l : net_.topo->links()) {
+    if (l.kind != link_kind::interdomain) continue;
+    if (net_.topo->owner_of(l.a) == net_.cloud ||
+        net_.topo->owner_of(l.b) == net_.cloud) {
+      ++cloud_links;
+    }
+  }
+  EXPECT_GT(result.links.size(), cloud_links / 2);
+  EXPECT_LE(result.links.size(), cloud_links);
+
+  // Every discovered far side must be a real interface of a real cloud
+  // link (no false borders).
+  for (const border_observation& obs : result.links) {
+    const auto link = net_.topo->link_of_interface(obs.far_side);
+    ASSERT_TRUE(link.has_value());
+    const link_info& l = net_.topo->link_at(*link);
+    EXPECT_EQ(l.kind, link_kind::interdomain);
+    const bool touches_cloud = net_.topo->owner_of(l.a) == net_.cloud ||
+                               net_.topo->owner_of(l.b) == net_.cloud;
+    EXPECT_TRUE(touches_cloud);
+  }
+}
+
+TEST_F(BdrmapTest, NeighborAttributionMatchesGroundTruth) {
+  rng r(5);
+  const auto result = mapper_.run_pilot(
+      vm_, service_tier::premium, hour_stamp::from_civil({2020, 4, 20}, 9), r);
+  std::size_t correct = 0;
+  for (const border_observation& obs : result.links) {
+    const auto link = net_.topo->link_of_interface(obs.far_side);
+    const link_info& l = net_.topo->link_at(*link);
+    const as_index far_owner =
+        net_.topo->owner_of(net_.topo->owner_of(l.a) == net_.cloud ? l.b : l.a);
+    if (net_.topo->as_at(far_owner).number == obs.neighbor) ++correct;
+  }
+  // Attribution through the next-hop heuristic is correct in the vast
+  // majority of cases (multi-AS hand-offs can blur it).
+  EXPECT_GT(static_cast<double>(correct) / result.links.size(), 0.9);
+}
+
+TEST_F(BdrmapTest, ContainsLookup) {
+  rng r(6);
+  bdrmap_result result;
+  const endpoint dst = planner_.endpoint_of_host(net_.vantage_points[0]);
+  const route_path p = planner_.from_cloud(vm_, dst, service_tier::premium);
+  mapper_.absorb(
+      probe_.traceroute(p, hour_stamp::from_civil({2020, 4, 20}, 9), r),
+      result);
+  ASSERT_EQ(result.links.size(), 1u);
+  EXPECT_TRUE(result.contains(result.links[0].far_side));
+  EXPECT_FALSE(result.contains(ipv4_addr::parse("203.0.113.1")));
+}
+
+}  // namespace
+}  // namespace clasp

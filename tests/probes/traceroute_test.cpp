@@ -1,0 +1,159 @@
+#include "probes/traceroute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_internet;
+
+class TracerouteTest : public ::testing::Test {
+ protected:
+  TracerouteTest()
+      : net_(small_internet()),
+        planner_(&net_),
+        view_(&net_),
+        probe_(&planner_, &view_, /*nonresponse_prob=*/0.0) {
+    const city_id region = net_.geo->city_by_name("Ashburn, VA").id;
+    const auto router = net_.topo->router_of(net_.cloud, region);
+    vm_ = endpoint{net_.cloud, region,
+                   net_.topo->router_at(*router).loopback, std::nullopt};
+    src_ = planner_.endpoint_of_host(net_.vantage_points[3]);
+    path_ = planner_.to_cloud(src_, vm_, service_tier::premium);
+  }
+
+  internet& net_;
+  route_planner planner_;
+  network_view view_;
+  prober probe_;
+  endpoint vm_, src_;
+  route_path path_;
+};
+
+TEST_F(TracerouteTest, DependenciesValidated) {
+  EXPECT_THROW(prober(nullptr, &view_), invalid_argument_error);
+  EXPECT_THROW(prober(&planner_, nullptr), invalid_argument_error);
+  EXPECT_THROW(prober(&planner_, &view_, 1.5), invalid_argument_error);
+}
+
+TEST_F(TracerouteTest, HopCountMatchesRouters) {
+  rng r(1);
+  const auto trace =
+      probe_.traceroute(path_, hour_stamp::from_civil({2020, 6, 1}, 10), r);
+  // No dst host on a PoP endpoint: one hop per router.
+  EXPECT_EQ(trace.hops.size(), path_.routers.size());
+  EXPECT_TRUE(trace.reached);
+  EXPECT_EQ(trace.src, src_.addr);
+  EXPECT_EQ(trace.dst, vm_.addr);
+}
+
+TEST_F(TracerouteTest, TtlsAreSequential) {
+  rng r(2);
+  const auto trace =
+      probe_.traceroute(path_, hour_stamp::from_civil({2020, 6, 1}, 10), r);
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    EXPECT_EQ(trace.hops[i].ttl, i + 1);
+  }
+}
+
+TEST_F(TracerouteTest, AllHopsRespondWhenProbIsZero) {
+  rng r(3);
+  const auto trace =
+      probe_.traceroute(path_, hour_stamp::from_civil({2020, 6, 1}, 10), r);
+  for (const auto& hop : trace.hops) {
+    EXPECT_TRUE(hop.address.has_value());
+  }
+}
+
+TEST_F(TracerouteTest, NonresponseProbabilityDropsHops) {
+  prober flaky(&planner_, &view_, 0.5);
+  rng r(4);
+  std::size_t missing = 0, total = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto trace = flaky.traceroute(
+        path_, hour_stamp::from_civil({2020, 6, 1}, 10), r);
+    for (const auto& hop : trace.hops) {
+      ++total;
+      if (!hop.address) ++missing;
+    }
+  }
+  const double frac = static_cast<double>(missing) / total;
+  EXPECT_GT(frac, 0.3);
+  EXPECT_LT(frac, 0.7);
+}
+
+TEST_F(TracerouteTest, HopAddressesBelongToHopRouters) {
+  rng r(5);
+  const auto trace =
+      probe_.traceroute(path_, hour_stamp::from_civil({2020, 6, 1}, 10), r);
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    ASSERT_TRUE(trace.hops[i].address.has_value());
+    const auto router = net_.topo->router_of_interface(*trace.hops[i].address);
+    ASSERT_TRUE(router.has_value());
+    EXPECT_EQ(*router, path_.routers[i]);
+  }
+}
+
+TEST_F(TracerouteTest, RttsGrowAlongThePath) {
+  rng r(6);
+  const auto trace =
+      probe_.traceroute(path_, hour_stamp::from_civil({2020, 6, 1}, 4), r);
+  // Jitter can reorder adjacent hops slightly; compare first vs last.
+  ASSERT_GE(trace.hops.size(), 2u);
+  EXPECT_LT(trace.hops.front().rtt.value, trace.hops.back().rtt.value);
+}
+
+TEST_F(TracerouteTest, DestinationHostAppearsAsFinalHop) {
+  // Traceroute toward an actual server host.
+  const route_path p =
+      planner_.from_cloud(vm_, src_, service_tier::premium);
+  rng r(7);
+  const auto trace =
+      probe_.traceroute(p, hour_stamp::from_civil({2020, 6, 1}, 10), r);
+  ASSERT_TRUE(trace.reached);
+  EXPECT_EQ(trace.hops.size(), p.routers.size() + 1);
+  EXPECT_EQ(trace.hops.back().address, src_.addr);
+}
+
+TEST_F(TracerouteTest, PingTracksPathRtt) {
+  rng r(8);
+  const hour_stamp t = hour_stamp::from_civil({2020, 6, 1}, 4);
+  const path_metrics m = view_.evaluate(path_, t);
+  for (int i = 0; i < 10; ++i) {
+    const millis p = probe_.ping(path_, t, r);
+    EXPECT_GE(p.value, m.rtt.value);
+    EXPECT_LT(p.value, m.rtt.value + 30.0);
+  }
+}
+
+TEST_F(TracerouteTest, AliasResolutionGroundTruth) {
+  alias_resolver resolver(net_.topo.get(), /*miss_prob=*/0.0);
+  rng r(9);
+  // Any router interface resolves to all of that router's interfaces.
+  const router_info& router = net_.topo->router_at(path_.routers[1]);
+  const auto aliases = resolver.aliases_of(router.loopback, r);
+  EXPECT_EQ(aliases.size(), net_.topo->interfaces_of(router.index).size());
+  EXPECT_TRUE(resolver.same_router(aliases.front(), aliases.back(), r));
+}
+
+TEST_F(TracerouteTest, AliasResolutionMissesWithProbability) {
+  alias_resolver resolver(net_.topo.get(), /*miss_prob=*/1.0);
+  rng r(10);
+  const router_info& router = net_.topo->router_at(path_.routers[1]);
+  const auto aliases = resolver.aliases_of(router.loopback, r);
+  EXPECT_EQ(aliases.size(), 1u);  // only itself
+  EXPECT_FALSE(resolver.same_router(router.loopback, router.loopback, r));
+}
+
+TEST_F(TracerouteTest, UnknownAddressHasNoAliases) {
+  alias_resolver resolver(net_.topo.get(), 0.0);
+  rng r(11);
+  const auto aliases = resolver.aliases_of(ipv4_addr::parse("203.0.113.7"), r);
+  EXPECT_EQ(aliases.size(), 1u);
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,158 @@
+#include "speedtest/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_platform;
+
+TEST(RegistryTest, FleetSizesMatchConfig) {
+  const auto& p = small_platform();
+  const server_registry& reg = p.registry();
+  EXPECT_EQ(reg.size(), p.config().servers.global_server_target);
+  const auto us = reg.crawl("US");
+  EXPECT_GE(us.size(), p.config().servers.us_server_target - 40);
+  EXPECT_LE(us.size(), p.config().servers.us_server_target + 5);
+}
+
+TEST(RegistryTest, CrawlFiltersByCountry) {
+  const server_registry& reg = small_platform().registry();
+  for (const std::size_t id : reg.crawl("US")) {
+    EXPECT_EQ(reg.server(id).country, "US");
+  }
+  const auto intl = reg.crawl("IN");
+  EXPECT_FALSE(intl.empty());
+  for (const std::size_t id : intl) {
+    EXPECT_EQ(reg.server(id).country, "IN");
+  }
+}
+
+TEST(RegistryTest, NamedCaseStudyServersExist) {
+  const server_registry& reg = small_platform().registry();
+  std::size_t cox = 0, cogent_hosted = 0, telstra = 0;
+  for (const speed_server& s : reg.all()) {
+    if (s.network.value == 22773) ++cox;
+    if (s.network.value == 174) ++cogent_hosted;
+    if (s.network.value == 1221) ++telstra;
+  }
+  EXPECT_GE(cox, 3u);            // San Diego / Las Vegas / Santa Barbara
+  EXPECT_GE(cogent_hosted, 2u);  // Axigent + fdcservers
+  EXPECT_GE(telstra, 2u);
+}
+
+TEST(RegistryTest, HostingCompanyDisplayNames) {
+  const server_registry& reg = small_platform().registry();
+  bool axigent = false, fdc = false;
+  for (const speed_server& s : reg.all()) {
+    if (s.name.find("Axigent") != std::string::npos) axigent = true;
+    if (s.name.find("fdcservers") != std::string::npos) fdc = true;
+  }
+  EXPECT_TRUE(axigent);
+  EXPECT_TRUE(fdc);
+}
+
+TEST(RegistryTest, OoklaCapacityFloor) {
+  const server_registry& reg = small_platform().registry();
+  for (const speed_server& s : reg.all()) {
+    if (s.platform == speedtest_platform::ookla) {
+      EXPECT_GE(s.capacity.value, 1000.0) << s.name;
+    }
+  }
+}
+
+TEST(RegistryTest, ComcastPlatformOnlyInComcastAs) {
+  const server_registry& reg = small_platform().registry();
+  std::size_t comcast = 0;
+  for (const speed_server& s : reg.all()) {
+    if (s.platform == speedtest_platform::comcast) {
+      ++comcast;
+      EXPECT_EQ(s.network.value, 7922u) << s.name;
+    }
+  }
+  EXPECT_GT(comcast, 10u);
+}
+
+TEST(RegistryTest, PlatformMixIsOoklaDominated) {
+  const server_registry& reg = small_platform().registry();
+  std::size_t ookla = 0, mlab = 0;
+  for (const speed_server& s : reg.all()) {
+    if (s.platform == speedtest_platform::ookla) ++ookla;
+    if (s.platform == speedtest_platform::mlab) ++mlab;
+  }
+  EXPECT_GT(ookla, mlab * 2);
+  EXPECT_GT(mlab, 0u);
+}
+
+TEST(RegistryTest, DistinctAsesSubstantial) {
+  const server_registry& reg = small_platform().registry();
+  // The paper: ~1,387 servers across 799 U.S. ASes (ratio ~1.7). Scaled
+  // down the ratio should hold roughly.
+  const std::size_t servers = reg.crawl("US").size();
+  const std::size_t ases = reg.distinct_ases("US");
+  EXPECT_GT(ases, servers / 3);
+  EXPECT_LE(ases, servers);
+}
+
+TEST(RegistryTest, InCityAsLookup) {
+  const server_registry& reg = small_platform().registry();
+  const speed_server& first = reg.server(0);
+  const auto found = reg.in_city_as(first.city, first.network);
+  EXPECT_FALSE(found.empty());
+  for (const std::size_t id : found) {
+    EXPECT_EQ(reg.server(id).city, first.city);
+    EXPECT_EQ(reg.server(id).network, first.network);
+  }
+}
+
+TEST(RegistryTest, ServerNamesIncludeCity) {
+  const auto& p = small_platform();
+  const server_registry& reg = p.registry();
+  const speed_server& s = reg.server(0);
+  EXPECT_NE(s.name.find(p.net().geo->city(s.city).name), std::string::npos);
+}
+
+TEST(RegistryTest, BadIdThrows) {
+  const server_registry& reg = small_platform().registry();
+  EXPECT_THROW(reg.server(reg.size()), not_found_error);
+}
+
+TEST(RegistryTest, ChurnAddAndRetire) {
+  // A dedicated platform: churn mutates shared state.
+  platform_config cfg;
+  cfg.internet = ::clasp::testing::small_internet_config();
+  cfg.internet.seed = 31337;
+  cfg.servers = ::clasp::testing::small_server_config();
+  clasp_platform p(cfg);
+  server_registry& reg = const_cast<server_registry&>(p.registry());
+  rng r(1);
+
+  const as_index cox = *p.net().topo->find_as(asn{22773});
+  const city_id city = p.net().topo->as_at(cox).presence.front();
+  const std::size_t before = reg.crawl("US").size();
+  const std::size_t id = reg.add_server(p.net(), cox, city,
+                                        speedtest_platform::ookla,
+                                        mbps::from_gbps(1.0), r);
+  EXPECT_EQ(reg.crawl("US").size(), before + 1);
+  EXPECT_FALSE(reg.retired(id));
+  EXPECT_EQ(reg.server(id).network.value, 22773u);
+
+  reg.retire_server(id);
+  EXPECT_TRUE(reg.retired(id));
+  EXPECT_EQ(reg.crawl("US").size(), before);
+  // Still addressable by id (historical data keeps resolving).
+  EXPECT_EQ(reg.server(id).name, reg.server(id).name);
+  EXPECT_THROW(reg.retire_server(reg.size()), not_found_error);
+}
+
+TEST(RegistryTest, PlatformNames) {
+  EXPECT_STREQ(to_string(speedtest_platform::ookla), "ookla");
+  EXPECT_STREQ(to_string(speedtest_platform::mlab), "mlab");
+  EXPECT_STREQ(to_string(speedtest_platform::comcast), "comcast");
+}
+
+}  // namespace
+}  // namespace clasp

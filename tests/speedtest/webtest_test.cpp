@@ -1,0 +1,127 @@
+#include "speedtest/webtest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_platform;
+
+class WebtestTest : public ::testing::Test {
+ protected:
+  WebtestTest() : platform_(small_platform()) {
+    static gcp_cloud::vm_id vm = platform_.cloud().create_vm(
+        "us-central1", service_tier::premium);
+    vm_ = vm;
+  }
+
+  // Any U.S. server.
+  const speed_server& us_server(std::size_t i = 0) const {
+    const auto us = platform_.registry().crawl("US");
+    return platform_.registry().server(us[i % us.size()]);
+  }
+
+  clasp_platform& platform_;
+  gcp_cloud::vm_id vm_{};
+};
+
+TEST_F(WebtestTest, ReportWithinShapingCaps) {
+  speed_test_session session(&platform_.cloud(), &platform_.view(), vm_,
+                             us_server());
+  rng r(1);
+  for (int h = 0; h < 48; ++h) {
+    const auto report =
+        session.run(hour_stamp::from_civil({2020, 6, 1}, 0) + h, r);
+    EXPECT_GT(report.download.value, 0.0);
+    EXPECT_LE(report.download.value, 1000.0 * 1.1);  // tc cap + noise
+    EXPECT_GT(report.upload.value, 0.0);
+    EXPECT_LE(report.upload.value, 100.0 * 1.1);  // tc uplink cap
+    EXPECT_GT(report.latency.value, 0.0);
+    EXPECT_GE(report.download_loss, 0.0);
+    EXPECT_LE(report.download_loss, 0.95);
+  }
+}
+
+TEST_F(WebtestTest, UploadsPinnedNearUplinkCap) {
+  // The paper: most uploads report close to the 100 Mbps tc limit.
+  speed_test_session session(&platform_.cloud(), &platform_.view(), vm_,
+                             us_server(3));
+  rng r(2);
+  int near_cap = 0, total = 0;
+  for (int h = 0; h < 24 * 7; ++h) {
+    const auto report =
+        session.run(hour_stamp::from_civil({2020, 6, 1}, 0) + h, r);
+    ++total;
+    if (report.upload.value > 80.0) ++near_cap;
+  }
+  EXPECT_GT(static_cast<double>(near_cap) / total, 0.8);
+}
+
+TEST_F(WebtestTest, ReportCarriesIdentity) {
+  const speed_server& server = us_server(1);
+  speed_test_session session(&platform_.cloud(), &platform_.view(), vm_,
+                             server);
+  rng r(3);
+  const hour_stamp t = hour_stamp::from_civil({2020, 7, 4}, 12);
+  const auto report = session.run(t, r);
+  EXPECT_EQ(report.server_id, server.id);
+  EXPECT_EQ(report.at, t);
+  EXPECT_EQ(report.tier, service_tier::premium);
+}
+
+TEST_F(WebtestTest, DeterministicGivenRngState) {
+  speed_test_session session(&platform_.cloud(), &platform_.view(), vm_,
+                             us_server(2));
+  rng r1(7), r2(7);
+  const hour_stamp t = hour_stamp::from_civil({2020, 6, 15}, 20);
+  const auto a = session.run(t, r1);
+  const auto b = session.run(t, r2);
+  EXPECT_DOUBLE_EQ(a.download.value, b.download.value);
+  EXPECT_DOUBLE_EQ(a.upload.value, b.upload.value);
+  EXPECT_DOUBLE_EQ(a.latency.value, b.latency.value);
+}
+
+TEST_F(WebtestTest, PathsMatchVmTier) {
+  static const gcp_cloud::vm_id std_vm = platform_.cloud().create_vm(
+      "us-central1", service_tier::standard);
+  const speed_server& server = us_server(4);
+  speed_test_session prem(&platform_.cloud(), &platform_.view(), vm_, server);
+  speed_test_session stnd(&platform_.cloud(), &platform_.view(), std_vm,
+                          server);
+  // The standard-tier download path must cross the cloud boundary at the
+  // region city; premium generally enters elsewhere (unless the server is
+  // nearby).
+  const auto& net = platform_.net();
+  ASSERT_TRUE(stnd.download_path().cloud_edge.has_value());
+  const link_info& edge = net.topo->link_at(*stnd.download_path().cloud_edge);
+  const router_index cloud_side =
+      net.topo->owner_of(edge.a) == net.cloud ? edge.a : edge.b;
+  EXPECT_EQ(net.topo->router_at(cloud_side).city,
+            platform_.cloud().region_city("us-central1"));
+  // And both sessions reach the same server.
+  EXPECT_EQ(prem.server_id(), stnd.server_id());
+}
+
+TEST_F(WebtestTest, VolumeAccountingPositive) {
+  speed_test_session session(&platform_.cloud(), &platform_.view(), vm_,
+                             us_server(5));
+  rng r(9);
+  const auto report = session.run(hour_stamp::from_civil({2020, 8, 1}, 6), r);
+  EXPECT_GT(report.volume_down.value, 0.0);
+  EXPECT_GT(report.volume_up.value, 0.0);
+  // 15 s at <=100 Mbps is at most ~190 MB up.
+  EXPECT_LT(report.volume_up.value, 200.0);
+}
+
+TEST_F(WebtestTest, NullDependenciesRejected) {
+  EXPECT_THROW(speed_test_session(nullptr, &platform_.view(), vm_, us_server()),
+               invalid_argument_error);
+  EXPECT_THROW(speed_test_session(&platform_.cloud(), nullptr, vm_, us_server()),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace clasp

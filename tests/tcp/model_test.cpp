@@ -1,0 +1,192 @@
+#include "tcp/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+path_metrics clean_path(double rtt_ms = 40.0, double loss = 1e-6,
+                        double bottleneck_mbps = 800.0) {
+  path_metrics m;
+  m.rtt = millis{rtt_ms};
+  m.base_rtt = millis{rtt_ms};
+  m.loss = loss;
+  m.bottleneck = mbps{bottleneck_mbps};
+  return m;
+}
+
+TEST(MathisTest, KnownValue) {
+  // MSS=1460B, RTT=100ms, p=0.01 -> 1.22*...: 11680 bits /(0.1*sqrt(2/300))
+  const mbps t = mathis_throughput(millis{100.0}, 0.01, 1460);
+  // sqrt(2*0.01/3) = 0.08165; 11680/(0.1*0.08165) = 1.4305e6 bps.
+  EXPECT_NEAR(t.value, 1.43, 0.01);
+}
+
+TEST(MathisTest, MonotoneInLossAndRtt) {
+  const mbps low_loss = mathis_throughput(millis{50.0}, 1e-4, 1460);
+  const mbps high_loss = mathis_throughput(millis{50.0}, 1e-2, 1460);
+  EXPECT_GT(low_loss.value, high_loss.value);
+  const mbps short_rtt = mathis_throughput(millis{20.0}, 1e-3, 1460);
+  const mbps long_rtt = mathis_throughput(millis{200.0}, 1e-3, 1460);
+  EXPECT_GT(short_rtt.value, long_rtt.value);
+}
+
+TEST(PftkTest, ReducesToMathisForSmallLoss) {
+  const mbps m = mathis_throughput(millis{80.0}, 1e-5, 1460);
+  const mbps p = pftk_throughput(millis{80.0}, 1e-5, 1460, 0.3);
+  EXPECT_NEAR(p.value / m.value, 1.0, 0.05);
+}
+
+TEST(PftkTest, TimeoutTermBitesAtHighLoss) {
+  const mbps m = mathis_throughput(millis{80.0}, 0.2, 1460);
+  const mbps p = pftk_throughput(millis{80.0}, 0.2, 1460, 0.3);
+  EXPECT_LT(p.value, m.value * 0.5);
+}
+
+TEST(PftkTest, ArgumentValidation) {
+  EXPECT_THROW(pftk_throughput(millis{0.0}, 0.01, 1460, 0.3),
+               invalid_argument_error);
+  EXPECT_THROW(pftk_throughput(millis{50.0}, 0.0, 1460, 0.3),
+               invalid_argument_error);
+  EXPECT_THROW(pftk_throughput(millis{50.0}, 1.0, 1460, 0.3),
+               invalid_argument_error);
+  EXPECT_THROW(mathis_throughput(millis{-1.0}, 0.01, 1460),
+               invalid_argument_error);
+}
+
+TEST(FlowTest, CleanPathIsAvailLimited) {
+  rng r(1);
+  tcp_config cfg;
+  const flow_result f = run_speedtest_flow(clean_path(), cfg, mbps{1000.0}, r);
+  // ~800 Mbps avail times efficiency, never exceeding the cap.
+  EXPECT_GT(f.goodput.value, 600.0);
+  EXPECT_LE(f.goodput.value, 1000.0);
+  EXPECT_FALSE(f.loss_limited);
+  EXPECT_LT(f.reported_loss, 0.02);
+}
+
+TEST(FlowTest, RateCapBinds) {
+  rng r(2);
+  tcp_config cfg;
+  const flow_result f = run_speedtest_flow(clean_path(30.0, 1e-6, 5000.0),
+                                           cfg, mbps{100.0}, r);
+  EXPECT_LE(f.goodput.value, 101.0);
+  EXPECT_GT(f.goodput.value, 80.0);
+}
+
+TEST(FlowTest, HighLossCollapsesThroughput) {
+  rng r(3);
+  tcp_config cfg;
+  const flow_result clean =
+      run_speedtest_flow(clean_path(100.0, 1e-6, 800.0), cfg, mbps{1000.0}, r);
+  const flow_result lossy =
+      run_speedtest_flow(clean_path(100.0, 0.05, 800.0), cfg, mbps{1000.0}, r);
+  EXPECT_LT(lossy.goodput.value, clean.goodput.value * 0.25);
+  EXPECT_TRUE(lossy.loss_limited);
+  EXPECT_GE(lossy.reported_loss, 0.05);
+}
+
+TEST(FlowTest, MoreConnectionsRaiseLossBound) {
+  rng r1(4), r2(4);
+  tcp_config one;
+  one.connections = 1;
+  tcp_config many;
+  many.connections = 8;
+  const path_metrics path = clean_path(120.0, 0.005, 900.0);
+  const flow_result f1 = run_speedtest_flow(path, one, mbps{1000.0}, r1);
+  const flow_result f8 = run_speedtest_flow(path, many, mbps{1000.0}, r2);
+  EXPECT_GT(f8.goodput.value, f1.goodput.value * 3.0);
+}
+
+TEST(FlowTest, VolumeMatchesGoodputAndDuration) {
+  rng r(5);
+  tcp_config cfg;
+  cfg.duration_seconds = 10.0;
+  const flow_result f = run_speedtest_flow(clean_path(), cfg, mbps{1000.0}, r);
+  EXPECT_NEAR(f.volume.value, f.goodput.bytes_per_second() * 10.0 / 1e6,
+              1e-6);
+}
+
+TEST(FlowTest, NeverReportsZero) {
+  rng r(6);
+  tcp_config cfg;
+  path_metrics dead = clean_path(300.0, 0.55, 0.01);
+  const flow_result f = run_speedtest_flow(dead, cfg, mbps{1000.0}, r);
+  EXPECT_GT(f.goodput.value, 0.0);
+  EXPECT_LT(f.goodput.value, 5.0);
+  EXPECT_GT(f.reported_loss, 0.3);
+}
+
+TEST(FlowTest, ReportedLossIncludesRampBurst) {
+  rng r(7);
+  tcp_config cfg;
+  // Very clean path: reported loss still nonzero from self-induced losses.
+  const flow_result f =
+      run_speedtest_flow(clean_path(40.0, 1e-6, 500.0), cfg, mbps{1000.0}, r);
+  EXPECT_GT(f.reported_loss, 1e-5);
+}
+
+TEST(FlowTest, ArgumentValidation) {
+  rng r(8);
+  tcp_config zero_conns;
+  zero_conns.connections = 0;
+  EXPECT_THROW(run_speedtest_flow(clean_path(), zero_conns, mbps{100.0}, r),
+               invalid_argument_error);
+  tcp_config cfg;
+  EXPECT_THROW(run_speedtest_flow(clean_path(), cfg, mbps{0.0}, r),
+               invalid_argument_error);
+}
+
+TEST(LatencyProbeTest, AtLeastPathRtt) {
+  rng r(9);
+  const path_metrics m = clean_path(37.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_GE(run_latency_probe(m, 10, r).value, 37.0);
+  }
+}
+
+TEST(LatencyProbeTest, MoreProbesTightenMinimum) {
+  rng r1(10), r2(10);
+  const path_metrics m = clean_path(30.0);
+  double few = 0.0, many = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    few += run_latency_probe(m, 1, r1).value;
+    many += run_latency_probe(m, 20, r2).value;
+  }
+  EXPECT_LT(many, few);
+}
+
+TEST(LatencyProbeTest, ZeroProbesRejected) {
+  rng r(11);
+  EXPECT_THROW(run_latency_probe(clean_path(), 0, r), invalid_argument_error);
+}
+
+// Property sweep: goodput never exceeds any cap for random conditions.
+class FlowPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowPropertyTest, CapsAlwaysRespected) {
+  rng r(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    path_metrics m;
+    m.rtt = millis{r.uniform(5.0, 300.0)};
+    m.loss = r.uniform(1e-6, 0.3);
+    m.bottleneck = mbps{r.uniform(0.5, 2000.0)};
+    const mbps cap{r.uniform(10.0, 1000.0)};
+    tcp_config cfg;
+    cfg.connections = 1 + static_cast<unsigned>(r.uniform_int(0, 7));
+    const flow_result f = run_speedtest_flow(m, cfg, cap, r);
+    // Efficiency jitter can exceed 1 slightly; allow 10% headroom.
+    EXPECT_LE(f.goodput.value,
+              1.1 * std::min(cap.value, m.bottleneck.value) + 0.06);
+    EXPECT_GE(f.reported_loss, 0.0);
+    EXPECT_LE(f.reported_loss, 0.95);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,71 @@
+// Shared fixtures for the test suites.
+//
+// Full-size internets take ~100 ms to generate; tests that only need
+// structure use a small config, and each test binary caches one instance
+// per config through the leaky-singleton pattern (gtest runs suites in one
+// process).
+#pragma once
+
+#include "clasp/platform.hpp"
+#include "netsim/generator.hpp"
+#include "netsim/network.hpp"
+#include "netsim/routing.hpp"
+#include "speedtest/registry.hpp"
+
+namespace clasp::testing {
+
+// A reduced Internet that keeps every structural feature (named ASes,
+// carriers, peerings, vantage points) at ~1/8 scale.
+inline internet_config small_internet_config() {
+  internet_config cfg;
+  cfg.seed = 1234;
+  cfg.regional_isp_count = 250;
+  cfg.hosting_count = 150;
+  cfg.business_count = 350;
+  cfg.education_count = 60;
+  cfg.large_isp_count = 20;
+  cfg.vantage_point_count = 220;
+  return cfg;
+}
+
+inline server_deploy_config small_server_config() {
+  server_deploy_config cfg;
+  cfg.us_server_target = 260;
+  cfg.global_server_target = 1400;
+  return cfg;
+}
+
+// Cached small internet (per test binary).
+inline internet& small_internet() {
+  static internet* net = new internet(generate_internet(small_internet_config()));
+  return *net;
+}
+
+// A fully wired small platform (substrate + servers + cloud), cached.
+inline clasp_platform& small_platform() {
+  static clasp_platform* platform = [] {
+    platform_config cfg;
+    cfg.internet = small_internet_config();
+    cfg.servers = small_server_config();
+    // Budgets scaled down with the fleet.
+    cfg.topology_budgets = {{"us-west1", 40}, {"us-west2", 12},
+                            {"us-west4", 18}, {"us-east1", 60},
+                            {"us-east4", 15}, {"us-central1", 20}};
+    return new clasp_platform(cfg);
+  }();
+  return *platform;
+}
+
+// Ensure the shared fixture has a short us-east1 topology campaign in its
+// store (ctest runs every test in its own process, so data produced by
+// other tests is not implicitly available).
+inline void ensure_east1_campaign(clasp_platform& platform) {
+  if (!platform.download_series("topology", "us-east1").series.empty()) {
+    return;
+  }
+  const hour_range window{hour_stamp::from_civil({2020, 5, 1}, 0),
+                          hour_stamp::from_civil({2020, 5, 4}, 0)};
+  platform.start_topology_campaign("us-east1", window).run();
+}
+
+}  // namespace clasp::testing

@@ -1,0 +1,160 @@
+#include "tsdb/tsdb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+hour_stamp h(int n) { return hour_stamp{n}; }
+
+TEST(TsdbTest, WriteCreatesSeriesOnFirstUse) {
+  tsdb db;
+  db.write("download_mbps", {{"server", "1"}}, h(0), 500.0);
+  db.write("download_mbps", {{"server", "1"}}, h(1), 510.0);
+  db.write("download_mbps", {{"server", "2"}}, h(0), 300.0);
+  EXPECT_EQ(db.series_count(), 2u);
+  EXPECT_EQ(db.point_count(), 3u);
+}
+
+TEST(TsdbTest, FindExactTags) {
+  tsdb db;
+  db.write("m", {{"a", "1"}, {"b", "2"}}, h(0), 1.0);
+  EXPECT_NE(db.find("m", {{"a", "1"}, {"b", "2"}}), nullptr);
+  EXPECT_NE(db.find("m", {{"b", "2"}, {"a", "1"}}), nullptr);  // order-free
+  EXPECT_EQ(db.find("m", {{"a", "1"}}), nullptr);
+  EXPECT_EQ(db.find("other", {{"a", "1"}, {"b", "2"}}), nullptr);
+}
+
+TEST(TsdbTest, QueryWithFilter) {
+  tsdb db;
+  db.write("m", {{"region", "us-west1"}, {"server", "1"}}, h(0), 1.0);
+  db.write("m", {{"region", "us-west1"}, {"server", "2"}}, h(0), 2.0);
+  db.write("m", {{"region", "us-east1"}, {"server", "3"}}, h(0), 3.0);
+
+  tag_filter west;
+  west.required["region"] = "us-west1";
+  EXPECT_EQ(db.query("m", west).size(), 2u);
+  EXPECT_EQ(db.query("m").size(), 3u);
+  tag_filter none;
+  none.required["region"] = "mars";
+  EXPECT_TRUE(db.query("m", none).empty());
+  EXPECT_TRUE(db.query("missing_metric").empty());
+}
+
+TEST(TsdbTest, OutOfOrderAppendRejected) {
+  tsdb db;
+  db.write("m", {}, h(5), 1.0);
+  EXPECT_THROW(db.write("m", {}, h(4), 2.0), invalid_argument_error);
+  EXPECT_NO_THROW(db.write("m", {}, h(5), 3.0));  // equal timestamps fine
+}
+
+TEST(TsdbTest, RangeQueriesAreHalfOpen) {
+  tsdb db;
+  for (int i = 0; i < 10; ++i) db.write("m", {}, h(i), i);
+  const ts_series* s = db.find("m", {});
+  ASSERT_NE(s, nullptr);
+  const auto r = s->range(h(3), h(7));
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.front().value, 3.0);
+  EXPECT_DOUBLE_EQ(r.back().value, 6.0);
+  EXPECT_TRUE(s->range(h(20), h(30)).empty());
+  EXPECT_EQ(s->values_in(h(0), h(10)).size(), 10u);
+}
+
+TEST(TsdbTest, TagAccessors) {
+  tsdb db;
+  db.write("m", {{"tier", "premium"}}, h(0), 1.0);
+  const ts_series* s = db.find("m", {{"tier", "premium"}});
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->tag("tier").value_or(""), "premium");
+  EXPECT_FALSE(s->tag("region").has_value());
+  EXPECT_EQ(s->metric(), "m");
+}
+
+TEST(TsdbTest, TagValuesEnumeratesDistinct) {
+  tsdb db;
+  db.write("m", {{"server", "1"}}, h(0), 1.0);
+  db.write("m", {{"server", "2"}}, h(0), 1.0);
+  db.write("m", {{"server", "1"}}, h(1), 1.0);
+  const auto values = db.tag_values("m", "server");
+  EXPECT_EQ(values.size(), 2u);
+}
+
+TEST(TsdbTest, SeriesKeyCollisionResistance) {
+  // Tags that would concatenate identically must stay distinct.
+  tsdb db;
+  db.write("m", {{"ab", "c"}}, h(0), 1.0);
+  db.write("m", {{"a", "bc"}}, h(0), 2.0);
+  EXPECT_EQ(db.series_count(), 2u);
+}
+
+TEST(TsdbTest, LargeAppendAndScan) {
+  tsdb db;
+  for (int i = 0; i < 5000; ++i) {
+    db.write("m", {{"s", "x"}}, h(i), static_cast<double>(i % 100));
+  }
+  const ts_series* s = db.find("m", {{"s", "x"}});
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->size(), 5000u);
+  EXPECT_EQ(s->range(h(1000), h(2000)).size(), 1000u);
+}
+
+}  // namespace
+}  // namespace clasp
+// Appended: CSV export tests (kept in this file to share the fixtures).
+#include <sstream>
+
+namespace clasp {
+namespace {
+
+TEST(TsdbCsvTest, HeaderAndRows) {
+  tsdb db;
+  db.write("m", {{"region", "us-west1"}, {"server", "3"}}, h(0), 1.5);
+  db.write("m", {{"region", "us-west1"}, {"server", "3"}}, h(1), 2.5);
+  std::ostringstream os;
+  db.export_csv(os, "m");
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("hour,value,region,server"), std::string::npos);
+  EXPECT_NE(csv.find("0,1.5,us-west1,3"), std::string::npos);
+  EXPECT_NE(csv.find("1,2.5,us-west1,3"), std::string::npos);
+}
+
+TEST(TsdbCsvTest, QuotesCommasInFields) {
+  tsdb db;
+  db.write("m", {{"city", "Las Vegas, NV"}}, h(0), 7.0);
+  std::ostringstream os;
+  db.export_csv(os, "m");
+  EXPECT_NE(os.str().find("\"Las Vegas, NV\""), std::string::npos);
+}
+
+TEST(TsdbCsvTest, QuotesQuotes) {
+  tsdb db;
+  db.write("m", {{"name", "the \"best\" server"}}, h(0), 1.0);
+  std::ostringstream os;
+  db.export_csv(os, "m");
+  EXPECT_NE(os.str().find("\"the \"\"best\"\" server\""), std::string::npos);
+}
+
+TEST(TsdbCsvTest, FilterRestrictsRows) {
+  tsdb db;
+  db.write("m", {{"region", "a"}}, h(0), 1.0);
+  db.write("m", {{"region", "b"}}, h(0), 2.0);
+  tag_filter f;
+  f.required["region"] = "a";
+  std::ostringstream os;
+  db.export_csv(os, "m", f);
+  EXPECT_NE(os.str().find(",a"), std::string::npos);
+  EXPECT_EQ(os.str().find(",b"), std::string::npos);
+}
+
+TEST(TsdbCsvTest, EmptyMetricJustHeader) {
+  tsdb db;
+  std::ostringstream os;
+  db.export_csv(os, "missing");
+  EXPECT_EQ(os.str(), "hour,value\n");
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,77 @@
+#include "util/ini.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+TEST(IniTest, ParsesSectionsAndKeys) {
+  const ini_document doc = ini_document::parse(
+      "top = 1\n"
+      "[internet]\n"
+      "seed = 42\n"
+      "name = The Dalles, OR\n"
+      "\n"
+      "# comment\n"
+      "; also comment\n"
+      "[servers]\n"
+      "target = 1330\n");
+  EXPECT_EQ(doc.get("top"), "1");
+  EXPECT_EQ(doc.get_int("internet.seed"), 42);
+  EXPECT_EQ(doc.get("internet.name"), "The Dalles, OR");
+  EXPECT_EQ(doc.get_int("servers.target"), 1330);
+  EXPECT_EQ(doc.entries().size(), 4u);
+}
+
+TEST(IniTest, WhitespaceTolerant) {
+  const ini_document doc = ini_document::parse(
+      "  [ spaced ]  \n"
+      "   key   =   value with spaces   \n");
+  EXPECT_EQ(doc.get("spaced.key"), "value with spaces");
+}
+
+TEST(IniTest, TypedAccessors) {
+  const ini_document doc = ini_document::parse(
+      "i = -5\nd = 2.75\nbt = yes\nbf = 0\n");
+  EXPECT_EQ(doc.get_int("i"), -5);
+  EXPECT_DOUBLE_EQ(doc.get_double("d"), 2.75);
+  EXPECT_TRUE(doc.get_bool("bt"));
+  EXPECT_FALSE(doc.get_bool("bf"));
+}
+
+TEST(IniTest, TypedErrors) {
+  const ini_document doc = ini_document::parse("x = abc\n");
+  EXPECT_THROW(doc.get_int("x"), invalid_argument_error);
+  EXPECT_THROW(doc.get_double("x"), invalid_argument_error);
+  EXPECT_THROW(doc.get_bool("x"), invalid_argument_error);
+  EXPECT_THROW(doc.get("missing"), not_found_error);
+  EXPECT_EQ(doc.get_or("missing", "fallback"), "fallback");
+  EXPECT_FALSE(doc.contains("missing"));
+  EXPECT_TRUE(doc.contains("x"));
+}
+
+TEST(IniTest, MalformedLinesThrowWithLineNumber) {
+  try {
+    ini_document::parse("good = 1\nno equals sign\n");
+    FAIL() << "expected throw";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(ini_document::parse("[unterminated\n"), invalid_argument_error);
+  EXPECT_THROW(ini_document::parse("= novalue\n"), invalid_argument_error);
+}
+
+TEST(IniTest, LastValueWins) {
+  const ini_document doc = ini_document::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(doc.get("k"), "2");
+}
+
+TEST(IniTest, EmptyDocument) {
+  const ini_document doc = ini_document::parse("");
+  EXPECT_TRUE(doc.entries().empty());
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,221 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace clasp {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  rng a(42), b(43);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  rng parent(7);
+  rng c1 = parent.fork("topology");
+  rng parent2(7);
+  rng c2 = parent2.fork("topology");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(RngTest, ForkTagsDecorrelate) {
+  rng parent(7);
+  rng a = parent.fork("alpha");
+  rng b = parent.fork("beta");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkedChildIndependentOfParentDrawCount) {
+  // A child forked from a fresh parent must not change when the parent has
+  // made intermediate draws with a *different* state... forks depend on
+  // parent state by design, so equal parent states give equal children.
+  rng p1(9), p2(9);
+  (void)p1();
+  (void)p2();
+  rng c1 = p1.fork("x");
+  rng c2 = p2.fork("x");
+  EXPECT_EQ(c1(), c2());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  rng r(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  rng r(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  rng r(3);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  rng r(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  rng r(5);
+  EXPECT_EQ(r.uniform_int(17, 17), 17);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  rng r(6);
+  EXPECT_THROW(r.uniform_int(2, 1), invalid_argument_error);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  rng r(7);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+  EXPECT_FALSE(r.bernoulli(-0.5));
+  EXPECT_TRUE(r.bernoulli(1.5));
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  rng r(8);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  rng r(9);
+  std::vector<double> xs(100000);
+  for (double& x : xs) x = r.normal(10.0, 2.0);
+  EXPECT_NEAR(mean(xs), 10.0, 0.05);
+  EXPECT_NEAR(sample_stddev(xs), 2.0, 0.05);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  rng r(10);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  rng r(11);
+  std::vector<double> xs(100000);
+  for (double& x : xs) x = r.exponential(4.0);
+  EXPECT_NEAR(mean(xs), 0.25, 0.01);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveRate) {
+  rng r(12);
+  EXPECT_THROW(r.exponential(0.0), invalid_argument_error);
+  EXPECT_THROW(r.exponential(-1.0), invalid_argument_error);
+}
+
+TEST(RngTest, ParetoStaysInBounds) {
+  rng r(13);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = r.pareto(1.0, 100.0, 1.2);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0 + 1e-9);
+  }
+}
+
+TEST(RngTest, ParetoRejectsBadParams) {
+  rng r(14);
+  EXPECT_THROW(r.pareto(0.0, 10.0, 1.0), invalid_argument_error);
+  EXPECT_THROW(r.pareto(5.0, 5.0, 1.0), invalid_argument_error);
+  EXPECT_THROW(r.pareto(1.0, 10.0, 0.0), invalid_argument_error);
+}
+
+TEST(RngTest, ZipfRankWithinBounds) {
+  rng r(15);
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t k = r.zipf(50, 1.1);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 50u);
+  }
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  rng r(16);
+  int low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t k = r.zipf(100, 1.3);
+    if (k <= 10) ++low;
+    if (k > 50) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(RngTest, ZipfRejectsZeroN) {
+  rng r(17);
+  EXPECT_THROW(r.zipf(0, 1.0), invalid_argument_error);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  rng r(18);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = v;
+  r.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  rng r(19);
+  const auto idx = r.sample_indices(100, 30);
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const std::size_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleIndicesRejectsOversample) {
+  rng r(20);
+  EXPECT_THROW(r.sample_indices(5, 6), invalid_argument_error);
+}
+
+TEST(RngTest, HashTagIsStable) {
+  EXPECT_EQ(hash_tag(1, "abc"), hash_tag(1, "abc"));
+  EXPECT_NE(hash_tag(1, "abc"), hash_tag(2, "abc"));
+  EXPECT_NE(hash_tag(1, "abc"), hash_tag(1, "abd"));
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,109 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clasp {
+namespace {
+
+TEST(CivilDateTest, EpochIsDayZero) {
+  EXPECT_EQ(days_from_civil({1970, 1, 1}), 0);
+}
+
+TEST(CivilDateTest, KnownDates) {
+  EXPECT_EQ(days_from_civil({2020, 1, 1}), 18262);
+  EXPECT_EQ(days_from_civil({2020, 3, 1}), 18322);  // 2020 is a leap year
+  EXPECT_EQ(days_from_civil({2020, 12, 31}), 18627);
+}
+
+TEST(CivilDateTest, RoundTripAcrossYears) {
+  for (std::int64_t day = 17000; day < 20000; ++day) {
+    EXPECT_EQ(days_from_civil(civil_from_days(day)), day);
+  }
+}
+
+TEST(CivilDateTest, LeapDayExists) {
+  const civil_date leap = civil_from_days(days_from_civil({2020, 2, 29}));
+  EXPECT_EQ(leap.year, 2020);
+  EXPECT_EQ(leap.month, 2u);
+  EXPECT_EQ(leap.day, 29u);
+}
+
+TEST(HourStampTest, EpochProperties) {
+  const hour_stamp t = hour_stamp::from_civil({2020, 1, 1}, 0);
+  EXPECT_EQ(t.hours_since_epoch(), 0);
+  EXPECT_EQ(t.utc_day_index(), 0);
+  EXPECT_EQ(t.utc_hour_of_day(), 0u);
+}
+
+TEST(HourStampTest, FromCivilAndBack) {
+  const hour_stamp t = hour_stamp::from_civil({2020, 5, 17}, 13);
+  EXPECT_EQ(t.utc_hour_of_day(), 13u);
+  const civil_date d = t.utc_date();
+  EXPECT_EQ(d.year, 2020);
+  EXPECT_EQ(d.month, 5u);
+  EXPECT_EQ(d.day, 17u);
+}
+
+TEST(HourStampTest, Arithmetic) {
+  const hour_stamp t = hour_stamp::from_civil({2020, 5, 1}, 0);
+  const hour_stamp u = t + 25;
+  EXPECT_EQ(u - t, 25);
+  EXPECT_EQ(u.utc_hour_of_day(), 1u);
+  EXPECT_EQ(u.utc_day_index(), t.utc_day_index() + 1);
+}
+
+TEST(HourStampTest, IncrementIsOneHour) {
+  hour_stamp t = hour_stamp::from_civil({2020, 5, 1}, 23);
+  ++t;
+  EXPECT_EQ(t.utc_hour_of_day(), 0u);
+  EXPECT_EQ(t.utc_date().day, 2u);
+}
+
+TEST(HourStampTest, LocalHourWestOfUtc) {
+  // 02:00 UTC is 18:00 the previous day in UTC-8.
+  const hour_stamp t = hour_stamp::from_civil({2020, 5, 2}, 2);
+  const timezone_offset pacific{-8};
+  EXPECT_EQ(t.local_hour_of_day(pacific), 18u);
+  EXPECT_EQ(t.local_day_index(pacific), t.utc_day_index() - 1);
+}
+
+TEST(HourStampTest, LocalHourEastOfUtc) {
+  // 22:00 UTC is 03:30 next day in UTC+5 (we use whole hours: 03:00 at +5).
+  const hour_stamp t = hour_stamp::from_civil({2020, 5, 2}, 22);
+  const timezone_offset india{5};
+  EXPECT_EQ(t.local_hour_of_day(india), 3u);
+  EXPECT_EQ(t.local_day_index(india), t.utc_day_index() + 1);
+}
+
+TEST(HourStampTest, LocalTimeIdentityAtUtc) {
+  const hour_stamp t = hour_stamp::from_civil({2020, 8, 15}, 7);
+  EXPECT_EQ(t.local_hour_of_day(timezone_offset{0}), t.utc_hour_of_day());
+}
+
+TEST(HourStampTest, NegativeHoursBeforeEpoch) {
+  const hour_stamp t = hour_stamp::from_civil({2019, 12, 31}, 23);
+  EXPECT_EQ(t.hours_since_epoch(), -1);
+  EXPECT_EQ(t.utc_hour_of_day(), 23u);
+  EXPECT_EQ(t.utc_day_index(), -1);
+}
+
+TEST(HourStampTest, ToStringFormat) {
+  const hour_stamp t = hour_stamp::from_civil({2020, 9, 3}, 5);
+  EXPECT_EQ(t.to_string(), "2020-09-03 05:00Z");
+}
+
+TEST(CampaignWindowTest, TopologyWindowIsFiveMonths) {
+  const hour_range w = topology_campaign_window();
+  EXPECT_EQ(w.begin_at, hour_stamp::from_civil({2020, 5, 1}, 0));
+  // May(31) + Jun(30) + Jul(31) + Aug(31) + Sep(30) = 153 days.
+  EXPECT_EQ(w.count(), 153 * 24);
+}
+
+TEST(CampaignWindowTest, DifferentialWindowIsTwoMonths) {
+  const hour_range w = differential_campaign_window();
+  EXPECT_EQ(w.count(), (31 + 30) * 24);
+  EXPECT_EQ(w.end_at, topology_campaign_window().end_at);
+}
+
+}  // namespace
+}  // namespace clasp

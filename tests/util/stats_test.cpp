@@ -1,0 +1,198 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clasp {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, SampleStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(sample_stddev(xs), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(sample_stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(PercentileTest, KnownQuartiles) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.5);
+  EXPECT_DOUBLE_EQ(median(xs), 5.5);
+}
+
+TEST(PercentileTest, InterpolatesBetweenSamples) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 95.0), 9.5);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 5.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 95.0), 42.0);
+}
+
+TEST(PercentileTest, Errors) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0),
+               invalid_argument_error);
+  EXPECT_THROW(percentile(xs, -1.0), invalid_argument_error);
+  EXPECT_THROW(percentile(xs, 101.0), invalid_argument_error);
+}
+
+// Property: for any sample, percentiles are monotone and bounded.
+class PercentileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileProperty, MonotoneAndBounded) {
+  rng r(GetParam());
+  std::vector<double> xs(1 + static_cast<std::size_t>(r.uniform_int(0, 200)));
+  for (double& x : xs) x = r.normal(0.0, 100.0);
+  double prev = percentile(xs, 0.0);
+  const double lo = prev;
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double v = percentile(xs, p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_GE(lo, *std::min_element(xs.begin(), xs.end()) - 1e-12);
+  EXPECT_LE(prev, *std::max_element(xs.begin(), xs.end()) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(CdfTest, EmpiricalCdfSteps) {
+  const std::vector<double> xs{3.0, 1.0, 2.0, 2.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].cumulative_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].x, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].cumulative_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative_fraction, 1.0);
+}
+
+TEST(CdfTest, CdfAtQueries) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(cdf_at(sorted, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(sorted, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(sorted, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf_at(std::vector<double>{}, 1.0), 0.0);
+}
+
+TEST(KdeTest, IntegratesToRoughlyOne) {
+  rng r(5);
+  std::vector<double> xs(2000);
+  for (double& x : xs) x = r.normal(50.0, 10.0);
+  const auto kde = gaussian_kde(xs, 0.0, 100.0, 201);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < kde.size(); ++i) {
+    integral += 0.5 * (kde[i].density + kde[i - 1].density) *
+                (kde[i].x - kde[i - 1].x);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(KdeTest, PeaksNearMode) {
+  rng r(6);
+  std::vector<double> xs(3000);
+  for (double& x : xs) x = r.normal(30.0, 5.0);
+  const auto kde = gaussian_kde(xs, 0.0, 60.0, 121);
+  const auto peak = std::max_element(
+      kde.begin(), kde.end(),
+      [](const kde_point& a, const kde_point& b) { return a.density < b.density; });
+  EXPECT_NEAR(peak->x, 30.0, 2.0);
+}
+
+TEST(KdeTest, Errors) {
+  EXPECT_THROW(gaussian_kde(std::vector<double>{}, 0, 1, 10),
+               invalid_argument_error);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(gaussian_kde(xs, 0, 1, 1), invalid_argument_error);
+}
+
+TEST(ElbowTest, FindsSyntheticKnee) {
+  // y = exp(-3x): strong curvature near x ~ 1/3.
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 20; ++i) {
+    const double x = i / 20.0;
+    xs.push_back(x);
+    ys.push_back(std::exp(-3.0 * x));
+  }
+  const std::size_t idx = elbow_index(xs, ys);
+  EXPECT_GE(xs[idx], 0.15);
+  EXPECT_LE(xs[idx], 0.55);
+}
+
+TEST(ElbowTest, Errors) {
+  const std::vector<double> two{0.0, 1.0};
+  EXPECT_THROW(elbow_index(two, two), invalid_argument_error);
+  const std::vector<double> three{0.0, 0.5, 1.0};
+  EXPECT_THROW(elbow_index(three, two), invalid_argument_error);
+}
+
+TEST(AutocorrelationTest, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> xs(24 * 30);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 24.0);
+  }
+  EXPECT_GT(autocorrelation(xs, 24), 0.9);
+  EXPECT_LT(autocorrelation(xs, 12), -0.9);
+}
+
+TEST(AutocorrelationTest, WhiteNoiseNearZero) {
+  rng r(7);
+  std::vector<double> xs(5000);
+  for (double& x : xs) x = r.normal();
+  EXPECT_NEAR(autocorrelation(xs, 24), 0.0, 0.05);
+}
+
+TEST(AutocorrelationTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(autocorrelation(std::vector<double>{1.0}, 1), 0.0);
+  const std::vector<double> flat(10, 3.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(flat, 2), 0.0);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(HistogramTest, BinningAndEdges) {
+  const std::vector<double> xs{0.0, 0.5, 1.0, 2.5, 5.0, -1.0, 6.0};
+  const histogram h = make_histogram(xs, 0.0, 5.0, 5);
+  ASSERT_EQ(h.counts.size(), 5u);
+  EXPECT_EQ(h.counts[0], 2u);  // 0.0, 0.5
+  EXPECT_EQ(h.counts[1], 1u);  // 1.0
+  EXPECT_EQ(h.counts[2], 1u);  // 2.5
+  EXPECT_EQ(h.counts[4], 1u);  // 5.0 lands in the last bin
+  EXPECT_EQ(h.total(), 5u);    // -1 and 6 fall outside
+}
+
+TEST(HistogramTest, Errors) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(make_histogram(xs, 0.0, 1.0, 0), invalid_argument_error);
+  EXPECT_THROW(make_histogram(xs, 1.0, 1.0, 3), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace clasp

@@ -1,0 +1,69 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clasp {
+namespace {
+
+TEST(StringsTest, SplitBasics) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitEmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, "-"), "x-y-z");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-ws"), "no-ws");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(5.0, 0), "5");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("us-west1", "us-"));
+  EXPECT_FALSE(starts_with("us", "us-"));
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("Ookla M-Lab"), "ookla m-lab");
+}
+
+TEST(StringsTest, SparklineScalesToRange) {
+  const std::string s = sparkline({0.0, 0.5, 1.0});
+  EXPECT_EQ(s, "\u2581\u2584\u2588");
+}
+
+TEST(StringsTest, SparklineEdgeCases) {
+  EXPECT_EQ(sparkline({}), "");
+  EXPECT_EQ(sparkline({7.0, 7.0, 7.0}),
+            "\u2581\u2581\u2581");  // constant -> lowest level
+  EXPECT_EQ(sparkline({42.0}), "\u2581");
+}
+
+}  // namespace
+}  // namespace clasp

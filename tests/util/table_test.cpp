@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  text_table t({"Region", "Links"});
+  t.add_row({"us-west1", "5293"});
+  t.add_row({"us-east4", "5255"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Region"), std::string::npos);
+  EXPECT_NE(out.find("us-west1"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  text_table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, RejectsEmptyHeaders) {
+  EXPECT_THROW(text_table({}), invalid_argument_error);
+}
+
+TEST(TextTableTest, RejectsRowWidthMismatch) {
+  text_table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), invalid_argument_error);
+}
+
+TEST(TextTableTest, PrintWritesToStream) {
+  text_table t({"x"});
+  t.add_row({"y"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(SeriesWriterTest, EmitsHeaderRowsAndFooter) {
+  std::ostringstream os;
+  {
+    series_writer w(os, "fig2a", {"H", "fraction"});
+    w.add({0.5, 0.25});
+    w.add({0.6, 0.10});
+  }
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# series: fig2a H fraction"), std::string::npos);
+  EXPECT_NE(out.find("0.5000 0.2500"), std::string::npos);
+  EXPECT_NE(out.find("# end series"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clasp

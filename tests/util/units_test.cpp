@@ -1,0 +1,43 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clasp {
+namespace {
+
+TEST(UnitsTest, MbpsConversions) {
+  const mbps rate{100.0};
+  EXPECT_DOUBLE_EQ(rate.bits_per_second(), 1e8);
+  EXPECT_DOUBLE_EQ(rate.bytes_per_second(), 1.25e7);
+  EXPECT_DOUBLE_EQ(mbps::from_gbps(1.0).value, 1000.0);
+}
+
+TEST(UnitsTest, MbpsArithmetic) {
+  const mbps a{100.0}, b{50.0};
+  EXPECT_DOUBLE_EQ((a + b).value, 150.0);
+  EXPECT_DOUBLE_EQ((a - b).value, 50.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value, 200.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value, 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(UnitsTest, MillisConversions) {
+  EXPECT_DOUBLE_EQ(millis{250.0}.seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(millis::from_seconds(1.5).value, 1500.0);
+}
+
+TEST(UnitsTest, TransferVolume) {
+  // 100 Mbps for 15 s = 187.5 MB.
+  const megabytes v = transfer_volume(mbps{100.0}, 15.0);
+  EXPECT_NEAR(v.value, 187.5, 1e-9);
+  EXPECT_NEAR(v.gigabytes(), 187.5 / 1024.0, 1e-9);
+}
+
+TEST(UnitsTest, Comparisons) {
+  EXPECT_TRUE(millis{1.0} < millis{2.0});
+  EXPECT_TRUE(megabytes{5.0} == megabytes{5.0});
+}
+
+}  // namespace
+}  // namespace clasp
