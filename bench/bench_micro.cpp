@@ -5,6 +5,9 @@
 // a complete speed test, traceroute, and time-series writes.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "clasp/platform.hpp"
 #include "probes/traceroute.hpp"
 
@@ -114,6 +117,20 @@ void BM_TsdbWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_TsdbWrite);
 
+void BM_TsdbWriteInterned(benchmark::State& state) {
+  // The campaign fast path: tag set resolved once, appends go through an
+  // integer ref (compare against BM_TsdbWrite's per-point string keying).
+  tsdb db;
+  const series_ref ref =
+      db.open_series("download_mbps", {{"campaign", "bench"}, {"server", "1"}});
+  std::int64_t h = 0;
+  for (auto _ : state) {
+    db.write(ref, hour_stamp{h++}, 123.4);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TsdbWriteInterned);
+
 void BM_TsdbQuery(benchmark::State& state) {
   tsdb db;
   for (int s = 0; s < 200; ++s) {
@@ -129,6 +146,44 @@ void BM_TsdbQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TsdbQuery);
+
+void BM_CampaignHour(benchmark::State& state) {
+  // One simulated campaign hour (the unit every figure bench replays
+  // thousands of times), at 1 / 2 / hardware_concurrency workers. Each
+  // worker count deploys its own fleet against the shared substrate; the
+  // hour counter never rewinds so TSDB appends stay time-ordered.
+  auto& p = shared_platform();
+  static const std::vector<std::size_t> servers = [&] {
+    auto us = p.registry().crawl("US");
+    us.resize(std::min<std::size_t>(us.size(), 64));
+    return us;
+  }();
+  static int deploy_counter = 0;
+
+  campaign_config cfg;
+  cfg.region = "us-east1";
+  cfg.label = "bench-hour-" + std::to_string(deploy_counter++);
+  cfg.tests_per_vm_hour = 8;  // 8 VMs over 64 servers
+  cfg.workers = static_cast<unsigned>(state.range(0));
+  campaign_runner runner(&p.cloud(), &p.view(), &p.registry(), &p.store());
+  runner.deploy(cfg, servers);
+
+  static std::int64_t h = 0;
+  for (auto _ : state) {
+    runner.run_hour(hour_stamp{h++});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(servers.size()));
+  state.SetLabel(std::to_string(runner.vm_count()) + " VMs, " +
+                 std::to_string(runner.workers()) + " workers");
+}
+BENCHMARK(BM_CampaignHour)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<int>(std::thread::hardware_concurrency()))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_DailyVariability(benchmark::State& state) {
   ts_series s("m", {});

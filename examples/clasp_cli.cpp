@@ -29,6 +29,7 @@ struct cli_options {
   std::string csv_path;
   std::string config_path;
   int days{7};
+  int workers{-1};  // -1 = leave config default; 0 = hardware concurrency
   std::uint64_t seed{42};
 };
 
@@ -36,7 +37,9 @@ void usage() {
   std::fprintf(stderr,
                "usage: clasp_cli <select|pilot|run|cost|report> [--region R] "
                "[--days N] [--tier premium|standard] [--csv FILE] "
-               "[--seed S] [--config FILE]\n");
+               "[--seed S] [--config FILE] [--workers N]\n"
+               "  --workers N   campaign replay threads (0 = hardware "
+               "concurrency); results are identical for any N\n");
 }
 
 bool parse_args(int argc, char** argv, cli_options& opts) {
@@ -59,6 +62,13 @@ bool parse_args(int argc, char** argv, cli_options& opts) {
       opts.config_path = value;
     } else if (key == "--seed") {
       opts.seed = std::stoull(value);
+    } else if (key == "--workers") {
+      try {
+        opts.workers = std::stoi(value);
+      } catch (const std::exception&) {
+        return false;
+      }
+      if (opts.workers < 0) return false;
     } else {
       return false;
     }
@@ -184,6 +194,9 @@ int main(int argc, char** argv) {
     }
   }
   cfg.internet.seed = opts.seed;
+  if (opts.workers >= 0) {
+    cfg.campaign_workers = static_cast<unsigned>(opts.workers);
+  }
   clasp_platform platform(cfg);
 
   if (opts.command == "select") return cmd_select(platform, opts);

@@ -25,8 +25,8 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
     throw invalid_argument_error("campaign_runner: tests_per_vm_hour == 0");
   }
   config_ = config;
-  run_rng_ = rng(hash_tag(cloud_->net().config.seed,
-                          "campaign:" + config.label + ":" + config.region));
+  stream_seed_ = hash_tag(cloud_->net().config.seed,
+                          "campaign:" + config.label + ":" + config.region);
 
   const std::size_t vm_needed =
       (server_ids.size() + config.tests_per_vm_hour - 1) /
@@ -44,11 +44,34 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
     sessions_.emplace_back(cloud_, view_, vms_[vm_slot], server,
                            config.test);
     sessions_by_vm_[vm_slot].push_back(sessions_.size() - 1);
+
+    // Intern the session's series once; the hourly loop appends through
+    // integer refs with no string formatting or map lookups.
+    const tag_set tags = {
+        {"campaign", config_.label},
+        {"region", config_.region},
+        {"tier", to_string(config_.tier)},
+        {"server", std::to_string(server.id)},
+        {"network", std::to_string(server.network.value)},
+        {"city", cloud_->net().geo->city(server.city).name},
+    };
+    series_refs_.push_back({
+        store_->open_series("download_mbps", tags),
+        store_->open_series("upload_mbps", tags),
+        store_->open_series("latency_ms", tags),
+        store_->open_series("download_loss", tags),
+        store_->open_series("upload_loss", tags),
+        store_->open_series("gt_episode", tags),
+    });
+  }
+  if (config_.workers != 1) {
+    pool_ = std::make_unique<thread_pool>(config_.workers);
   }
   deployed_ = true;
   CLASP_LOG(info, "campaign")
       << config.label << "/" << config.region << ": " << vms_.size()
-      << " VMs for " << sessions_.size() << " servers";
+      << " VMs for " << sessions_.size() << " servers (" << workers()
+      << " replay workers)";
   return vms_.size();
 }
 
@@ -58,7 +81,11 @@ void campaign_runner::run() {
        ++t) {
     run_hour(t);
   }
-  // Storage billed monthly on the accumulated bucket volume.
+  charge_monthly_storage();
+}
+
+void campaign_runner::charge_monthly_storage() {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
   const double months =
       static_cast<double>(config_.window.count()) / (30.0 * 24.0);
   const double gb = cloud_->bucket(config_.region).total_megabytes() / 1024.0;
@@ -84,58 +111,85 @@ bool campaign_runner::vm_down(std::size_t vm_slot, hour_stamp at) const {
   return false;
 }
 
+rng campaign_runner::vm_stream(std::size_t vm_slot, hour_stamp at) const {
+  return rng(hash_tag(stream_seed_,
+                      "vm:" + std::to_string(vm_slot) + ":hour:" +
+                          std::to_string(at.hours_since_epoch())));
+}
+
 void campaign_runner::run_hour(hour_stamp at) {
   if (!deployed_) throw state_error("campaign_runner: not deployed");
-  storage_bucket& bucket = cloud_->bucket(config_.region);
-
+  std::vector<vm_hour_staging> staged(vms_.size());
+  const std::function<void(std::size_t)> stage = [&](std::size_t v) {
+    staged[v] = stage_vm_hour(v, at);
+  };
+  if (pool_) {
+    pool_->parallel_for(vms_.size(), stage);
+  } else {
+    for (std::size_t v = 0; v < vms_.size(); ++v) stage(v);
+  }
   for (std::size_t v = 0; v < vms_.size(); ++v) {
-    if (vm_down(v, at)) {
-      tests_missed_ += std::min<std::size_t>(sessions_by_vm_[v].size(),
-                                             config_.tests_per_vm_hour);
-      continue;
-    }
-    cloud_->charge_vm_hour(vms_[v]);
-    // Randomize the test order each hour (cron-artifact mitigation).
-    std::vector<std::size_t> order = sessions_by_vm_[v];
-    run_rng_.shuffle(order);
-    std::size_t run_count = 0;
-    double artifact_mb = 0.2;  // someta metadata baseline
-    for (const std::size_t si : order) {
-      if (run_count >= config_.tests_per_vm_hour) break;
-      const speed_test_session& session = sessions_[si];
-      const speed_test_report report = session.run(at, run_rng_);
-      someta_[v].record(report.download, at, run_rng_);
-      record(report, registry_->server(session.server_id()));
-      // Egress billing: only the cloud->Internet direction is charged.
-      cloud_->charge_egress(config_.tier, report.volume_up);
-      artifact_mb += (report.volume_down.value + report.volume_up.value) *
-                     config_.artifact_fraction;
-      ++run_count;
-      ++tests_run_;
-    }
-    bucket.put("raw/" + config_.label + "/" + at.to_string() + "/vm" +
-                   std::to_string(v) + ".tar.gz",
-               artifact_mb);
+    commit_vm_hour(v, std::move(staged[v]));
   }
 }
 
-void campaign_runner::record(const speed_test_report& report,
-                             const speed_server& server) {
-  const tag_set tags = {
-      {"campaign", config_.label},
-      {"region", config_.region},
-      {"tier", to_string(report.tier)},
-      {"server", std::to_string(server.id)},
-      {"network", std::to_string(server.network.value)},
-      {"city", cloud_->net().geo->city(server.city).name},
-  };
-  store_->write("download_mbps", tags, report.at, report.download.value);
-  store_->write("upload_mbps", tags, report.at, report.upload.value);
-  store_->write("latency_ms", tags, report.at, report.latency.value);
-  store_->write("download_loss", tags, report.at, report.download_loss);
-  store_->write("upload_loss", tags, report.at, report.upload_loss);
-  store_->write("gt_episode", tags, report.at,
-                report.ground_truth_episode ? 1.0 : 0.0);
+campaign_runner::vm_hour_staging campaign_runner::stage_vm_hour(
+    std::size_t vm_slot, hour_stamp at) const {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
+  if (vm_slot >= vms_.size()) {
+    throw invalid_argument_error("campaign_runner: bad vm slot");
+  }
+  vm_hour_staging out;
+  out.at = at;
+  if (vm_down(vm_slot, at)) {
+    out.tests_missed = std::min<std::size_t>(sessions_by_vm_[vm_slot].size(),
+                                             config_.tests_per_vm_hour);
+    return out;
+  }
+  out.charges.add_vm_hour(vms_[vm_slot]);
+  rng r = vm_stream(vm_slot, at);
+  // Randomize the test order each hour (cron-artifact mitigation).
+  std::vector<std::size_t> order = sessions_by_vm_[vm_slot];
+  r.shuffle(order);
+  const machine_type& machine = cloud_->vm(vms_[vm_slot]).type;
+  double artifact_mb = 0.2;  // someta metadata baseline
+  for (const std::size_t si : order) {
+    if (out.tests_run >= config_.tests_per_vm_hour) break;
+    const speed_test_session& session = sessions_[si];
+    const speed_test_report report = session.run(at, r);
+    out.someta.push_back(
+        record_test_metadata(machine, report.download, at, r));
+    const session_series& refs = series_refs_[si];
+    out.points.push_back({refs.download, report.download.value});
+    out.points.push_back({refs.upload, report.upload.value});
+    out.points.push_back({refs.latency, report.latency.value});
+    out.points.push_back({refs.download_loss, report.download_loss});
+    out.points.push_back({refs.upload_loss, report.upload_loss});
+    out.points.push_back(
+        {refs.gt_episode, report.ground_truth_episode ? 1.0 : 0.0});
+    // Egress billing: only the cloud->Internet direction is charged.
+    out.charges.add_egress(config_.tier, report.volume_up);
+    artifact_mb += (report.volume_down.value + report.volume_up.value) *
+                   config_.artifact_fraction;
+    ++out.tests_run;
+  }
+  out.charges.add_put(config_.region,
+                      "raw/" + config_.label + "/" + at.to_string() + "/vm" +
+                          std::to_string(vm_slot) + ".tar.gz",
+                      artifact_mb);
+  return out;
+}
+
+void campaign_runner::commit_vm_hour(std::size_t vm_slot,
+                                     vm_hour_staging&& staged) {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
+  for (const staged_point& p : staged.points) {
+    store_->write(p.ref, staged.at, p.value);
+  }
+  someta_.at(vm_slot).absorb(std::move(staged.someta));
+  cloud_->apply(staged.charges);
+  tests_run_ += staged.tests_run;
+  tests_missed_ += staged.tests_missed;
 }
 
 }  // namespace clasp

@@ -9,12 +9,24 @@
 // mitigation), runs its tests, appends a paris-traceroute, compresses the
 // raw artifacts into the region bucket, and the billing meter advances.
 //
+// Replay is parallel and deterministic: each simulated hour fans the
+// per-VM test loops out across a worker pool. Every (VM slot, hour) owns
+// a counter-based RNG stream derived from the campaign seed, so the draws
+// a VM sees never depend on scheduling; workers accumulate their results
+// (TSDB points, someta samples, billing charges, artifact uploads) into a
+// thread-local staging buffer, and the coordinating thread merges the
+// buffers in VM-slot order. Results are bit-identical for any worker
+// count, including 1 (see DESIGN.md, "Concurrency model & determinism").
+//
 // Results land in the time-series store under metrics
 //   download_mbps, upload_mbps, latency_ms, download_loss, upload_loss,
 //   gt_episode (planted ground truth, for detector validation)
-// tagged with {campaign, region, tier, server, network, city}.
+// tagged with {campaign, region, tier, server, network, city}. The six
+// series of every session are interned once at deploy() time; the hot
+// loop appends through integer series refs.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +36,7 @@
 #include "speedtest/registry.hpp"
 #include "speedtest/webtest.hpp"
 #include "tsdb/tsdb.hpp"
+#include "util/thread_pool.hpp"
 
 namespace clasp {
 
@@ -37,6 +50,10 @@ struct campaign_config {
   // Fraction of a test's transferred volume persisted as compressed
   // artifacts (header-only pcap + someta metadata).
   double artifact_fraction{0.005};
+  // Worker-pool concurrency for replay: 1 runs serially on the calling
+  // thread, 0 means hardware_concurrency. Any value produces identical
+  // results.
+  unsigned workers{1};
 };
 
 class campaign_runner {
@@ -49,11 +66,40 @@ class campaign_runner {
   std::size_t deploy(const campaign_config& config,
                      const std::vector<std::size_t>& server_ids);
 
-  // Run every hour in the window (calls run_hour repeatedly).
+  // Run every hour in the window (calls run_hour repeatedly), then bill
+  // the accumulated bucket volume.
   void run();
 
-  // Run one hour of the campaign (all VMs).
+  // Run one hour of the campaign: stage all VMs (in parallel when the
+  // campaign was configured with workers != 1), then merge in slot order.
   void run_hour(hour_stamp at);
+
+  // --- staged execution (the advanced API behind run_hour) ---
+  // Everything one VM produces in one hour, accumulated off-thread and
+  // merged by the coordinator. Also used by clasp_platform::run_campaigns
+  // to fan several campaigns' fleets into one pool.
+  struct staged_point {
+    series_ref ref;
+    double value{0.0};
+  };
+  struct vm_hour_staging {
+    hour_stamp at;                             // the staged hour
+    std::vector<staged_point> points;          // six per completed test
+    std::vector<vm_metadata_sample> someta;    // one per completed test
+    charge_sheet charges;                      // VM-hour + egress + upload
+    std::size_t tests_run{0};
+    std::size_t tests_missed{0};
+  };
+  // Stage one VM's hour. Const and thread-safe: touches only immutable
+  // deployment state and a stream RNG derived from (label, region,
+  // vm_slot, hour).
+  vm_hour_staging stage_vm_hour(std::size_t vm_slot, hour_stamp at) const;
+  // Merge one staged VM-hour: TSDB appends, someta samples, billing.
+  // Coordinator thread only; call in ascending vm_slot order.
+  void commit_vm_hour(std::size_t vm_slot, vm_hour_staging&& staged);
+  // Storage billed monthly on the accumulated bucket volume (run() calls
+  // this after the window; hour-stepped drivers call it themselves).
+  void charge_monthly_storage();
 
   // Failure injection: take one VM slot down for [begin, end). While down
   // the VM runs no tests (its servers simply have gaps, as with real
@@ -68,6 +114,8 @@ class campaign_runner {
   std::size_t session_count() const { return sessions_.size(); }
   std::size_t vm_count() const { return vms_.size(); }
   std::size_t tests_run() const { return tests_run_; }
+  // Effective replay concurrency (1 when serial).
+  unsigned workers() const { return pool_ ? pool_->concurrency() : 1; }
 
   // someta-style resource metadata recorded on each VM (§3.2).
   const someta_recorder& metadata(std::size_t vm_slot) const {
@@ -75,7 +123,20 @@ class campaign_runner {
   }
 
  private:
-  void record(const speed_test_report& report, const speed_server& server);
+  // Interned TSDB handles for one session's six metrics.
+  struct session_series {
+    series_ref download;
+    series_ref upload;
+    series_ref latency;
+    series_ref download_loss;
+    series_ref upload_loss;
+    series_ref gt_episode;
+  };
+
+  // The (vm_slot, hour) RNG stream: independent of scheduling and of
+  // every other stream.
+  rng vm_stream(std::size_t vm_slot, hour_stamp at) const;
+  bool vm_down(std::size_t vm_slot, hour_stamp at) const;
 
   gcp_cloud* cloud_;
   const network_view* view_;
@@ -87,14 +148,15 @@ class campaign_runner {
   std::vector<speed_test_session> sessions_;
   // sessions_by_vm_[i] = indices into sessions_ assigned to vms_[i].
   std::vector<std::vector<std::size_t>> sessions_by_vm_;
-  rng run_rng_{0};
+  // series_refs_[i] = interned store handles for sessions_[i].
+  std::vector<session_series> series_refs_;
+  std::uint64_t stream_seed_{0};  // hash of (net seed, label, region)
+  std::unique_ptr<thread_pool> pool_;  // null when workers == 1
   std::size_t tests_run_{0};
   std::size_t tests_missed_{0};
   // Outage windows per VM slot.
   std::vector<std::vector<hour_range>> outages_;
   bool deployed_{false};
-
-  bool vm_down(std::size_t vm_slot, hour_stamp at) const;
 };
 
 }  // namespace clasp

@@ -74,6 +74,9 @@ platform_config load_platform_config(const std::string& ini_text) {
       cfg.differential.big_delta_ms = doc.get_double(key);
     } else if (key == "differential.small_delta_ms") {
       cfg.differential.small_delta_ms = doc.get_double(key);
+    } else if (key == "campaign.workers") {
+      cfg.campaign_workers =
+          static_cast<unsigned>(as_count(doc, key));  // 0 = hw concurrency
     } else if (starts_with(key, "budgets.")) {
       const std::string region = key.substr(std::string("budgets.").size());
       region_by_name(region);  // validates the region name

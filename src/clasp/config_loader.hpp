@@ -14,6 +14,9 @@
 //   [differential]
 //   target_servers = 17
 //
+//   [campaign]
+//   workers = 4          ; replay concurrency (0 = hardware concurrency)
+//
 //   [budgets]            ; per-region topology deployment budgets
 //   us-west1 = 106
 //   us-east1 = 184

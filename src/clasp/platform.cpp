@@ -1,5 +1,7 @@
 #include "clasp/platform.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -67,6 +69,7 @@ campaign_runner& clasp_platform::start_topology_campaign(
   cfg.tier = service_tier::premium;
   cfg.label = "topology";
   cfg.window = window;
+  cfg.workers = config_.campaign_workers;
   auto runner = std::make_unique<campaign_runner>(cloud_.get(), view_.get(),
                                                   &registry_, &store_);
   runner->deploy(cfg, servers);
@@ -96,6 +99,7 @@ clasp_platform::start_differential_campaign(const std::string& region,
     cfg.tier = tiers[i];
     cfg.label = labels[i];
     cfg.window = window;
+    cfg.workers = config_.campaign_workers;
     auto runner = std::make_unique<campaign_runner>(cloud_.get(), view_.get(),
                                                     &registry_, &store_);
     runner->deploy(cfg, servers);
@@ -103,6 +107,49 @@ clasp_platform::start_differential_campaign(const std::string& region,
     runners[i] = campaigns_.back().get();
   }
   return {runners[0], runners[1]};
+}
+
+void clasp_platform::run_campaigns(
+    const std::vector<campaign_runner*>& runners, unsigned workers) {
+  if (runners.empty()) return;
+  hour_stamp begin = runners.front()->config().window.begin_at;
+  hour_stamp end = runners.front()->config().window.end_at;
+  for (const campaign_runner* r : runners) {
+    if (r == nullptr) {
+      throw invalid_argument_error("run_campaigns: null runner");
+    }
+    begin = std::min(begin, r->config().window.begin_at);
+    end = std::max(end, r->config().window.end_at);
+  }
+
+  thread_pool pool(workers);
+  struct vm_task {
+    campaign_runner* runner;
+    std::size_t vm_slot;
+  };
+  std::vector<vm_task> tasks;
+  std::vector<campaign_runner::vm_hour_staging> staged;
+  for (hour_stamp at = begin; at < end; ++at) {
+    tasks.clear();
+    for (campaign_runner* r : runners) {
+      const hour_range& w = r->config().window;
+      if (!(w.begin_at <= at && at < w.end_at)) continue;
+      for (std::size_t v = 0; v < r->vm_count(); ++v) {
+        tasks.push_back({r, v});
+      }
+    }
+    if (tasks.empty()) continue;
+    staged.assign(tasks.size(), {});
+    pool.parallel_for(tasks.size(), [&](std::size_t i) {
+      staged[i] = tasks[i].runner->stage_vm_hour(tasks[i].vm_slot, at);
+    });
+    // Merge in (campaign creation, VM slot) order: identical to each
+    // campaign replaying the hour on its own.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      tasks[i].runner->commit_vm_hour(tasks[i].vm_slot, std::move(staged[i]));
+    }
+  }
+  for (campaign_runner* r : runners) r->charge_monthly_storage();
 }
 
 std::vector<interconnect_report> clasp_platform::interconnect_congestion(

@@ -44,6 +44,10 @@ struct platform_config {
       {"us-east1", 184}, {"us-east4", 40},  {"us-central1", 56},
   };
   differential_config differential{};
+  // Replay concurrency handed to every campaign this platform deploys:
+  // 1 = serial, 0 = hardware_concurrency. Any value yields bit-identical
+  // campaign results (see DESIGN.md, "Concurrency model & determinism").
+  unsigned campaign_workers{1};
 };
 
 class clasp_platform {
@@ -83,6 +87,16 @@ class clasp_platform {
   const std::vector<std::unique_ptr<campaign_runner>>& campaigns() const {
     return campaigns_;
   }
+
+  // Cross-region fan-out: drive several deployed campaigns hour-by-hour
+  // with one shared worker pool. Each hour, every (campaign, VM) pair in
+  // the union of the campaigns' windows is staged in parallel, then
+  // committed in (campaign order, VM-slot order) — so each campaign's
+  // results are bit-identical to running it alone with any worker count.
+  // `workers` = 0 means hardware_concurrency. Storage is billed per
+  // campaign at the end, as campaign_runner::run does.
+  void run_campaigns(const std::vector<campaign_runner*>& runners,
+                     unsigned workers = 0);
 
   // --- helpers ---
   timezone_offset timezone_of_server(std::size_t server_id) const;

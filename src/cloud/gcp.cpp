@@ -49,6 +49,29 @@ double egress_usd_per_gb(service_tier tier) {
   return tier == service_tier::premium ? 0.12 : 0.085;
 }
 
+void charge_sheet::add_egress(service_tier tier, megabytes volume) {
+  if (tier == service_tier::premium) {
+    egress_premium.value += volume.value;
+  } else {
+    egress_standard.value += volume.value;
+  }
+}
+
+void charge_sheet::add_put(std::string bucket_region, std::string object_name,
+                           double megabytes_stored) {
+  puts.push_back({std::move(bucket_region), std::move(object_name),
+                  megabytes_stored});
+}
+
+void charge_sheet::merge(charge_sheet&& other) {
+  vm_hours.insert(vm_hours.end(), other.vm_hours.begin(),
+                  other.vm_hours.end());
+  egress_premium.value += other.egress_premium.value;
+  egress_standard.value += other.egress_standard.value;
+  puts.insert(puts.end(), std::make_move_iterator(other.puts.begin()),
+              std::make_move_iterator(other.puts.end()));
+}
+
 void storage_bucket::put(const std::string& object_name,
                          double megabytes_stored) {
   if (megabytes_stored < 0.0) {
@@ -127,6 +150,19 @@ void gcp_cloud::charge_egress(service_tier tier, megabytes volume) {
 
 void gcp_cloud::charge_storage_month(double gb_months) {
   costs_.storage_usd += gb_months * 0.020;  // standard storage $/GB-month
+}
+
+void gcp_cloud::apply(const charge_sheet& sheet) {
+  for (const std::size_t id : sheet.vm_hours) charge_vm_hour(id);
+  if (sheet.egress_premium.value > 0.0) {
+    charge_egress(service_tier::premium, sheet.egress_premium);
+  }
+  if (sheet.egress_standard.value > 0.0) {
+    charge_egress(service_tier::standard, sheet.egress_standard);
+  }
+  for (const charge_sheet::object_put& p : sheet.puts) {
+    bucket(p.bucket_region).put(p.object_name, p.megabytes_stored);
+  }
 }
 
 storage_bucket& gcp_cloud::bucket(const std::string& region) {

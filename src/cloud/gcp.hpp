@@ -74,6 +74,34 @@ struct cost_report {
   double total() const { return vm_usd + egress_usd + storage_usd; }
 };
 
+// Deferred billing: campaign workers accumulate charges and uploads into
+// a sheet instead of mutating gcp_cloud from many threads; the
+// coordinating thread applies sheets in VM-slot order via
+// gcp_cloud::apply, so billing totals are identical to serial in-place
+// charging for any worker count.
+struct charge_sheet {
+  // VM ids, one entry per billable VM-hour, in charge order (the
+  // sustained-use discount depends on each VM's cumulative hours).
+  std::vector<std::size_t> vm_hours;
+  // Egress volume per tier (rates applied at apply() time).
+  megabytes egress_premium{0.0};
+  megabytes egress_standard{0.0};
+  struct object_put {
+    std::string bucket_region;
+    std::string object_name;
+    double megabytes_stored{0.0};
+  };
+  std::vector<object_put> puts;
+
+  void add_vm_hour(std::size_t vm) { vm_hours.push_back(vm); }
+  void add_egress(service_tier tier, megabytes volume);
+  void add_put(std::string bucket_region, std::string object_name,
+               double megabytes_stored);
+  // Append `other`'s entries after this sheet's (merge order defines
+  // charge order).
+  void merge(charge_sheet&& other);
+};
+
 // A cloud storage bucket collecting compressed measurement artifacts.
 class storage_bucket {
  public:
@@ -116,6 +144,9 @@ class gcp_cloud {
   void charge_vm_hour(vm_id id);
   void charge_egress(service_tier tier, megabytes volume);
   void charge_storage_month(double gb_months);
+  // Apply a staged sheet: VM-hour charges in sheet order, then egress,
+  // then bucket uploads. Coordinator-thread only.
+  void apply(const charge_sheet& sheet);
   const cost_report& costs() const { return costs_; }
 
   storage_bucket& bucket(const std::string& region);

@@ -37,6 +37,14 @@ const vm_metadata_sample& someta_recorder::record(mbps observed_throughput,
   return samples_.back();
 }
 
+void someta_recorder::absorb(std::vector<vm_metadata_sample>&& staged) {
+  if (samples_.empty()) {
+    samples_ = std::move(staged);
+    return;
+  }
+  samples_.insert(samples_.end(), staged.begin(), staged.end());
+}
+
 double someta_recorder::saturation_fraction() const {
   if (samples_.empty()) return 0.0;
   std::size_t saturated = 0;

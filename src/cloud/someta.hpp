@@ -38,6 +38,11 @@ class someta_recorder {
   const vm_metadata_sample& record(mbps observed_throughput, hour_stamp at,
                                    rng& r);
 
+  // Merge samples staged off-thread (via record_test_metadata) into the
+  // recorder, preserving their order. Lets campaign workers accumulate
+  // metadata without mutating the recorder concurrently.
+  void absorb(std::vector<vm_metadata_sample>&& staged);
+
   const std::vector<vm_metadata_sample>& samples() const { return samples_; }
   // Fraction of recorded tests with a saturated CPU (the paper's claim:
   // ~0 for n1-standard-2 at <= 1 Gbps).

@@ -302,10 +302,13 @@ class internet_builder {
     // Interdomain links with the cloud: at every region PoP city (forced)
     // and at other common cities with probability.
     const auto& info = topo().as_at(idx);
+    // One materialized copy: calling region_pop_cities() per begin()/end()
+    // would mix iterators of two distinct temporaries (UB caught by TSan).
+    const std::vector<city_id> region_cities = region_pop_cities();
     for (const city_id c : info.presence) {
       const bool is_region_city =
-          std::find(region_pop_cities().begin(), region_pop_cities().end(),
-                    c) != region_pop_cities().end();
+          std::find(region_cities.begin(), region_cities.end(), c) !=
+          region_cities.end();
       const bool has_pop =
           std::find(net_.pop_cities.begin(), net_.pop_cities.end(), c) !=
           net_.pop_cities.end();

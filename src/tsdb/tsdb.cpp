@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 #include <set>
+#include <unordered_set>
 
 #include "util/error.hpp"
 
@@ -29,7 +30,9 @@ std::span<const ts_point> ts_series::range(hour_stamp begin,
   const auto hi = std::lower_bound(
       lo, points_.end(), end,
       [](const ts_point& p, hour_stamp h) { return p.at < h; });
-  return {&*points_.begin() + (lo - points_.begin()),
+  // points_.data() stays valid (possibly null) for empty vectors, where
+  // &*points_.begin() would dereference the end iterator.
+  return {points_.data() + (lo - points_.begin()),
           static_cast<std::size_t>(hi - lo)};
 }
 
@@ -61,6 +64,10 @@ std::string tsdb::series_key(const std::string& metric, const tag_set& tags) {
 
 void tsdb::write(const std::string& metric, const tag_set& tags,
                  hour_stamp at, double value) {
+  write(open_series(metric, tags), at, value);
+}
+
+series_ref tsdb::open_series(const std::string& metric, const tag_set& tags) {
   const std::string key = series_key(metric, tags);
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -68,7 +75,17 @@ void tsdb::write(const std::string& metric, const tag_set& tags,
     series_.emplace_back(metric, tags);
     by_metric_[metric].push_back(series_.size() - 1);
   }
-  series_[it->second].append(at, value);
+  return static_cast<series_ref>(it->second);
+}
+
+void tsdb::write(series_ref ref, hour_stamp at, double value) {
+  if (ref >= series_.size()) throw not_found_error("tsdb: bad series ref");
+  series_[ref].append(at, value);
+}
+
+const ts_series& tsdb::series_at(series_ref ref) const {
+  if (ref >= series_.size()) throw not_found_error("tsdb: bad series ref");
+  return series_[ref];
 }
 
 std::vector<const ts_series*> tsdb::query(const std::string& metric,
@@ -94,11 +111,10 @@ std::vector<std::string> tsdb::tag_values(const std::string& metric,
   std::vector<std::string> out;
   const auto it = by_metric_.find(metric);
   if (it == by_metric_.end()) return out;
+  std::unordered_set<std::string> seen;
   for (const std::size_t idx : it->second) {
     if (const auto v = series_[idx].tag(key)) {
-      if (std::find(out.begin(), out.end(), *v) == out.end()) {
-        out.push_back(*v);
-      }
+      if (seen.insert(*v).second) out.push_back(*v);
     }
   }
   return out;

@@ -64,6 +64,11 @@ struct tag_filter {
   bool matches(const tag_set& tags) const;
 };
 
+// Stable handle to a series, resolved once via tsdb::open_series. The
+// campaign hot loop writes through refs so appends cost no string
+// formatting and no hash-map lookup.
+using series_ref = std::uint32_t;
+
 class tsdb {
  public:
   // Append a point; creates the series on first use. Throws
@@ -71,6 +76,18 @@ class tsdb {
   // (campaigns write in time order).
   void write(const std::string& metric, const tag_set& tags, hour_stamp at,
              double value);
+
+  // Intern a tag set: resolve (metric, tags) to a stable ref, creating
+  // an empty series on first use. Refs stay valid for the store's
+  // lifetime.
+  series_ref open_series(const std::string& metric, const tag_set& tags);
+
+  // Append through an interned ref (the campaign fast path). Same
+  // time-order contract as the string-keyed overload.
+  void write(series_ref ref, hour_stamp at, double value);
+
+  // The series behind a ref (throws not_found_error on a bad ref).
+  const ts_series& series_at(series_ref ref) const;
 
   // All series for a metric matching the filter.
   std::vector<const ts_series*> query(const std::string& metric,

@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace clasp {
+
+unsigned thread_pool::default_concurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+thread_pool::thread_pool(unsigned concurrency) {
+  if (concurrency == 0) concurrency = default_concurrency();
+  threads_.reserve(concurrency - 1);
+  for (unsigned i = 0; i + 1 < concurrency; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void thread_pool::drain(batch& b) {
+  for (;;) {
+    const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.size) return;
+    if (!b.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*b.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(b.error_mu);
+        if (!b.error) b.error = std::current_exception();
+        b.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    b.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void thread_pool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<batch> b;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (batch_ != nullptr && generation_ != seen);
+      });
+      if (stop_) return;
+      seen = generation_;
+      b = batch_;
+    }
+    drain(*b);
+    // Synchronize with the caller's predicate check before notifying,
+    // otherwise the final completed-count increment can land between the
+    // caller's check and its sleep (lost wakeup).
+    { std::lock_guard<std::mutex> lock(mu_); }
+    done_cv_.notify_one();
+  }
+}
+
+void thread_pool::parallel_for(std::size_t n,
+                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto b = std::make_shared<batch>();
+  b->size = n;
+  b->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (batch_ != nullptr) {
+      throw state_error("thread_pool: nested parallel_for");
+    }
+    batch_ = b;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is a worker too.
+  drain(*b);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return b->completed.load(std::memory_order_acquire) == b->size;
+    });
+    batch_ = nullptr;
+  }
+  if (b->error) std::rethrow_exception(b->error);
+}
+
+}  // namespace clasp

@@ -1,0 +1,74 @@
+// Reusable fixed-size worker pool for data-parallel simulation stages.
+//
+// The campaign engine fans per-VM work out across workers with
+// parallel_for(n, fn): indices are claimed from a shared atomic counter,
+// so scheduling is dynamic but the caller decides what order to *merge*
+// results in — determinism lives in the merge, not the schedule. The
+// calling thread participates as a worker, so thread_pool(1) spawns no
+// threads and runs everything inline (the serial baseline), and a pool
+// with concurrency c uses c-1 background threads.
+//
+// Exceptions thrown by fn are captured; the first one is rethrown on the
+// calling thread after the batch drains (remaining indices are skipped).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace clasp {
+
+class thread_pool {
+ public:
+  // Total concurrency (caller included). 0 means hardware_concurrency().
+  explicit thread_pool(unsigned concurrency = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  // Caller thread + background threads.
+  unsigned concurrency() const {
+    return static_cast<unsigned>(threads_.size()) + 1;
+  }
+
+  // Run fn(i) for every i in [0, n); blocks until all calls return.
+  // Must be called from one coordinating thread at a time (not from
+  // inside fn). Rethrows the first exception fn threw, if any.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // hardware_concurrency with a floor of 1.
+  static unsigned default_concurrency();
+
+ private:
+  // One parallel_for invocation: workers claim indices until exhausted.
+  struct batch {
+    std::size_t size{0};
+    const std::function<void(std::size_t)>* fn{nullptr};
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // first failure; guarded by error_mu
+    std::mutex error_mu;
+  };
+
+  // Claim-and-run loop shared by workers and the caller.
+  static void drain(batch& b);
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a batch / stop
+  std::condition_variable done_cv_;  // caller waits for batch completion
+  std::shared_ptr<batch> batch_;     // non-null while a batch is live
+  std::uint64_t generation_{0};      // bumped per batch so workers wake once
+  bool stop_{false};
+};
+
+}  // namespace clasp

@@ -1,0 +1,159 @@
+// Parallel replay determinism: the same campaign run with 1, 2 and 8
+// workers must produce point-for-point identical TSDB contents, billing
+// totals, someta records and bucket artifacts. Every VM-hour draws from
+// its own counter-based RNG stream and staged results merge in VM-slot
+// order, so the worker count can only change wall-clock, never values.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_internet_config;
+using ::clasp::testing::small_server_config;
+
+platform_config tiny_config(unsigned workers) {
+  platform_config cfg;
+  cfg.internet = small_internet_config();
+  cfg.internet.seed = 777;
+  // Shrink the substrate: this test builds several platforms in sequence.
+  cfg.internet.regional_isp_count = 120;
+  cfg.internet.business_count = 150;
+  cfg.internet.hosting_count = 80;
+  cfg.internet.education_count = 30;
+  cfg.internet.vantage_point_count = 120;
+  cfg.servers = small_server_config();
+  cfg.servers.us_server_target = 120;
+  cfg.servers.global_server_target = 600;
+  cfg.topology_budgets = {{"us-west1", 40}};
+  cfg.campaign_workers = workers;
+  return cfg;
+}
+
+hour_range two_days() {
+  return {hour_stamp::from_civil({2020, 5, 1}, 0),
+          hour_stamp::from_civil({2020, 5, 3}, 0)};
+}
+
+const char* kMetrics[] = {"download_mbps", "upload_mbps",   "latency_ms",
+                          "download_loss", "upload_loss",   "gt_episode"};
+
+// Everything a campaign produces, flattened for exact comparison.
+struct campaign_snapshot {
+  struct series_dump {
+    std::string metric;
+    tag_set tags;
+    std::vector<ts_point> points;
+  };
+  std::vector<series_dump> series;
+  cost_report costs;
+  double bucket_mb{0.0};
+  std::size_t bucket_objects{0};
+  std::size_t tests_run{0};
+  std::size_t tests_missed{0};
+  unsigned effective_workers{0};
+  std::vector<std::vector<vm_metadata_sample>> someta;  // per VM slot
+};
+
+campaign_snapshot snapshot_of(clasp_platform& p, campaign_runner& c) {
+  campaign_snapshot snap;
+  for (const char* metric : kMetrics) {
+    for (const ts_series* s : p.store().query(metric)) {
+      snap.series.push_back({s->metric(), s->tags(), s->points()});
+    }
+  }
+  snap.costs = p.cloud().costs();
+  const storage_bucket& bucket = p.cloud().bucket(c.config().region);
+  snap.bucket_mb = bucket.total_megabytes();
+  snap.bucket_objects = bucket.object_count();
+  snap.tests_run = c.tests_run();
+  snap.tests_missed = c.tests_missed();
+  snap.effective_workers = c.workers();
+  for (std::size_t v = 0; v < c.vm_count(); ++v) {
+    snap.someta.push_back(c.metadata(v).samples());
+  }
+  return snap;
+}
+
+campaign_snapshot run_with_workers(unsigned workers) {
+  clasp_platform p(tiny_config(workers));
+  campaign_runner& c = p.start_topology_campaign("us-west1", two_days());
+  // Exercise the outage path too: slot 0 down for four mid-window hours.
+  c.inject_vm_outage(0, {two_days().begin_at + 20, two_days().begin_at + 24});
+  c.run();
+  return snapshot_of(p, c);
+}
+
+void expect_identical(const campaign_snapshot& a, const campaign_snapshot& b) {
+  EXPECT_EQ(a.tests_run, b.tests_run);
+  EXPECT_EQ(a.tests_missed, b.tests_missed);
+
+  // Billing totals, bit for bit.
+  EXPECT_EQ(a.costs.vm_usd, b.costs.vm_usd);
+  EXPECT_EQ(a.costs.egress_usd, b.costs.egress_usd);
+  EXPECT_EQ(a.costs.storage_usd, b.costs.storage_usd);
+
+  // Bucket artifacts.
+  EXPECT_EQ(a.bucket_objects, b.bucket_objects);
+  EXPECT_EQ(a.bucket_mb, b.bucket_mb);
+
+  // TSDB contents, point for point, in identical series order.
+  ASSERT_EQ(a.series.size(), b.series.size());
+  ASSERT_FALSE(a.series.empty());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].metric, b.series[i].metric);
+    EXPECT_EQ(a.series[i].tags, b.series[i].tags);
+    ASSERT_EQ(a.series[i].points.size(), b.series[i].points.size());
+    for (std::size_t j = 0; j < a.series[i].points.size(); ++j) {
+      EXPECT_EQ(a.series[i].points[j].at, b.series[i].points[j].at);
+      EXPECT_EQ(a.series[i].points[j].value, b.series[i].points[j].value);
+    }
+  }
+
+  // someta records per VM slot.
+  ASSERT_EQ(a.someta.size(), b.someta.size());
+  for (std::size_t v = 0; v < a.someta.size(); ++v) {
+    ASSERT_EQ(a.someta[v].size(), b.someta[v].size());
+    for (std::size_t j = 0; j < a.someta[v].size(); ++j) {
+      EXPECT_EQ(a.someta[v][j].at, b.someta[v][j].at);
+      EXPECT_EQ(a.someta[v][j].cpu_utilization, b.someta[v][j].cpu_utilization);
+      EXPECT_EQ(a.someta[v][j].memory_gb, b.someta[v][j].memory_gb);
+      EXPECT_EQ(a.someta[v][j].io_wait, b.someta[v][j].io_wait);
+      EXPECT_EQ(a.someta[v][j].cpu_saturated, b.someta[v][j].cpu_saturated);
+    }
+  }
+}
+
+TEST(CampaignParallelTest, WorkerCountNeverChangesResults) {
+  const campaign_snapshot serial = run_with_workers(1);
+  EXPECT_EQ(serial.effective_workers, 1u);
+  EXPECT_GT(serial.tests_run, 0u);
+  EXPECT_GT(serial.tests_missed, 0u);
+
+  const campaign_snapshot two = run_with_workers(2);
+  EXPECT_EQ(two.effective_workers, 2u);
+  expect_identical(serial, two);
+
+  const campaign_snapshot eight = run_with_workers(8);
+  EXPECT_EQ(eight.effective_workers, 8u);
+  expect_identical(serial, eight);
+}
+
+TEST(CampaignParallelTest, PlatformFanOutMatchesSerialRun) {
+  // Driving a campaign through the platform's cross-campaign fan-out
+  // must reproduce campaign_runner::run exactly.
+  const campaign_snapshot serial = run_with_workers(1);
+
+  clasp_platform p(tiny_config(1));
+  campaign_runner& c = p.start_topology_campaign("us-west1", two_days());
+  c.inject_vm_outage(0, {two_days().begin_at + 20, two_days().begin_at + 24});
+  p.run_campaigns({&c}, 4);
+  expect_identical(serial, snapshot_of(p, c));
+}
+
+}  // namespace
+}  // namespace clasp

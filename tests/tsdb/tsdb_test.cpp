@@ -109,6 +109,47 @@ TEST(TsdbTest, LargeAppendAndScan) {
 namespace clasp {
 namespace {
 
+TEST(TsdbTest, OpenSeriesInternsTagSets) {
+  tsdb db;
+  const tag_set tags = {{"region", "us-west1"}, {"server", "3"}};
+  const series_ref ref = db.open_series("download_mbps", tags);
+  // Re-opening resolves to the same ref; the string-keyed path lands in
+  // the same series.
+  EXPECT_EQ(db.open_series("download_mbps", tags), ref);
+  EXPECT_EQ(db.series_count(), 1u);
+
+  db.write(ref, h(0), 1.5);
+  db.write("download_mbps", tags, h(1), 2.5);
+  db.write(ref, h(2), 3.5);
+  const ts_series* s = db.find("download_mbps", tags);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s, &db.series_at(ref));
+  ASSERT_EQ(s->size(), 3u);
+  EXPECT_EQ(s->points()[1].value, 2.5);
+}
+
+TEST(TsdbTest, InternedWriteKeepsTimeOrderContract) {
+  tsdb db;
+  const series_ref ref = db.open_series("m", {{"a", "b"}});
+  db.write(ref, h(5), 1.0);
+  EXPECT_THROW(db.write(ref, h(4), 2.0), invalid_argument_error);
+  EXPECT_THROW(db.write(series_ref{99}, h(6), 1.0), not_found_error);
+  EXPECT_THROW(db.series_at(series_ref{99}), not_found_error);
+}
+
+TEST(TsdbTest, EmptySeriesRangeIsEmpty) {
+  // open_series creates a point-less series; range() must return an
+  // empty span instead of dereferencing the end iterator.
+  tsdb db;
+  const series_ref ref = db.open_series("m", {{"a", "b"}});
+  const ts_series& s = db.series_at(ref);
+  EXPECT_TRUE(s.range(h(0), h(100)).empty());
+  EXPECT_TRUE(s.values_in(h(0), h(100)).empty());
+  // A metric opened but never written still shows up in queries.
+  EXPECT_EQ(db.query("m").size(), 1u);
+  EXPECT_EQ(db.point_count(), 0u);
+}
+
 TEST(TsdbCsvTest, HeaderAndRows) {
   tsdb db;
   db.write("m", {{"region", "us-west1"}, {"server", "3"}}, h(0), 1.5);

@@ -1,0 +1,73 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  thread_pool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  thread_pool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.parallel_for(seen.size(),
+                    [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  thread_pool pool(3);
+  std::atomic<long> sum{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum += static_cast<long>(i);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50L * (99L * 100L / 2L));
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  thread_pool pool(0);
+  EXPECT_GE(pool.concurrency(), 1u);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, EmptyBatchIsNoop) {
+  thread_pool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "fn called for n=0"; });
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagates) {
+  thread_pool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i % 2 == 0) {
+                            throw invalid_argument_error("boom");
+                          }
+                        }),
+      invalid_argument_error);
+  // The pool survives a failed batch.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+}  // namespace
+}  // namespace clasp
