@@ -30,6 +30,7 @@ struct cli_options {
   std::string config_path;
   int days{7};
   int workers{-1};  // -1 = leave config default; 0 = hardware concurrency
+  int link_cache{-1};  // -1 = config default; 0 = off; 1 = on
   std::uint64_t seed{42};
 };
 
@@ -37,9 +38,12 @@ void usage() {
   std::fprintf(stderr,
                "usage: clasp_cli <select|pilot|run|cost|report> [--region R] "
                "[--days N] [--tier premium|standard] [--csv FILE] "
-               "[--seed S] [--config FILE] [--workers N]\n"
+               "[--seed S] [--config FILE] [--workers N] "
+               "[--link-cache on|off]\n"
                "  --workers N   campaign replay threads (0 = hardware "
-               "concurrency); results are identical for any N\n");
+               "concurrency); results are identical for any N\n"
+               "  --link-cache  hour-epoch link-condition cache (default "
+               "on); off only slows replay, results are identical\n");
 }
 
 bool parse_args(int argc, char** argv, cli_options& opts) {
@@ -69,6 +73,14 @@ bool parse_args(int argc, char** argv, cli_options& opts) {
         return false;
       }
       if (opts.workers < 0) return false;
+    } else if (key == "--link-cache") {
+      if (value == "on" || value == "1" || value == "true") {
+        opts.link_cache = 1;
+      } else if (value == "off" || value == "0" || value == "false") {
+        opts.link_cache = 0;
+      } else {
+        return false;
+      }
     } else {
       return false;
     }
@@ -196,6 +208,9 @@ int main(int argc, char** argv) {
   cfg.internet.seed = opts.seed;
   if (opts.workers >= 0) {
     cfg.campaign_workers = static_cast<unsigned>(opts.workers);
+  }
+  if (opts.link_cache >= 0) {
+    cfg.campaign_link_cache = opts.link_cache != 0;
   }
   clasp_platform platform(cfg);
 

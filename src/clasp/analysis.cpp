@@ -11,14 +11,25 @@ namespace clasp {
 
 namespace {
 
-// Group a series' points by local day; map preserves day order.
-std::map<std::int64_t, std::vector<const ts_point*>> group_by_local_day(
-    const ts_series& series, timezone_offset tz) {
-  std::map<std::int64_t, std::vector<const ts_point*>> days;
-  for (const ts_point& p : series.points()) {
-    days[p.at.local_day_index(tz)].push_back(&p);
+// Visit a series' points grouped by local day. The store enforces
+// time-ordered appends, so local_day_index is non-decreasing over the
+// point array and each day is one contiguous run — no map, no per-point
+// allocation, same visit order as sorting by day. `fn` receives
+// (local_day, begin, end) with [begin, end) the day's points.
+template <typename Fn>
+void for_each_local_day(const ts_series& series, timezone_offset tz,
+                        Fn&& fn) {
+  const auto& points = series.points();
+  const ts_point* const first = points.data();
+  const ts_point* const last = first + points.size();
+  const ts_point* run = first;
+  while (run != last) {
+    const std::int64_t day = run->at.local_day_index(tz);
+    const ts_point* next = run + 1;
+    while (next != last && next->at.local_day_index(tz) == day) ++next;
+    fn(day, run, next);
+    run = next;
   }
-  return days;
 }
 
 }  // namespace
@@ -27,20 +38,22 @@ std::vector<day_variability> daily_variability(const ts_series& series,
                                                timezone_offset tz,
                                                std::size_t min_samples) {
   std::vector<day_variability> out;
-  for (const auto& [day, points] : group_by_local_day(series, tz)) {
-    if (points.size() < min_samples) continue;
+  for_each_local_day(series, tz, [&](std::int64_t day, const ts_point* begin,
+                                     const ts_point* end) {
+    const std::size_t n = static_cast<std::size_t>(end - begin);
+    if (n < min_samples) return;
     day_variability dv;
     dv.local_day = day;
-    dv.samples = points.size();
-    dv.t_max = points.front()->value;
-    dv.t_min = points.front()->value;
-    for (const ts_point* p : points) {
+    dv.samples = n;
+    dv.t_max = begin->value;
+    dv.t_min = begin->value;
+    for (const ts_point* p = begin; p != end; ++p) {
       dv.t_max = std::max(dv.t_max, p->value);
       dv.t_min = std::min(dv.t_min, p->value);
     }
     dv.v = dv.t_max > 0.0 ? (dv.t_max - dv.t_min) / dv.t_max : 0.0;
     out.push_back(dv);
-  }
+  });
   return out;
 }
 
@@ -48,18 +61,22 @@ std::vector<hour_label> intraday_labels(const ts_series& series,
                                         timezone_offset tz, double threshold,
                                         std::size_t min_samples) {
   std::vector<hour_label> out;
-  for (const auto& [day, points] : group_by_local_day(series, tz)) {
-    if (points.size() < min_samples) continue;
-    double t_max = points.front()->value;
-    for (const ts_point* p : points) t_max = std::max(t_max, p->value);
-    for (const ts_point* p : points) {
+  out.reserve(series.size());
+  for_each_local_day(series, tz, [&](std::int64_t, const ts_point* begin,
+                                     const ts_point* end) {
+    if (static_cast<std::size_t>(end - begin) < min_samples) return;
+    double t_max = begin->value;
+    for (const ts_point* p = begin; p != end; ++p) {
+      t_max = std::max(t_max, p->value);
+    }
+    for (const ts_point* p = begin; p != end; ++p) {
       hour_label label;
       label.at = p->at;
       label.v_h = t_max > 0.0 ? (t_max - p->value) / t_max : 0.0;
       label.congested = label.v_h > threshold;
       out.push_back(label);
     }
-  }
+  });
   return out;
 }
 
@@ -79,17 +96,30 @@ threshold_sweep sweep_thresholds(const std::vector<const ts_series*>& series,
         static_cast<double>(i) / static_cast<double>(grid_points - 1);
   }
 
-  // Collect all V(s,d) and V_H(s,t) values once, then sweep.
+  // Collect all V(s,d) and V_H(s,t) values once, then sweep. One pass
+  // over each series yields both: a day's V is derived from the same
+  // t_max/t_min scan its hours' V_H values need, so labeling twice (once
+  // through daily_variability, once through intraday_labels) would redo
+  // the grouping and the max scan for nothing.
+  constexpr std::size_t kMinSamples = 12;  // the label functions' default
   std::vector<double> day_vs;
   std::vector<double> hour_vs;
   for (std::size_t si = 0; si < series.size(); ++si) {
-    for (const day_variability& dv : daily_variability(*series[si], tz_of[si])) {
-      day_vs.push_back(dv.v);
-    }
-    for (const hour_label& hl :
-         intraday_labels(*series[si], tz_of[si], /*threshold=*/2.0)) {
-      hour_vs.push_back(hl.v_h);
-    }
+    for_each_local_day(
+        *series[si], tz_of[si],
+        [&](std::int64_t, const ts_point* begin, const ts_point* end) {
+          if (static_cast<std::size_t>(end - begin) < kMinSamples) return;
+          double t_max = begin->value;
+          double t_min = begin->value;
+          for (const ts_point* p = begin; p != end; ++p) {
+            t_max = std::max(t_max, p->value);
+            t_min = std::min(t_min, p->value);
+          }
+          day_vs.push_back(t_max > 0.0 ? (t_max - t_min) / t_max : 0.0);
+          for (const ts_point* p = begin; p != end; ++p) {
+            hour_vs.push_back(t_max > 0.0 ? (t_max - p->value) / t_max : 0.0);
+          }
+        });
   }
   std::sort(day_vs.begin(), day_vs.end());
   std::sort(hour_vs.begin(), hour_vs.end());
@@ -158,19 +188,23 @@ std::vector<hour_label> latency_inflation_labels(const ts_series& latency,
                                                  double threshold,
                                                  std::size_t min_samples) {
   std::vector<hour_label> out;
-  for (const auto& [day, points] : group_by_local_day(latency, tz)) {
-    if (points.size() < min_samples) continue;
-    double l_min = points.front()->value;
-    for (const ts_point* p : points) l_min = std::min(l_min, p->value);
-    if (l_min <= 0.0) continue;
-    for (const ts_point* p : points) {
+  out.reserve(latency.size());
+  for_each_local_day(latency, tz, [&](std::int64_t, const ts_point* begin,
+                                      const ts_point* end) {
+    if (static_cast<std::size_t>(end - begin) < min_samples) return;
+    double l_min = begin->value;
+    for (const ts_point* p = begin; p != end; ++p) {
+      l_min = std::min(l_min, p->value);
+    }
+    if (l_min <= 0.0) return;
+    for (const ts_point* p = begin; p != end; ++p) {
       hour_label label;
       label.at = p->at;
       label.v_h = (p->value - l_min) / l_min;  // latency inflation ratio
       label.congested = label.v_h > threshold;
       out.push_back(label);
     }
-  }
+  });
   return out;
 }
 

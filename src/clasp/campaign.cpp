@@ -1,5 +1,8 @@
 #include "clasp/campaign.hpp"
 
+#include <cstdio>
+#include <string_view>
+
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -27,6 +30,7 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
   config_ = config;
   stream_seed_ = hash_tag(cloud_->net().config.seed,
                           "campaign:" + config.label + ":" + config.region);
+  artifact_prefix_ = "raw/" + config.label + "/";
 
   const std::size_t vm_needed =
       (server_ids.size() + config.tests_per_vm_hour - 1) /
@@ -44,6 +48,12 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
     sessions_.emplace_back(cloud_, view_, vms_[vm_slot], server,
                            config.test);
     sessions_by_vm_[vm_slot].push_back(sessions_.size() - 1);
+    if (config_.link_cache) {
+      // Register the union of this campaign's path links so run_hour's
+      // prefill turns the hot-loop evaluations into table lookups.
+      view_->link_cache().register_path(sessions_.back().download_path());
+      view_->link_cache().register_path(sessions_.back().upload_path());
+    }
 
     // Intern the session's series once; the hourly loop appends through
     // integer refs with no string formatting or map lookups.
@@ -112,44 +122,75 @@ bool campaign_runner::vm_down(std::size_t vm_slot, hour_stamp at) const {
 }
 
 rng campaign_runner::vm_stream(std::size_t vm_slot, hour_stamp at) const {
+  // Stack-formatted stream tag: same bytes as the string concatenation
+  // ("vm:<slot>:hour:<hours>"), so the derived stream is unchanged, but
+  // staging a VM-hour no longer allocates to seed its RNG.
+  char tag[64];
+  const int len =
+      std::snprintf(tag, sizeof(tag), "vm:%zu:hour:%lld", vm_slot,
+                    static_cast<long long>(at.hours_since_epoch()));
   return rng(hash_tag(stream_seed_,
-                      "vm:" + std::to_string(vm_slot) + ":hour:" +
-                          std::to_string(at.hours_since_epoch())));
+                      std::string_view(tag, static_cast<std::size_t>(len))));
 }
 
 void campaign_runner::run_hour(hour_stamp at) {
   if (!deployed_) throw state_error("campaign_runner: not deployed");
-  std::vector<vm_hour_staging> staged(vms_.size());
-  const std::function<void(std::size_t)> stage = [&](std::size_t v) {
-    staged[v] = stage_vm_hour(v, at);
-  };
-  if (pool_) {
-    pool_->parallel_for(vms_.size(), stage);
-  } else {
-    for (std::size_t v = 0; v < vms_.size(); ++v) stage(v);
+  // Prefill the shared hour-epoch cache before any worker starts reading;
+  // the pool's batch join publishes the writes (see condition_cache.hpp).
+  if (config_.link_cache) {
+    view_->link_cache().prefill(at, pool_.get());
   }
-  for (std::size_t v = 0; v < vms_.size(); ++v) {
-    commit_vm_hour(v, std::move(staged[v]));
+  staging_.resize(vms_.size());
+  if (pool_) {
+    pool_->parallel_for(vms_.size(), [&](std::size_t v) {
+      stage_vm_hour_into(v, at, staging_[v]);
+    });
+    for (std::size_t v = 0; v < vms_.size(); ++v) {
+      commit_vm_hour(v, std::move(staging_[v]));
+    }
+  } else {
+    // Serial replay commits each VM right after staging it: identical
+    // order (staging reads only immutable state, commits stay in slot
+    // order) but the staged points are still cache-hot when merged.
+    for (std::size_t v = 0; v < vms_.size(); ++v) {
+      stage_vm_hour_into(v, at, staging_[v]);
+      commit_vm_hour(v, std::move(staging_[v]));
+    }
   }
 }
 
 campaign_runner::vm_hour_staging campaign_runner::stage_vm_hour(
     std::size_t vm_slot, hour_stamp at) const {
+  vm_hour_staging out;
+  stage_vm_hour_into(vm_slot, at, out);
+  return out;
+}
+
+void campaign_runner::stage_vm_hour_into(std::size_t vm_slot, hour_stamp at,
+                                         vm_hour_staging& out) const {
   if (!deployed_) throw state_error("campaign_runner: not deployed");
   if (vm_slot >= vms_.size()) {
     throw invalid_argument_error("campaign_runner: bad vm slot");
   }
-  vm_hour_staging out;
   out.at = at;
+  out.points.clear();
+  out.someta.clear();
+  out.charges.reset();
+  out.tests_run = 0;
+  out.tests_missed = 0;
   if (vm_down(vm_slot, at)) {
     out.tests_missed = std::min<std::size_t>(sessions_by_vm_[vm_slot].size(),
                                              config_.tests_per_vm_hour);
-    return out;
+    return;
   }
   out.charges.add_vm_hour(vms_[vm_slot]);
   rng r = vm_stream(vm_slot, at);
-  // Randomize the test order each hour (cron-artifact mitigation).
-  std::vector<std::size_t> order = sessions_by_vm_[vm_slot];
+  // Randomize the test order each hour (cron-artifact mitigation). The
+  // shuffle buffer is thread-local so the per-(VM, hour) copy reuses its
+  // allocation; the contents are fully overwritten before use, so worker
+  // scheduling cannot leak state between stages.
+  static thread_local std::vector<std::size_t> order;
+  order = sessions_by_vm_[vm_slot];
   r.shuffle(order);
   const machine_type& machine = cloud_->vm(vms_[vm_slot]).type;
   double artifact_mb = 0.2;  // someta metadata baseline
@@ -173,11 +214,17 @@ campaign_runner::vm_hour_staging campaign_runner::stage_vm_hour(
                    config_.artifact_fraction;
     ++out.tests_run;
   }
-  out.charges.add_put(config_.region,
-                      "raw/" + config_.label + "/" + at.to_string() + "/vm" +
-                          std::to_string(vm_slot) + ".tar.gz",
-                      artifact_mb);
-  return out;
+  // Artifact object name, assembled with one allocation (same bytes as
+  // the old "raw/" + label + "/" + at.to_string() + ... concatenation).
+  char tail[64];
+  std::size_t tail_len = at.format_to(tail, sizeof(tail));
+  tail_len += static_cast<std::size_t>(
+      std::snprintf(tail + tail_len, sizeof(tail) - tail_len, "/vm%zu.tar.gz",
+                    vm_slot));
+  std::string object_name;
+  object_name.reserve(artifact_prefix_.size() + tail_len);
+  object_name.append(artifact_prefix_).append(tail, tail_len);
+  out.charges.add_put(config_.region, std::move(object_name), artifact_mb);
 }
 
 void campaign_runner::commit_vm_hour(std::size_t vm_slot,

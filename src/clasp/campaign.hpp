@@ -54,6 +54,13 @@ struct campaign_config {
   // thread, 0 means hardware_concurrency. Any value produces identical
   // results.
   unsigned workers{1};
+  // Hour-epoch link-condition caching: deploy() registers the union of
+  // the sessions' path links with the view's condition_cache and run_hour
+  // prefills it before staging. Off means every evaluation recomputes the
+  // load model directly; results are bit-identical either way (the cache
+  // stores exactly what the model computes), so this knob trades memory
+  // for speed and nothing else.
+  bool link_cache{true};
 };
 
 class campaign_runner {
@@ -94,6 +101,11 @@ class campaign_runner {
   // deployment state and a stream RNG derived from (label, region,
   // vm_slot, hour).
   vm_hour_staging stage_vm_hour(std::size_t vm_slot, hour_stamp at) const;
+  // Allocation-free variant: stages into `out`, clearing it first but
+  // keeping its buffers, so an hour-stepping driver can reuse one staging
+  // slot per task across the whole window.
+  void stage_vm_hour_into(std::size_t vm_slot, hour_stamp at,
+                          vm_hour_staging& out) const;
   // Merge one staged VM-hour: TSDB appends, someta samples, billing.
   // Coordinator thread only; call in ascending vm_slot order.
   void commit_vm_hour(std::size_t vm_slot, vm_hour_staging&& staged);
@@ -151,7 +163,11 @@ class campaign_runner {
   // series_refs_[i] = interned store handles for sessions_[i].
   std::vector<session_series> series_refs_;
   std::uint64_t stream_seed_{0};  // hash of (net seed, label, region)
+  std::string artifact_prefix_;   // "raw/<label>/", built once at deploy
   std::unique_ptr<thread_pool> pool_;  // null when workers == 1
+  // Reused hourly staging slots (capacity survives across hours; commit
+  // moves only the someta samples out).
+  std::vector<vm_hour_staging> staging_;
   std::size_t tests_run_{0};
   std::size_t tests_missed_{0};
   // Outage windows per VM slot.

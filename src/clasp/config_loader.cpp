@@ -77,6 +77,8 @@ platform_config load_platform_config(const std::string& ini_text) {
     } else if (key == "campaign.workers") {
       cfg.campaign_workers =
           static_cast<unsigned>(as_count(doc, key));  // 0 = hw concurrency
+    } else if (key == "campaign.link_cache") {
+      cfg.campaign_link_cache = doc.get_bool(key);
     } else if (starts_with(key, "budgets.")) {
       const std::string region = key.substr(std::string("budgets.").size());
       region_by_name(region);  // validates the region name

@@ -16,6 +16,8 @@
 //
 //   [campaign]
 //   workers = 4          ; replay concurrency (0 = hardware concurrency)
+//   link_cache = true    ; hour-epoch link-condition cache (speed only;
+//                        ; results are bit-identical on or off)
 //
 //   [budgets]            ; per-region topology deployment budgets
 //   us-west1 = 106

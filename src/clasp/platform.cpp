@@ -70,6 +70,7 @@ campaign_runner& clasp_platform::start_topology_campaign(
   cfg.label = "topology";
   cfg.window = window;
   cfg.workers = config_.campaign_workers;
+  cfg.link_cache = config_.campaign_link_cache;
   auto runner = std::make_unique<campaign_runner>(cloud_.get(), view_.get(),
                                                   &registry_, &store_);
   runner->deploy(cfg, servers);
@@ -100,6 +101,7 @@ clasp_platform::start_differential_campaign(const std::string& region,
     cfg.label = labels[i];
     cfg.window = window;
     cfg.workers = config_.campaign_workers;
+    cfg.link_cache = config_.campaign_link_cache;
     auto runner = std::make_unique<campaign_runner>(cloud_.get(), view_.get(),
                                                     &registry_, &store_);
     runner->deploy(cfg, servers);
@@ -128,20 +130,28 @@ void clasp_platform::run_campaigns(
     std::size_t vm_slot;
   };
   std::vector<vm_task> tasks;
+  // Reused across hours: commit moves only the someta samples out, so the
+  // staging buffers keep their capacity for the next hour.
   std::vector<campaign_runner::vm_hour_staging> staged;
   for (hour_stamp at = begin; at < end; ++at) {
     tasks.clear();
+    bool want_cache = false;
     for (campaign_runner* r : runners) {
       const hour_range& w = r->config().window;
       if (!(w.begin_at <= at && at < w.end_at)) continue;
+      want_cache = want_cache || r->config().link_cache;
       for (std::size_t v = 0; v < r->vm_count(); ++v) {
         tasks.push_back({r, v});
       }
     }
     if (tasks.empty()) continue;
-    staged.assign(tasks.size(), {});
+    // All runners share this platform's view, hence one condition cache
+    // holding the union of their registered links: prefill it once per
+    // hour before any staging worker reads.
+    if (want_cache) view_->link_cache().prefill(at, &pool);
+    staged.resize(tasks.size());
     pool.parallel_for(tasks.size(), [&](std::size_t i) {
-      staged[i] = tasks[i].runner->stage_vm_hour(tasks[i].vm_slot, at);
+      tasks[i].runner->stage_vm_hour_into(tasks[i].vm_slot, at, staged[i]);
     });
     // Merge in (campaign creation, VM slot) order: identical to each
     // campaign replaying the hour on its own.

@@ -48,6 +48,10 @@ struct platform_config {
   // 1 = serial, 0 = hardware_concurrency. Any value yields bit-identical
   // campaign results (see DESIGN.md, "Concurrency model & determinism").
   unsigned campaign_workers{1};
+  // Hour-epoch link-condition caching for every campaign this platform
+  // deploys (campaign_config::link_cache). Off only costs speed: results
+  // are bit-identical either way.
+  bool campaign_link_cache{true};
 };
 
 class clasp_platform {

@@ -97,6 +97,14 @@ struct charge_sheet {
   void add_egress(service_tier tier, megabytes volume);
   void add_put(std::string bucket_region, std::string object_name,
                double megabytes_stored);
+  // Empty the sheet but keep the vectors' capacity (for staging buffers
+  // reused every hour; assigning `{}` would free them each time).
+  void reset() {
+    vm_hours.clear();
+    egress_premium = megabytes{0.0};
+    egress_standard = megabytes{0.0};
+    puts.clear();
+  }
   // Append `other`'s entries after this sheet's (merge order defines
   // charge order).
   void merge(charge_sheet&& other);

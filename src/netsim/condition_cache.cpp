@@ -1,0 +1,60 @@
+#include "netsim/condition_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace clasp {
+
+condition_cache::condition_cache(const internet* net) : net_(net) {
+  if (net == nullptr) {
+    throw invalid_argument_error("condition_cache: null net");
+  }
+}
+
+void condition_cache::register_link(link_index l) {
+  // The cloud layer attaches VM access links after generation, so the
+  // link id space can grow between registrations.
+  if (l.value >= slot_of_.size()) {
+    slot_of_.resize(net_->topo->link_count(), kNoSlot);
+    if (l.value >= slot_of_.size()) {
+      throw invalid_argument_error("condition_cache: unknown link");
+    }
+  }
+  if (slot_of_[l.value] != kNoSlot) return;
+  slot_of_[l.value] = static_cast<std::uint32_t>(links_.size());
+  const link_info& info = net_->topo->link_at(l);
+  links_.push_back({l, info.load_profile, info.capacity, info.kind});
+  table_.resize(2 * links_.size());
+  valid_ = false;  // the new slots hold no hour's data yet
+}
+
+void condition_cache::register_path(const route_path& path) {
+  if (path.src_access) register_link(path.src_access->link);
+  for (const path_hop& h : path.transit_hops) register_link(h.link);
+  if (path.dst_access) register_link(path.dst_access->link);
+}
+
+void condition_cache::fill_slot(std::size_t slot, hour_stamp at) {
+  const registered_link& reg = links_[slot];
+  table_[2 * slot] =
+      net_->load->condition(reg.load_profile, reg.link, link_dir::a_to_b, at,
+                            reg.capacity, reg.kind);
+  table_[2 * slot + 1] =
+      net_->load->condition(reg.load_profile, reg.link, link_dir::b_to_a, at,
+                            reg.capacity, reg.kind);
+}
+
+void condition_cache::prefill(hour_stamp at, thread_pool* pool) {
+  valid_ = false;
+  if (pool != nullptr && links_.size() > 1) {
+    pool->parallel_for(links_.size(),
+                       [&](std::size_t slot) { fill_slot(slot, at); });
+  } else {
+    for (std::size_t slot = 0; slot < links_.size(); ++slot) {
+      fill_slot(slot, at);
+    }
+  }
+  epoch_ = at.hours_since_epoch();
+  valid_ = true;
+}
+
+}  // namespace clasp

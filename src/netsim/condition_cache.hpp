@@ -1,0 +1,94 @@
+// Hour-epoch cache of link conditions for the campaign replay hot loop.
+//
+// link_load_model::condition() is a pure function of
+// (profile, link, dir, hour), but it costs transcendental math (Box-Muller
+// log/sqrt/cos for the hour noise, exp, plus the episode hash draws) and
+// the campaign replay re-evaluates it for every hop of every session's two
+// paths — even though cloud-WAN, interconnect and transit-backbone links
+// are shared by hundreds of sessions in the same region. This cache
+// memoizes one hour's worth of conditions for a registered set of links:
+// a dense 2 x links table of link_condition keyed by (link slot, dir) and
+// stamped with the hour it was filled for.
+//
+// Usage contract (what keeps replay deterministic AND data-race free):
+//  * register_link / register_path run at deployment time, before any
+//    worker exists. Registration is idempotent.
+//  * prefill(at) recomputes every registered entry for one hour. It is
+//    called by the replay coordinator at the top of each simulated hour,
+//    while no worker is evaluating (optionally fanning the recompute out
+//    across an idle thread_pool — slots are disjoint, so scheduling cannot
+//    change any value).
+//  * lookup() is read-only and lock-free; workers call it concurrently
+//    during the hour. A miss (unregistered link, or an hour other than the
+//    prefilled epoch) returns nullptr and the caller falls back to the
+//    direct computation — which yields bit-identical values, because the
+//    cache stores exactly condition()'s outputs.
+//
+// The prefill-then-read phase split means no entry is ever written while
+// a reader is live; the thread_pool's batch join publishes the writes to
+// every worker (see DESIGN.md, "Hour-epoch link-condition caching").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/generator.hpp"
+#include "netsim/routing.hpp"
+#include "util/sim_time.hpp"
+#include "util/thread_pool.hpp"
+
+namespace clasp {
+
+class condition_cache {
+ public:
+  explicit condition_cache(const internet* net);
+
+  // Add a link to the registered set (idempotent). Coordinator-only; must
+  // not race with lookup() or prefill().
+  void register_link(link_index l);
+  // Register every link crossing of a path (access + transit hops).
+  void register_path(const route_path& path);
+
+  std::size_t registered_count() const { return links_.size(); }
+
+  // Recompute both directions of every registered link for hour `at`.
+  // Coordinator-only, with no concurrent readers. When `pool` is non-null
+  // the recompute fans out across it (one index per link; entries are
+  // disjoint, values schedule-independent).
+  void prefill(hour_stamp at, thread_pool* pool = nullptr);
+
+  // The cached condition of (l, dir) at `at`, or nullptr when the link is
+  // unregistered or `at` is not the prefilled epoch. Safe to call from
+  // many threads between prefills.
+  const link_condition* lookup(link_index l, link_dir dir,
+                               hour_stamp at) const {
+    if (!valid_ || at.hours_since_epoch() != epoch_) return nullptr;
+    if (l.value >= slot_of_.size()) return nullptr;
+    const std::uint32_t slot = slot_of_[l.value];
+    if (slot == kNoSlot) return nullptr;
+    return &table_[2 * slot + (dir == link_dir::a_to_b ? 0 : 1)];
+  }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  // Static link attributes captured at registration, so the hourly
+  // prefill walks a contiguous array instead of chasing topology entries.
+  struct registered_link {
+    link_index link;
+    std::uint32_t load_profile{0};
+    mbps capacity;
+    link_kind kind{link_kind::backbone};
+  };
+
+  void fill_slot(std::size_t slot, hour_stamp at);
+
+  const internet* net_;
+  std::vector<std::uint32_t> slot_of_;  // link.value -> slot or kNoSlot
+  std::vector<registered_link> links_;  // slot -> link + static attributes
+  std::vector<link_condition> table_;   // 2 per slot: [a_to_b, b_to_a]
+  std::int64_t epoch_{0};               // hour the table was filled for
+  bool valid_{false};                   // false until the first prefill
+};
+
+}  // namespace clasp

@@ -93,8 +93,10 @@ bool link_load_model::episode_active(std::uint32_t profile_id, link_index link,
   return false;
 }
 
-double link_load_model::utilization(std::uint32_t profile_id, link_index link,
-                                    link_dir dir, hour_stamp at) const {
+double link_load_model::utilization_given_episode(std::uint32_t profile_id,
+                                                  link_index link,
+                                                  link_dir dir, hour_stamp at,
+                                                  bool episode) const {
   const load_profile& prof = profile(profile_id);
   const direction_load& d = params(profile_id, dir);
   const unsigned local_hour = at.local_hour_of_day(prof.tz);
@@ -119,7 +121,7 @@ double link_load_model::utilization(std::uint32_t profile_id, link_index link,
     u *= std::exp(d.noise_sigma * z - 0.5 * d.noise_sigma * d.noise_sigma);
   }
 
-  if (episode_active(profile_id, link, dir, at)) {
+  if (episode) {
     // Severity varies within an episode: strongest mid-window.
     const std::uint64_t h = mix(
         seed_, link, dir,
@@ -129,6 +131,12 @@ double link_load_model::utilization(std::uint32_t profile_id, link_index link,
   }
 
   return std::max(u, 0.0);
+}
+
+double link_load_model::utilization(std::uint32_t profile_id, link_index link,
+                                    link_dir dir, hour_stamp at) const {
+  return utilization_given_episode(profile_id, link, dir, at,
+                                   episode_active(profile_id, link, dir, at));
 }
 
 millis max_queue_delay(link_kind kind) {
@@ -148,7 +156,9 @@ link_condition link_load_model::condition(std::uint32_t profile_id,
                                           link_kind kind) const {
   const direction_load& d = params(profile_id, dir);
   link_condition c;
-  c.utilization = utilization(profile_id, link, dir, at);
+  c.episode = episode_active(profile_id, link, dir, at);
+  c.utilization =
+      utilization_given_episode(profile_id, link, dir, at, c.episode);
 
   // Available bandwidth: the headroom, with a small floor representing the
   // fair share a new elastic flow can still claim from an overloaded link.

@@ -57,6 +57,7 @@ struct link_condition {
   double loss_rate{0.0};    // packet loss probability
   millis queue_delay{0.0};  // added one-way queueing delay
   mbps available{0.0};      // bandwidth available to a new flow
+  bool episode{false};      // a planted episode is active (ground truth)
 };
 
 // Deterministic evaluator for link conditions.
@@ -74,8 +75,11 @@ class link_load_model {
   double utilization(std::uint32_t profile_id, link_index link, link_dir dir,
                      hour_stamp at) const;
 
-  // Full condition including loss, queueing and available bandwidth for a
-  // link of the given capacity and kind.
+  // Full condition including loss, queueing, available bandwidth and the
+  // planted-episode flag for a link of the given capacity and kind. The
+  // episode state is computed once and reused for the severity bump, so
+  // callers that need both the condition and the ground-truth flag pay
+  // the episode hash draws a single time per (link, dir, hour).
   link_condition condition(std::uint32_t profile_id, link_index link,
                            link_dir dir, hour_stamp at, mbps capacity,
                            link_kind kind) const;
@@ -91,6 +95,12 @@ class link_load_model {
 
  private:
   const direction_load& params(std::uint32_t profile_id, link_dir dir) const;
+
+  // Utilization with the episode state already decided (episode_active is
+  // the expensive part shared by utilization() and condition()).
+  double utilization_given_episode(std::uint32_t profile_id, link_index link,
+                                   link_dir dir, hour_stamp at,
+                                   bool episode) const;
 
   std::uint64_t seed_;
   std::vector<load_profile> profiles_;

@@ -4,12 +4,15 @@
 
 namespace clasp {
 
-network_view::network_view(const internet* net) : net_(net) {
+network_view::network_view(const internet* net)
+    : net_(net),
+      cache_(net ? std::make_unique<condition_cache>(net) : nullptr) {
   if (net == nullptr) throw invalid_argument_error("network_view: null net");
 }
 
 link_condition network_view::link_state(link_index l, link_dir dir,
                                         hour_stamp at) const {
+  if (const link_condition* c = cache_->lookup(l, dir, at)) return *c;
   const link_info& info = net_->topo->link_at(l);
   return net_->load->condition(info.load_profile, l, dir, at, info.capacity,
                                info.kind);
@@ -40,13 +43,69 @@ path_metrics network_view::evaluate(const route_path& path,
       m.bottleneck_link = h.link;
       m.bottleneck_util = data.utilization;
     }
+    if (data.episode) m.episode = true;
   });
   // Per-router forwarding adds a small fixed cost.
   const double router_cost_ms = 0.08 * static_cast<double>(path.routers.size());
   m.base_rtt = m.base_rtt + millis{2.0 * router_cost_ms};
   m.rtt = m.rtt + millis{2.0 * router_cost_ms};
   m.loss = 1.0 - pass;
-  m.episode = episode_on_path(path, at);
+  return m;
+}
+
+flat_path network_view::flatten(const route_path& path) const {
+  flat_path flat;
+  flat.hops.reserve(path.transit_hops.size() + 2);
+  // base_rtt accumulates in the exact hop order evaluate(route_path) uses,
+  // so the precomputed sum is bit-identical to the per-call one.
+  millis base{0.0};
+  for_each_hop(path, [&](const path_hop& h) {
+    const link_info& info = net_->topo->link_at(h.link);
+    flat_hop fh;
+    fh.link = h.link;
+    fh.dir = h.dir;
+    fh.kind = info.kind;
+    fh.load_profile = info.load_profile;
+    fh.capacity = info.capacity;
+    fh.prop_rtt = info.propagation * 2.0;
+    base = base + fh.prop_rtt;
+    flat.hops.push_back(fh);
+  });
+  flat.router_cost_rtt =
+      millis{2.0 * (0.08 * static_cast<double>(path.routers.size()))};
+  flat.base_rtt = base + flat.router_cost_rtt;
+  return flat;
+}
+
+path_metrics network_view::evaluate(const flat_path& path,
+                                    hour_stamp at) const {
+  path_metrics m;
+  m.bottleneck = mbps{1e12};
+  double pass = 1.0;
+  for (const flat_hop& h : path.hops) {
+    link_condition data;
+    link_condition ack;
+    if (const link_condition* c = cache_->lookup(h.link, h.dir, at)) {
+      data = *c;
+      ack = *cache_->lookup(h.link, reverse(h.dir), at);
+    } else {
+      data = net_->load->condition(h.load_profile, h.link, h.dir, at,
+                                   h.capacity, h.kind);
+      ack = net_->load->condition(h.load_profile, h.link, reverse(h.dir), at,
+                                  h.capacity, h.kind);
+    }
+    m.rtt = m.rtt + h.prop_rtt + data.queue_delay + ack.queue_delay;
+    pass *= (1.0 - data.loss_rate);
+    if (data.available < m.bottleneck) {
+      m.bottleneck = data.available;
+      m.bottleneck_link = h.link;
+      m.bottleneck_util = data.utilization;
+    }
+    if (data.episode) m.episode = true;
+  }
+  m.base_rtt = path.base_rtt;
+  m.rtt = m.rtt + path.router_cost_rtt;
+  m.loss = 1.0 - pass;
   return m;
 }
 
@@ -85,6 +144,10 @@ bool network_view::episode_on_path(const route_path& path,
   bool active = false;
   for_each_hop(path, [&](const path_hop& h) {
     if (active) return;
+    if (const link_condition* c = cache_->lookup(h.link, h.dir, at)) {
+      active = c->episode;
+      return;
+    }
     const link_info& info = net_->topo->link_at(h.link);
     if (net_->load->episode_active(info.load_profile, h.link, h.dir, at)) {
       active = true;

@@ -5,8 +5,27 @@
 // model for that link direction's condition, and aggregates RTT
 // (propagation + bidirectional queueing), data-direction loss and the
 // bottleneck available bandwidth.
+//
+// Two complementary fast paths serve the campaign replay hot loop:
+//  * an hour-epoch condition_cache owned by the view: once the replay
+//    coordinator prefills it for an hour, every link_state / evaluate
+//    call backed by a registered link becomes a table lookup instead of
+//    recomputing the load model's transcendental math (the prober and
+//    every other view client reuse the same cached hour for free);
+//  * flat_path: a route_path flattened at session-construction time into
+//    a contiguous hop array with the static per-hop terms (propagation
+//    RTT, capacity, profile, kind) and the propagation-only RTT
+//    precomputed, removing the optional-access branches and link_at
+//    indirections from the per-test inner loop.
+// Both are bit-identical to the plain route_path walk: the cache stores
+// exactly condition()'s outputs and the flat walk performs the same
+// floating-point operations in the same order.
 #pragma once
 
+#include <memory>
+#include <vector>
+
+#include "netsim/condition_cache.hpp"
 #include "netsim/generator.hpp"
 #include "netsim/routing.hpp"
 
@@ -23,15 +42,39 @@ struct path_metrics {
   bool episode{false};          // a planted episode was active on the path
 };
 
+// One link crossing of a flattened path with its static terms hoisted out
+// of the inner loop.
+struct flat_hop {
+  link_index link;
+  link_dir dir;                // data direction
+  link_kind kind{link_kind::backbone};
+  std::uint32_t load_profile{0};
+  mbps capacity;
+  millis prop_rtt;             // propagation * 2 (both directions)
+};
+
+// A route_path flattened for repeated evaluation (see file comment).
+struct flat_path {
+  std::vector<flat_hop> hops;  // src access + transit + dst access
+  millis base_rtt;             // full propagation-only RTT incl. router cost
+  millis router_cost_rtt;      // 2 * 0.08 ms * router count
+};
+
 class network_view {
  public:
   explicit network_view(const internet* net);
 
-  // Condition of one link direction at one hour.
+  // Condition of one link direction at one hour (cache lookup when the
+  // link is registered and the hour prefilled; direct computation else).
   link_condition link_state(link_index l, link_dir dir, hour_stamp at) const;
 
   // Aggregate over every hop of a path.
   path_metrics evaluate(const route_path& path, hour_stamp at) const;
+
+  // Flatten a path once; evaluate(flat, at) then walks a contiguous hop
+  // array. Bit-identical to evaluate(path, at).
+  flat_path flatten(const route_path& path) const;
+  path_metrics evaluate(const flat_path& path, hour_stamp at) const;
 
   // Propagation-only round-trip time (no load model; used for latency
   // floor assertions and 5th-percentile sanity checks).
@@ -45,6 +88,12 @@ class network_view {
   // True when a planted episode is active on any hop (ground truth).
   bool episode_on_path(const route_path& path, hour_stamp at) const;
 
+  // The hour-epoch condition cache shared by every client of this view.
+  // Campaign runners register their sessions' links at deploy() time and
+  // prefill at the top of each replayed hour; see condition_cache.hpp for
+  // the coordinator-only write contract.
+  condition_cache& link_cache() const { return *cache_; }
+
   const internet& net() const { return *net_; }
 
  private:
@@ -52,6 +101,7 @@ class network_view {
   void for_each_hop(const route_path& path, Fn&& fn) const;
 
   const internet* net_;
+  std::unique_ptr<condition_cache> cache_;
 };
 
 }  // namespace clasp

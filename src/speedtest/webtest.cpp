@@ -25,6 +25,8 @@ speed_test_session::speed_test_session(const gcp_cloud* cloud,
   const endpoint server_ep = planner.endpoint_of_host(server.host);
   down_ = planner.to_cloud(server_ep, vm_ep, tier_);
   up_ = planner.from_cloud(vm_ep, server_ep, tier_);
+  flat_down_ = view->flatten(down_);
+  flat_up_ = view->flatten(up_);
 }
 
 speed_test_report speed_test_session::run(hour_stamp at, rng& r) const {
@@ -33,8 +35,8 @@ speed_test_report speed_test_session::run(hour_stamp at, rng& r) const {
   report.at = at;
   report.tier = tier_;
 
-  const path_metrics down_m = view_->evaluate(down_, at);
-  const path_metrics up_m = view_->evaluate(up_, at);
+  const path_metrics down_m = view_->evaluate(flat_down_, at);
+  const path_metrics up_m = view_->evaluate(flat_up_, at);
 
   // Latency phase (HTTP pings on the download path).
   report.latency = run_latency_probe(down_m, config_.latency_probes, r);

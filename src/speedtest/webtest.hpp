@@ -65,6 +65,8 @@ class speed_test_session {
   speed_test_config config_;
   route_path down_;  // server -> VM (data direction of the download test)
   route_path up_;    // VM -> server
+  flat_path flat_down_;  // down_/up_ flattened once at construction;
+  flat_path flat_up_;    // run() evaluates these (bit-identical, faster)
 };
 
 }  // namespace clasp

@@ -15,11 +15,8 @@ std::optional<std::string> ts_series::tag(const std::string& key) const {
   return it->second;
 }
 
-void ts_series::append(hour_stamp at, double value) {
-  if (!points_.empty() && at < points_.back().at) {
-    throw invalid_argument_error("ts_series: out-of-order append");
-  }
-  points_.push_back({at, value});
+void ts_series::throw_out_of_order() {
+  throw invalid_argument_error("ts_series: out-of-order append");
 }
 
 std::span<const ts_point> ts_series::range(hour_stamp begin,
@@ -78,10 +75,7 @@ series_ref tsdb::open_series(const std::string& metric, const tag_set& tags) {
   return static_cast<series_ref>(it->second);
 }
 
-void tsdb::write(series_ref ref, hour_stamp at, double value) {
-  if (ref >= series_.size()) throw not_found_error("tsdb: bad series ref");
-  series_[ref].append(at, value);
-}
+void tsdb::throw_bad_ref() { throw not_found_error("tsdb: bad series ref"); }
 
 const ts_series& tsdb::series_at(series_ref ref) const {
   if (ref >= series_.size()) throw not_found_error("tsdb: bad series ref");

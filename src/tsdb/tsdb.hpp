@@ -43,7 +43,11 @@ class ts_series {
   // Tag value or nullopt.
   std::optional<std::string> tag(const std::string& key) const;
 
-  void append(hour_stamp at, double value);
+  // Inline: a campaign hour appends hundreds of points through this.
+  void append(hour_stamp at, double value) {
+    if (!points_.empty() && at < points_.back().at) throw_out_of_order();
+    points_.push_back({at, value});
+  }
 
   // Points with begin <= at < end. Requires time-ordered appends (the
   // store enforces this).
@@ -53,6 +57,8 @@ class ts_series {
   std::vector<double> values_in(hour_stamp begin, hour_stamp end) const;
 
  private:
+  [[noreturn]] static void throw_out_of_order();
+
   std::string metric_;
   tag_set tags_;
   std::vector<ts_point> points_;
@@ -83,8 +89,12 @@ class tsdb {
   series_ref open_series(const std::string& metric, const tag_set& tags);
 
   // Append through an interned ref (the campaign fast path). Same
-  // time-order contract as the string-keyed overload.
-  void write(series_ref ref, hour_stamp at, double value);
+  // time-order contract as the string-keyed overload. Inline: commit
+  // merges every staged point of an hour through here.
+  void write(series_ref ref, hour_stamp at, double value) {
+    if (ref >= series_.size()) throw_bad_ref();
+    series_[ref].append(at, value);
+  }
 
   // The series behind a ref (throws not_found_error on a bad ref).
   const ts_series& series_at(series_ref ref) const;
@@ -112,6 +122,7 @@ class tsdb {
  private:
   static std::string series_key(const std::string& metric,
                                 const tag_set& tags);
+  [[noreturn]] static void throw_bad_ref();
 
   std::vector<ts_series> series_;
   std::unordered_map<std::string, std::size_t> index_;

@@ -67,12 +67,18 @@ civil_date hour_stamp::utc_date() const {
   return civil_from_days(utc_day_index() + kEpoch2020Days);
 }
 
-std::string hour_stamp::to_string() const {
+std::size_t hour_stamp::format_to(char* buf, std::size_t n) const {
   const civil_date d = utc_date();
+  const int len = std::snprintf(buf, n, "%04d-%02u-%02u %02u:00Z", d.year,
+                                d.month, d.day, utc_hour_of_day());
+  if (len < 0) return 0;
+  const auto want = static_cast<std::size_t>(len);
+  return want < n ? want : n - 1;
+}
+
+std::string hour_stamp::to_string() const {
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u %02u:00Z", d.year, d.month,
-                d.day, utc_hour_of_day());
-  return std::string(buf);
+  return std::string(buf, format_to(buf, sizeof(buf)));
 }
 
 hour_range topology_campaign_window() {

@@ -12,6 +12,7 @@
 // so we trade it for determinism and note the substitution in DESIGN.md.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -72,6 +73,9 @@ class hour_stamp {
 
   // "2020-05-17 13:00Z" — used in logs and exported series.
   std::string to_string() const;
+  // Same text written into `buf` (capacity `n`, NUL-terminated); returns
+  // the length. Lets hot loops format timestamps without an allocation.
+  std::size_t format_to(char* buf, std::size_t n) const;
 
  private:
   std::int64_t hours_{0};

@@ -1,11 +1,17 @@
 // Parallel replay determinism: the same campaign run with 1, 2 and 8
-// workers must produce point-for-point identical TSDB contents, billing
-// totals, someta records and bucket artifacts. Every VM-hour draws from
-// its own counter-based RNG stream and staged results merge in VM-slot
-// order, so the worker count can only change wall-clock, never values.
+// workers — and with the hour-epoch link-condition cache on or off —
+// must produce point-for-point identical TSDB contents, billing totals,
+// someta records and bucket artifacts. Every VM-hour draws from its own
+// counter-based RNG stream and staged results merge in VM-slot order, so
+// the worker count can only change wall-clock, never values; the cache
+// stores exactly what the load model computes, so it too is invisible in
+// the output.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "test_support.hpp"
@@ -16,7 +22,7 @@ namespace {
 using ::clasp::testing::small_internet_config;
 using ::clasp::testing::small_server_config;
 
-platform_config tiny_config(unsigned workers) {
+platform_config tiny_config(unsigned workers, bool link_cache = true) {
   platform_config cfg;
   cfg.internet = small_internet_config();
   cfg.internet.seed = 777;
@@ -31,6 +37,7 @@ platform_config tiny_config(unsigned workers) {
   cfg.servers.global_server_target = 600;
   cfg.topology_budgets = {{"us-west1", 40}};
   cfg.campaign_workers = workers;
+  cfg.campaign_link_cache = link_cache;
   return cfg;
 }
 
@@ -57,6 +64,7 @@ struct campaign_snapshot {
   std::size_t tests_missed{0};
   unsigned effective_workers{0};
   std::vector<std::vector<vm_metadata_sample>> someta;  // per VM slot
+  std::string csv;  // export_csv of all six metrics, concatenated
 };
 
 campaign_snapshot snapshot_of(clasp_platform& p, campaign_runner& c) {
@@ -76,16 +84,28 @@ campaign_snapshot snapshot_of(clasp_platform& p, campaign_runner& c) {
   for (std::size_t v = 0; v < c.vm_count(); ++v) {
     snap.someta.push_back(c.metadata(v).samples());
   }
+  std::ostringstream csv;
+  for (const char* metric : kMetrics) p.store().export_csv(csv, metric);
+  snap.csv = csv.str();
   return snap;
 }
 
-campaign_snapshot run_with_workers(unsigned workers) {
-  clasp_platform p(tiny_config(workers));
+// Each (workers, link_cache) platform is built once and its snapshot
+// shared across tests (platform construction dominates this suite's
+// runtime).
+const campaign_snapshot& run_once(unsigned workers, bool link_cache = true) {
+  static std::map<std::pair<unsigned, bool>, campaign_snapshot>* memo =
+      new std::map<std::pair<unsigned, bool>, campaign_snapshot>();
+  const auto key = std::make_pair(workers, link_cache);
+  const auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+
+  clasp_platform p(tiny_config(workers, link_cache));
   campaign_runner& c = p.start_topology_campaign("us-west1", two_days());
   // Exercise the outage path too: slot 0 down for four mid-window hours.
   c.inject_vm_outage(0, {two_days().begin_at + 20, two_days().begin_at + 24});
   c.run();
-  return snapshot_of(p, c);
+  return memo->emplace(key, snapshot_of(p, c)).first->second;
 }
 
 void expect_identical(const campaign_snapshot& a, const campaign_snapshot& b) {
@@ -126,33 +146,52 @@ void expect_identical(const campaign_snapshot& a, const campaign_snapshot& b) {
       EXPECT_EQ(a.someta[v][j].cpu_saturated, b.someta[v][j].cpu_saturated);
     }
   }
+
+  // Exported CSV, byte for byte.
+  EXPECT_EQ(a.csv, b.csv);
 }
 
 TEST(CampaignParallelTest, WorkerCountNeverChangesResults) {
-  const campaign_snapshot serial = run_with_workers(1);
+  const campaign_snapshot& serial = run_once(1);
   EXPECT_EQ(serial.effective_workers, 1u);
   EXPECT_GT(serial.tests_run, 0u);
   EXPECT_GT(serial.tests_missed, 0u);
 
-  const campaign_snapshot two = run_with_workers(2);
+  const campaign_snapshot& two = run_once(2);
   EXPECT_EQ(two.effective_workers, 2u);
   expect_identical(serial, two);
 
-  const campaign_snapshot eight = run_with_workers(8);
+  const campaign_snapshot& eight = run_once(8);
   EXPECT_EQ(eight.effective_workers, 8u);
   expect_identical(serial, eight);
 }
 
+TEST(CampaignParallelTest, LinkCacheNeverChangesResults) {
+  // The full cache on/off x workers 1/2/8 matrix must agree byte for
+  // byte (the cached runs come memoized from the test above when it ran
+  // first; order doesn't matter).
+  const campaign_snapshot& reference = run_once(1, /*link_cache=*/true);
+  ASSERT_FALSE(reference.csv.empty());
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    expect_identical(reference, run_once(workers, /*link_cache=*/true));
+    expect_identical(reference, run_once(workers, /*link_cache=*/false));
+  }
+}
+
 TEST(CampaignParallelTest, PlatformFanOutMatchesSerialRun) {
   // Driving a campaign through the platform's cross-campaign fan-out
-  // must reproduce campaign_runner::run exactly.
-  const campaign_snapshot serial = run_with_workers(1);
+  // must reproduce campaign_runner::run exactly — with the shared-cache
+  // prefill path on and off.
+  const campaign_snapshot& serial = run_once(1);
 
-  clasp_platform p(tiny_config(1));
-  campaign_runner& c = p.start_topology_campaign("us-west1", two_days());
-  c.inject_vm_outage(0, {two_days().begin_at + 20, two_days().begin_at + 24});
-  p.run_campaigns({&c}, 4);
-  expect_identical(serial, snapshot_of(p, c));
+  for (const bool link_cache : {true, false}) {
+    clasp_platform p(tiny_config(1, link_cache));
+    campaign_runner& c = p.start_topology_campaign("us-west1", two_days());
+    c.inject_vm_outage(0,
+                       {two_days().begin_at + 20, two_days().begin_at + 24});
+    p.run_campaigns({&c}, 4);
+    expect_identical(serial, snapshot_of(p, c));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,205 @@
+#include "netsim/condition_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "netsim/routing.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace clasp {
+namespace {
+
+using ::clasp::testing::small_internet;
+
+// The cache's whole contract is "same bits as calling the load model";
+// these comparisons are therefore exact, not EXPECT_NEAR.
+void expect_same_condition(const link_condition& a, const link_condition& b) {
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.loss_rate, b.loss_rate);
+  EXPECT_EQ(a.queue_delay.value, b.queue_delay.value);
+  EXPECT_EQ(a.available.value, b.available.value);
+  EXPECT_EQ(a.episode, b.episode);
+}
+
+void expect_same_metrics(const path_metrics& a, const path_metrics& b) {
+  EXPECT_EQ(a.base_rtt.value, b.base_rtt.value);
+  EXPECT_EQ(a.rtt.value, b.rtt.value);
+  EXPECT_EQ(a.loss, b.loss);
+  EXPECT_EQ(a.bottleneck.value, b.bottleneck.value);
+  EXPECT_EQ(a.bottleneck_link.value, b.bottleneck_link.value);
+  EXPECT_EQ(a.bottleneck_util, b.bottleneck_util);
+  EXPECT_EQ(a.episode, b.episode);
+}
+
+std::vector<link_index> path_links(const route_path& path) {
+  std::vector<link_index> out;
+  if (path.src_access) out.push_back(path.src_access->link);
+  for (const path_hop& h : path.transit_hops) out.push_back(h.link);
+  if (path.dst_access) out.push_back(path.dst_access->link);
+  return out;
+}
+
+class ConditionCacheTest : public ::testing::Test {
+ protected:
+  ConditionCacheTest() : net_(small_internet()), planner_(&net_) {
+    const city_id region = net_.geo->city_by_name("The Dalles, OR").id;
+    const auto router = net_.topo->router_of(net_.cloud, region);
+    const endpoint vm{net_.cloud, region,
+                      net_.topo->router_at(*router).loopback, std::nullopt};
+    const endpoint src =
+        planner_.endpoint_of_host(net_.vantage_points.front());
+    path_ = planner_.to_cloud(src, vm, service_tier::premium);
+    back_ = planner_.from_cloud(vm, src, service_tier::premium);
+  }
+
+  link_condition direct(link_index l, link_dir dir, hour_stamp at) const {
+    const link_info& info = net_.topo->link_at(l);
+    return net_.load->condition(info.load_profile, l, dir, at, info.capacity,
+                                info.kind);
+  }
+
+  internet& net_;
+  route_planner planner_;
+  route_path path_, back_;
+};
+
+TEST_F(ConditionCacheTest, NullNetRejected) {
+  EXPECT_THROW(condition_cache(nullptr), invalid_argument_error);
+}
+
+TEST_F(ConditionCacheTest, LookupBitIdenticalToDirectAcrossHoursAndDirs) {
+  condition_cache cache(&net_);
+  cache.register_path(path_);
+  cache.register_path(back_);
+  ASSERT_GT(cache.registered_count(), 0u);
+
+  // Spans weekday/weekend and evening-peak hours so episode flags flip.
+  for (int h = 0; h < 96; ++h) {
+    const hour_stamp t = hour_stamp::from_civil({2020, 7, 3}, 0) + h;
+    cache.prefill(t);
+    for (const link_index l : path_links(path_)) {
+      for (const link_dir dir : {link_dir::a_to_b, link_dir::b_to_a}) {
+        const link_condition* cached = cache.lookup(l, dir, t);
+        ASSERT_NE(cached, nullptr);
+        expect_same_condition(*cached, direct(l, dir, t));
+      }
+    }
+  }
+}
+
+TEST_F(ConditionCacheTest, PooledPrefillMatchesSerialPrefill) {
+  condition_cache serial(&net_);
+  condition_cache pooled(&net_);
+  serial.register_path(path_);
+  pooled.register_path(path_);
+
+  thread_pool pool(4);
+  const hour_stamp t = hour_stamp::from_civil({2020, 8, 14}, 19);
+  serial.prefill(t);
+  pooled.prefill(t, &pool);
+  for (const link_index l : path_links(path_)) {
+    for (const link_dir dir : {link_dir::a_to_b, link_dir::b_to_a}) {
+      const link_condition* a = serial.lookup(l, dir, t);
+      const link_condition* b = pooled.lookup(l, dir, t);
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      expect_same_condition(*a, *b);
+    }
+  }
+}
+
+TEST_F(ConditionCacheTest, MissesReturnNull) {
+  condition_cache cache(&net_);
+  cache.register_path(path_);
+  const link_index l = path_links(path_).front();
+  const hour_stamp t = hour_stamp::from_civil({2020, 6, 1}, 12);
+
+  // Before any prefill.
+  EXPECT_EQ(cache.lookup(l, link_dir::a_to_b, t), nullptr);
+
+  cache.prefill(t);
+  EXPECT_NE(cache.lookup(l, link_dir::a_to_b, t), nullptr);
+  // Wrong hour.
+  EXPECT_EQ(cache.lookup(l, link_dir::a_to_b, t + 1), nullptr);
+
+  // An unregistered link misses even at the prefilled hour.
+  condition_cache empty(&net_);
+  empty.prefill(t);
+  EXPECT_EQ(empty.lookup(l, link_dir::a_to_b, t), nullptr);
+}
+
+TEST_F(ConditionCacheTest, RegistrationIsIdempotent) {
+  condition_cache cache(&net_);
+  cache.register_path(path_);
+  const std::size_t count = cache.registered_count();
+  cache.register_path(path_);
+  for (const link_index l : path_links(path_)) cache.register_link(l);
+  EXPECT_EQ(cache.registered_count(), count);
+}
+
+TEST_F(ConditionCacheTest, RegistrationAfterPrefillInvalidatesEpoch) {
+  condition_cache cache(&net_);
+  cache.register_path(path_);
+  const hour_stamp t = hour_stamp::from_civil({2020, 6, 1}, 12);
+  cache.prefill(t);
+
+  // Growing the registered set must not let the old epoch serve a table
+  // with unfilled slots: find any link not yet registered and add it.
+  std::size_t grew = 0;
+  for (std::uint32_t i = 0;
+       i < net_.topo->link_count() && grew == 0; ++i) {
+    const std::size_t before = cache.registered_count();
+    cache.register_link(link_index{i});
+    grew = cache.registered_count() - before;
+  }
+  ASSERT_EQ(grew, 1u);  // the small internet has links off this path
+  const link_index l = path_links(path_).front();
+  EXPECT_EQ(cache.lookup(l, link_dir::a_to_b, t), nullptr);
+  cache.prefill(t);
+  EXPECT_NE(cache.lookup(l, link_dir::a_to_b, t), nullptr);
+}
+
+TEST_F(ConditionCacheTest, ViewEvaluateIdenticalWithAndWithoutCache) {
+  network_view cached_view(&net_);
+  network_view plain_view(&net_);
+  cached_view.link_cache().register_path(path_);
+  cached_view.link_cache().register_path(back_);
+
+  for (int h = 0; h < 48; ++h) {
+    const hour_stamp t = hour_stamp::from_civil({2020, 9, 5}, 0) + h;
+    cached_view.link_cache().prefill(t);
+    expect_same_metrics(cached_view.evaluate(path_, t),
+                        plain_view.evaluate(path_, t));
+    expect_same_metrics(cached_view.evaluate(back_, t),
+                        plain_view.evaluate(back_, t));
+    EXPECT_EQ(cached_view.episode_on_path(path_, t),
+              plain_view.episode_on_path(path_, t));
+    for (std::size_t r = 0; r < path_.routers.size(); ++r) {
+      EXPECT_EQ(cached_view.delay_to_router(path_, r, t).value,
+                plain_view.delay_to_router(path_, r, t).value);
+    }
+  }
+}
+
+TEST_F(ConditionCacheTest, FlatEvaluateIdenticalToRouteEvaluate) {
+  network_view view(&net_);
+  const flat_path flat = view.flatten(path_);
+  EXPECT_EQ(flat.hops.size(), path_links(path_).size());
+
+  for (int h = 0; h < 48; ++h) {
+    const hour_stamp t = hour_stamp::from_civil({2020, 10, 10}, 0) + h;
+    // Uncached and cached hours both take the flat fast path.
+    expect_same_metrics(view.evaluate(flat, t), view.evaluate(path_, t));
+    view.link_cache().register_path(path_);
+    view.link_cache().prefill(t);
+    expect_same_metrics(view.evaluate(flat, t), view.evaluate(path_, t));
+  }
+  EXPECT_EQ(view.base_rtt(path_).value, flat.base_rtt.value);
+}
+
+}  // namespace
+}  // namespace clasp
