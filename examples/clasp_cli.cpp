@@ -31,6 +31,7 @@ struct cli_options {
   int days{7};
   int workers{-1};  // -1 = leave config default; 0 = hardware concurrency
   int link_cache{-1};  // -1 = config default; 0 = off; 1 = on
+  std::string faults;  // empty = config default; else off|low|high
   std::uint64_t seed{42};
 };
 
@@ -39,11 +40,14 @@ void usage() {
                "usage: clasp_cli <select|pilot|run|cost|report> [--region R] "
                "[--days N] [--tier premium|standard] [--csv FILE] "
                "[--seed S] [--config FILE] [--workers N] "
-               "[--link-cache on|off]\n"
+               "[--link-cache on|off] [--faults off|low|high]\n"
                "  --workers N   campaign replay threads (0 = hardware "
                "concurrency); results are identical for any N\n"
                "  --link-cache  hour-epoch link-condition cache (default "
-               "on); off only slows replay, results are identical\n");
+               "on); off only slows replay, results are identical\n"
+               "  --faults      deterministic fault injection preset "
+               "(server churn, transient failures, VM preemption); run "
+               "prints a campaign health report when enabled\n");
 }
 
 bool parse_args(int argc, char** argv, cli_options& opts) {
@@ -81,6 +85,9 @@ bool parse_args(int argc, char** argv, cli_options& opts) {
       } else {
         return false;
       }
+    } else if (key == "--faults") {
+      if (value != "off" && value != "low" && value != "high") return false;
+      opts.faults = value;
     } else {
       return false;
     }
@@ -135,6 +142,21 @@ int cmd_run(clasp_platform& platform, const cli_options& opts) {
   std::printf("ran %zu tests on %zu servers from %zu VMs\n",
               campaign.tests_run(), campaign.session_count(),
               campaign.vm_count());
+
+  if (campaign.config().faults.enabled) {
+    const campaign_health health = campaign.health();
+    std::printf(
+        "campaign health: %.1f%% mean completeness, %zu retries, "
+        "%zu failed tests, %zu servers withdrawn, %zu VM redeploys "
+        "(%zu downtime hours), %zu uploads lost\n",
+        100.0 * health.mean_completeness(), health.total_retries,
+        health.failed_tests, health.withdrawn_servers, health.vm_redeploys,
+        health.vm_downtime_hours, health.upload_failures);
+    const auto excluded = health.low_completeness_servers(0.8);
+    std::printf("servers below 80%% completeness (excluded from "
+                "aggregation): %zu\n",
+                excluded.size());
+  }
 
   const auto data = platform.download_series("topology", opts.region);
   std::size_t congested = 0;
@@ -211,6 +233,9 @@ int main(int argc, char** argv) {
   }
   if (opts.link_cache >= 0) {
     cfg.campaign_link_cache = opts.link_cache != 0;
+  }
+  if (!opts.faults.empty()) {
+    cfg.campaign_faults = fault_config::preset(opts.faults);
   }
   clasp_platform platform(cfg);
 

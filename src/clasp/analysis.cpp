@@ -371,6 +371,30 @@ asymmetry_summary classify_asymmetry(const ts_series& download,
   return out;
 }
 
+double series_completeness(const ts_series& series, hour_range window) {
+  if (!(window.begin_at < window.end_at)) return 0.0;
+  std::size_t in_window = 0;
+  for (const ts_point& p : series.points()) {
+    if (window.begin_at <= p.at && p.at < window.end_at) ++in_window;
+  }
+  return static_cast<double>(in_window) /
+         static_cast<double>(window.count());
+}
+
+std::vector<std::size_t> filter_low_completeness(
+    const std::vector<const ts_series*>& series, hour_range window,
+    double min_completeness) {
+  std::vector<std::size_t> kept;
+  kept.reserve(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i] != nullptr &&
+        series_completeness(*series[i], window) >= min_completeness) {
+      kept.push_back(i);
+    }
+  }
+  return kept;
+}
+
 std::vector<double> relative_differences(const ts_series& premium,
                                          const ts_series& standard) {
   std::unordered_map<std::int64_t, double> std_by_hour;

@@ -238,6 +238,22 @@ struct interconnect_report {
   server_congestion_summary summary;
 };
 
+// --- campaign completeness & gap tolerance (fault injection) -----------------
+
+// Fraction of the window's hours with a point in the series. Fault-
+// injected campaigns leave gaps (VM outages, withdrawn servers, failed
+// tests); the per-day entry points above already tolerate them — sparse
+// days fall under min_samples and are skipped — and this measures how
+// much of a server's window actually made it into the store.
+double series_completeness(const ts_series& series, hour_range window);
+
+// Indices of the series meeting the completeness floor: the exclusion
+// rule for withdrawn or outage-heavy servers before fleet aggregation
+// (pair with campaign_health::low_completeness_servers for the ids).
+std::vector<std::size_t> filter_low_completeness(
+    const std::vector<const ts_series*>& series, hour_range window,
+    double min_completeness);
+
 // --- tier comparison (Fig. 5) ------------------------------------------------
 
 // Relative difference (premium - standard) / standard for hours present in

@@ -42,6 +42,16 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
   sessions_by_vm_.resize(vms_.size());
   outages_.resize(vms_.size());
 
+  // Draw the fault schedule once, on the coordinator: workers only read
+  // the plan (and derive per-(VM, hour) streams from it), so the
+  // schedule can never depend on replay scheduling. Planned maintenance
+  // windows reuse the manual-injection machinery.
+  plan_ = fault_plan::build(config_.faults, stream_seed_, vms_.size(),
+                            server_ids, config_.window);
+  for (const vm_outage& outage : plan_.outages()) {
+    outages_[outage.vm_slot].push_back(outage.window);
+  }
+
   for (std::size_t i = 0; i < server_ids.size(); ++i) {
     const speed_server& server = registry_->server(server_ids[i]);
     const std::size_t vm_slot = i % vms_.size();
@@ -73,7 +83,14 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
         store_->open_series("upload_loss", tags),
         store_->open_series("gt_episode", tags),
     });
+    session_withdraw_.push_back(plan_.withdraw_hour(server.id));
+    if (plan_.enabled()) {
+      // Per-test outcomes only exist as a series under fault injection;
+      // without it the store stays byte-identical to pre-fault builds.
+      status_refs_.push_back(store_->open_series("test_status", tags));
+    }
   }
+  tallies_.resize(sessions_.size());
   if (config_.workers != 1) {
     pool_ = std::make_unique<thread_pool>(config_.workers);
   }
@@ -133,8 +150,40 @@ rng campaign_runner::vm_stream(std::size_t vm_slot, hour_stamp at) const {
                       std::string_view(tag, static_cast<std::size_t>(len))));
 }
 
+void campaign_runner::begin_hour(hour_stamp at) {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
+  if (!plan_.enabled()) return;
+  // Server churn: the plan is authoritative for this campaign's staging;
+  // retiring from the registry makes the withdrawal visible to later
+  // crawls and selections (speed_server::withdrawn).
+  if (churn_registry_ != nullptr) {
+    for (const auto& [server_id, hour] : plan_.withdrawals()) {
+      if (hour == at && !churn_registry_->retired(server_id)) {
+        churn_registry_->retire_server(server_id);
+        CLASP_LOG(info, "campaign")
+            << config_.label << ": server " << server_id << " withdrew at "
+            << at.to_string();
+      }
+    }
+  }
+  // VM lifecycle: preempt on a down-transition, redeploy on recovery.
+  // Derived from the merged windows (manual + plan) so overlapping
+  // windows produce one preempt/redeploy pair.
+  for (std::size_t v = 0; v < vms_.size(); ++v) {
+    const bool down = vm_down(v, at);
+    const bool was_down =
+        at > config_.window.begin_at && vm_down(v, at + (-1));
+    if (down && !was_down) {
+      cloud_->preempt_vm(vms_[v]);
+    } else if (!down && was_down) {
+      cloud_->redeploy_vm(vms_[v]);
+    }
+  }
+}
+
 void campaign_runner::run_hour(hour_stamp at) {
   if (!deployed_) throw state_error("campaign_runner: not deployed");
+  begin_hour(at);
   // Prefill the shared hour-epoch cache before any worker starts reading;
   // the pool's batch join publishes the writes (see condition_cache.hpp).
   if (config_.link_cache) {
@@ -175,16 +224,34 @@ void campaign_runner::stage_vm_hour_into(std::size_t vm_slot, hour_stamp at,
   out.at = at;
   out.points.clear();
   out.someta.clear();
+  out.outcomes.clear();
   out.charges.reset();
   out.tests_run = 0;
   out.tests_missed = 0;
+  out.upload_failed = false;
+  const bool faults_on = plan_.enabled();
   if (vm_down(vm_slot, at)) {
     out.tests_missed = std::min<std::size_t>(sessions_by_vm_[vm_slot].size(),
                                              config_.tests_per_vm_hour);
+    for (const std::size_t si : sessions_by_vm_[vm_slot]) {
+      // A withdrawn server's gap is the server's, not the VM's.
+      const bool withdrawn = faults_on && session_withdraw_[si].has_value() &&
+                             *session_withdraw_[si] <= at;
+      out.outcomes.push_back({static_cast<std::uint32_t>(si),
+                              withdrawn ? test_outcome::server_withdrawn
+                                        : test_outcome::vm_down,
+                              0});
+    }
     return;
   }
   out.charges.add_vm_hour(vms_[vm_slot]);
   rng r = vm_stream(vm_slot, at);
+  // The fault stream is separate from the measurement stream: with faults
+  // off it is never drawn from (short-circuited below), so measurement
+  // draws — and therefore every metric — are byte-identical to a
+  // faults-free build.
+  rng fr = faults_on ? plan_.vm_fault_stream(vm_slot, at) : rng(0);
+  const double fail_rate = config_.faults.test_failure_rate;
   // Randomize the test order each hour (cron-artifact mitigation). The
   // shuffle buffer is thread-local so the per-(VM, hour) copy reuses its
   // allocation; the contents are fully overwritten before use, so worker
@@ -194,25 +261,73 @@ void campaign_runner::stage_vm_hour_into(std::size_t vm_slot, hour_stamp at,
   r.shuffle(order);
   const machine_type& machine = cloud_->vm(vms_[vm_slot]).type;
   double artifact_mb = 0.2;  // someta metadata baseline
+  // Each attempt — including a retry of an aborted transfer — consumes
+  // one test slot of the hour's budget (a slot is ~3.5 simulated minutes,
+  // which is the capped backoff). Deployment sizes fleets so every
+  // session fits without faults; only retries can starve a later session
+  // of its slot.
+  std::size_t slots = 0;
+  bool starved = false;
   for (const std::size_t si : order) {
-    if (out.tests_run >= config_.tests_per_vm_hour) break;
     const speed_test_session& session = sessions_[si];
-    const speed_test_report report = session.run(at, r);
-    out.someta.push_back(
-        record_test_metadata(machine, report.download, at, r));
-    const session_series& refs = series_refs_[si];
-    out.points.push_back({refs.download, report.download.value});
-    out.points.push_back({refs.upload, report.upload.value});
-    out.points.push_back({refs.latency, report.latency.value});
-    out.points.push_back({refs.download_loss, report.download_loss});
-    out.points.push_back({refs.upload_loss, report.upload_loss});
-    out.points.push_back(
-        {refs.gt_episode, report.ground_truth_episode ? 1.0 : 0.0});
-    // Egress billing: only the cloud->Internet direction is charged.
-    out.charges.add_egress(config_.tier, report.volume_up);
-    artifact_mb += (report.volume_down.value + report.volume_up.value) *
-                   config_.artifact_fraction;
-    ++out.tests_run;
+    if (faults_on && session_withdraw_[si].has_value() &&
+        *session_withdraw_[si] <= at) {
+      out.outcomes.push_back({static_cast<std::uint32_t>(si),
+                              test_outcome::server_withdrawn, 0});
+      continue;
+    }
+    if (slots >= config_.tests_per_vm_hour) {
+      out.outcomes.push_back(
+          {static_cast<std::uint32_t>(si), test_outcome::skipped_budget, 0});
+      starved = true;
+      continue;
+    }
+    std::uint8_t attempts = 0;
+    test_outcome outcome = test_outcome::failed;
+    while (slots < config_.tests_per_vm_hour) {
+      ++slots;
+      ++attempts;
+      const bool aborted = faults_on && fr.bernoulli(fail_rate);
+      const speed_test_report report = session.run(at, r);
+      if (aborted) {
+        // Truncated transfer: the test produced no metrics, but the bytes
+        // sent before the abort are still billed egress and a partial
+        // artifact still lands in the hour's tarball.
+        const double fraction = fr.uniform();
+        out.charges.add_egress(config_.tier,
+                               megabytes{report.volume_up.value * fraction});
+        artifact_mb += (report.volume_down.value + report.volume_up.value) *
+                       fraction * config_.artifact_fraction;
+        if (attempts > config_.faults.max_retries) break;  // give up
+        continue;
+      }
+      out.someta.push_back(
+          record_test_metadata(machine, report.download, at, r));
+      const session_series& refs = series_refs_[si];
+      out.points.push_back({refs.download, report.download.value});
+      out.points.push_back({refs.upload, report.upload.value});
+      out.points.push_back({refs.latency, report.latency.value});
+      out.points.push_back({refs.download_loss, report.download_loss});
+      out.points.push_back({refs.upload_loss, report.upload_loss});
+      out.points.push_back(
+          {refs.gt_episode, report.ground_truth_episode ? 1.0 : 0.0});
+      // Egress billing: only the cloud->Internet direction is charged.
+      out.charges.add_egress(config_.tier, report.volume_up);
+      artifact_mb += (report.volume_down.value + report.volume_up.value) *
+                     config_.artifact_fraction;
+      ++out.tests_run;
+      outcome = attempts > 1 ? test_outcome::ok_after_retry : test_outcome::ok;
+      break;
+    }
+    out.outcomes.push_back(
+        {static_cast<std::uint32_t>(si), outcome, attempts});
+  }
+  if (starved && config_.faults.strict_hour_budget) {
+    char msg[96];
+    std::snprintf(msg, sizeof(msg),
+                  "campaign: retries exhausted vm %zu's %u-test hour budget",
+                  vm_slot, config_.tests_per_vm_hour);
+    throw budget_exceeded_error(msg);
   }
   // Artifact object name, assembled with one allocation (same bytes as
   // the old "raw/" + label + "/" + at.to_string() + ... concatenation).
@@ -224,6 +339,13 @@ void campaign_runner::stage_vm_hour_into(std::size_t vm_slot, hour_stamp at,
   std::string object_name;
   object_name.reserve(artifact_prefix_.size() + tail_len);
   object_name.append(artifact_prefix_).append(tail, tail_len);
+  // Upload failure is the last draw of the hour's fault stream: the
+  // compressed artifacts never reach the bucket (no put, no storage
+  // charge), but the hour's metrics already streamed out.
+  if (faults_on && fr.bernoulli(config_.faults.upload_failure_rate)) {
+    out.upload_failed = true;
+    return;
+  }
   out.charges.add_put(config_.region, std::move(object_name), artifact_mb);
 }
 
@@ -233,10 +355,100 @@ void campaign_runner::commit_vm_hour(std::size_t vm_slot,
   for (const staged_point& p : staged.points) {
     store_->write(p.ref, staged.at, p.value);
   }
+  // Health tallies merge here, in slot order on the coordinator, so they
+  // are deterministic for any worker count — same contract as the points.
+  for (const staged_outcome& o : staged.outcomes) {
+    session_tally& tally = tallies_[o.session];
+    switch (o.outcome) {
+      case test_outcome::ok:
+        ++tally.completed;
+        break;
+      case test_outcome::ok_after_retry:
+        ++tally.completed;
+        tally.retries += o.attempts - 1u;
+        break;
+      case test_outcome::failed:
+        ++tally.failed;
+        tally.retries += o.attempts - 1u;
+        break;
+      case test_outcome::server_withdrawn:
+        ++tally.withdrawn_hours;
+        break;
+      case test_outcome::vm_down:
+        ++tally.down_hours;
+        break;
+      case test_outcome::skipped_budget:
+        ++tally.skipped_hours;
+        break;
+    }
+    if (!status_refs_.empty()) {
+      store_->write(status_refs_[o.session], staged.at,
+                    static_cast<double>(o.outcome));
+    }
+  }
+  if (staged.upload_failed) ++upload_failures_;
   someta_.at(vm_slot).absorb(std::move(staged.someta));
   cloud_->apply(staged.charges);
   tests_run_ += staged.tests_run;
   tests_missed_ += staged.tests_missed;
+}
+
+campaign_health campaign_runner::health() const {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
+  campaign_health h;
+  h.window_hours = static_cast<std::size_t>(config_.window.count());
+  h.upload_failures = upload_failures_;
+  h.servers.reserve(sessions_.size());
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    const session_tally& tally = tallies_[i];
+    campaign_health::server_entry entry;
+    entry.server_id = sessions_[i].server_id();
+    entry.completed = tally.completed;
+    entry.failed = tally.failed;
+    entry.retries = tally.retries;
+    entry.down_hours = tally.down_hours;
+    entry.withdrawn_hours = tally.withdrawn_hours;
+    entry.skipped_hours = tally.skipped_hours;
+    // Every processed hour yields exactly one outcome per session, so the
+    // tally sum is the hours scheduled so far (== window_hours after a
+    // full run()) and completeness matches the injected schedule exactly.
+    entry.scheduled_hours = tally.completed + tally.failed +
+                            tally.down_hours + tally.withdrawn_hours +
+                            tally.skipped_hours;
+    h.total_retries += tally.retries;
+    h.failed_tests += tally.failed;
+    if (session_withdraw_[i].has_value()) ++h.withdrawn_servers;
+    h.servers.push_back(entry);
+  }
+  for (std::size_t v = 0; v < vms_.size(); ++v) {
+    bool was_down = false;
+    for (hour_stamp at = config_.window.begin_at; at < config_.window.end_at;
+         ++at) {
+      const bool down = vm_down(v, at);
+      if (down) ++h.vm_downtime_hours;
+      if (was_down && !down) ++h.vm_redeploys;
+      was_down = down;
+    }
+  }
+  return h;
+}
+
+double campaign_health::mean_completeness() const {
+  if (servers.empty()) return 0.0;
+  double sum = 0.0;
+  for (const server_entry& entry : servers) sum += entry.completeness();
+  return sum / static_cast<double>(servers.size());
+}
+
+std::vector<std::size_t> campaign_health::low_completeness_servers(
+    double min_completeness) const {
+  std::vector<std::size_t> ids;
+  for (const server_entry& entry : servers) {
+    if (entry.completeness() < min_completeness) {
+      ids.push_back(entry.server_id);
+    }
+  }
+  return ids;
 }
 
 }  // namespace clasp

@@ -23,15 +23,20 @@
 //   gt_episode (planted ground truth, for detector validation)
 // tagged with {campaign, region, tier, server, network, city}. The six
 // series of every session are interned once at deploy() time; the hot
-// loop appends through integer series refs.
+// loop appends through integer series refs. With fault injection enabled
+// (campaign_config::faults) a seventh series, test_status, records every
+// session-hour's test_outcome, and campaign_runner::health() summarizes
+// completeness, retries and downtime per server.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cloud/gcp.hpp"
 #include "cloud/someta.hpp"
+#include "netsim/faults.hpp"
 #include "netsim/network.hpp"
 #include "speedtest/registry.hpp"
 #include "speedtest/webtest.hpp"
@@ -61,6 +66,52 @@ struct campaign_config {
   // stores exactly what the model computes), so this knob trades memory
   // for speed and nothing else.
   bool link_cache{true};
+  // Deterministic fault injection (server churn, transient test
+  // failures, VM preemption, upload failures). Disabled by default;
+  // disabled output is byte-identical to a faults-free build, and
+  // enabled output is byte-identical for any worker count (the schedule
+  // comes from dedicated counter-based streams — see netsim/faults.hpp).
+  fault_config faults{};
+};
+
+// Post-campaign operational report: how complete each server's series is
+// and what the substrate's failures cost. Per-server completeness counts
+// only completed tests, so it matches the injected outage/churn schedule
+// exactly (completed + failed + down + withdrawn + skipped covers every
+// scheduled hour).
+struct campaign_health {
+  struct server_entry {
+    std::size_t server_id{0};
+    std::size_t scheduled_hours{0};  // hours in the campaign window
+    std::size_t completed{0};        // tests that produced metrics
+    std::size_t failed{0};           // transient failures, retries exhausted
+    std::size_t retries{0};          // extra attempts beyond each first
+    std::size_t down_hours{0};       // hours the hosting VM was down
+    std::size_t withdrawn_hours{0};  // hours after the server withdrew
+    std::size_t skipped_hours{0};    // starved of a slot by retries
+
+    double completeness() const {
+      return scheduled_hours == 0
+                 ? 0.0
+                 : static_cast<double>(completed) /
+                       static_cast<double>(scheduled_hours);
+    }
+  };
+
+  std::vector<server_entry> servers;
+  std::size_t window_hours{0};
+  std::size_t total_retries{0};
+  std::size_t failed_tests{0};
+  std::size_t upload_failures{0};    // artifact hours lost
+  std::size_t withdrawn_servers{0};  // servers churned out by the plan
+  std::size_t vm_redeploys{0};       // preemption windows recovered from
+  std::size_t vm_downtime_hours{0};  // summed across the fleet
+
+  double mean_completeness() const;
+  // Servers below the completeness floor (the analysis pipeline's
+  // exclusion list); returns server ids.
+  std::vector<std::size_t> low_completeness_servers(
+      double min_completeness) const;
 };
 
 class campaign_runner {
@@ -81,6 +132,20 @@ class campaign_runner {
   // campaign was configured with workers != 1), then merge in slot order.
   void run_hour(hour_stamp at);
 
+  // Coordinator-only fault-plan hour events, called by run_hour (and by
+  // clasp_platform::run_campaigns) before any staging worker starts:
+  // servers withdrawing at `at` are retired from the churn registry, VMs
+  // whose maintenance window starts/ends at `at` are preempted/
+  // redeployed. No-op when faults are disabled.
+  void begin_hour(hour_stamp at);
+
+  // Registry to retire churned servers from (so withdrawn servers vanish
+  // from later crawls and re-selections). Optional; staging never reads
+  // it — the fault plan is the source of truth for the campaign itself.
+  void set_churn_registry(server_registry* registry) {
+    churn_registry_ = registry;
+  }
+
   // --- staged execution (the advanced API behind run_hour) ---
   // Everything one VM produces in one hour, accumulated off-thread and
   // merged by the coordinator. Also used by clasp_platform::run_campaigns
@@ -89,13 +154,22 @@ class campaign_runner {
     series_ref ref;
     double value{0.0};
   };
+  // What happened to one session's test slot this hour (drives the
+  // test_status series and the campaign_health tallies).
+  struct staged_outcome {
+    std::uint32_t session{0};  // index into sessions_
+    test_outcome outcome{test_outcome::ok};
+    std::uint8_t attempts{0};  // slots consumed (0 when none ran)
+  };
   struct vm_hour_staging {
     hour_stamp at;                             // the staged hour
     std::vector<staged_point> points;          // six per completed test
     std::vector<vm_metadata_sample> someta;    // one per completed test
+    std::vector<staged_outcome> outcomes;      // one per assigned session
     charge_sheet charges;                      // VM-hour + egress + upload
     std::size_t tests_run{0};
     std::size_t tests_missed{0};
+    bool upload_failed{false};                 // artifact put injected away
   };
   // Stage one VM's hour. Const and thread-safe: touches only immutable
   // deployment state and a stream RNG derived from (label, region,
@@ -122,6 +196,12 @@ class campaign_runner {
   // Tests that were skipped because their VM was down.
   std::size_t tests_missed() const { return tests_missed_; }
 
+  // The deterministic fault schedule (empty plan when faults are off).
+  const fault_plan& faults() const { return plan_; }
+  // Per-server completeness, retry counts and downtime accumulated so
+  // far (callable mid-window; run() leaves the full-window report).
+  campaign_health health() const;
+
   const campaign_config& config() const { return config_; }
   std::size_t session_count() const { return sessions_.size(); }
   std::size_t vm_count() const { return vms_.size(); }
@@ -145,6 +225,17 @@ class campaign_runner {
     series_ref gt_episode;
   };
 
+  // Per-session health counters, merged by commit_vm_hour in slot order
+  // (so they are deterministic for any worker count).
+  struct session_tally {
+    std::size_t completed{0};
+    std::size_t failed{0};
+    std::size_t retries{0};
+    std::size_t down_hours{0};
+    std::size_t withdrawn_hours{0};
+    std::size_t skipped_hours{0};
+  };
+
   // The (vm_slot, hour) RNG stream: independent of scheduling and of
   // every other stream.
   rng vm_stream(std::size_t vm_slot, hour_stamp at) const;
@@ -162,6 +253,15 @@ class campaign_runner {
   std::vector<std::vector<std::size_t>> sessions_by_vm_;
   // series_refs_[i] = interned store handles for sessions_[i].
   std::vector<session_series> series_refs_;
+  // test_status series per session; empty unless faults are enabled (so
+  // the faults-off store is byte-identical to pre-fault builds).
+  std::vector<series_ref> status_refs_;
+  // session_withdraw_[i] = the plan's withdraw hour for sessions_[i].
+  std::vector<std::optional<hour_stamp>> session_withdraw_;
+  fault_plan plan_;
+  std::vector<session_tally> tallies_;
+  std::size_t upload_failures_{0};
+  server_registry* churn_registry_{nullptr};
   std::uint64_t stream_seed_{0};  // hash of (net seed, label, region)
   std::string artifact_prefix_;   // "raw/<label>/", built once at deploy
   std::unique_ptr<thread_pool> pool_;  // null when workers == 1

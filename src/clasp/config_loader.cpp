@@ -27,6 +27,61 @@ double as_fraction(const ini_document& doc, const std::string& key) {
   return v;
 }
 
+// Every fixed key the loader understands, for did-you-mean suggestions
+// on unknown keys (budgets.<region> keys are matched by prefix instead).
+constexpr const char* kKnownKeys[] = {
+    "internet.seed",
+    "internet.tier1_count",
+    "internet.transit_count",
+    "internet.large_isp_count",
+    "internet.regional_isp_count",
+    "internet.hosting_count",
+    "internet.education_count",
+    "internet.business_count",
+    "internet.international_fraction",
+    "internet.congestion_prone_fraction",
+    "internet.vantage_point_count",
+    "servers.us_server_target",
+    "servers.global_server_target",
+    "servers.ookla_fraction",
+    "servers.mlab_fraction",
+    "differential.target_servers",
+    "differential.min_measurements",
+    "differential.big_delta_ms",
+    "differential.small_delta_ms",
+    "campaign.workers",
+    "campaign.link_cache",
+    "faults.enabled",
+    "faults.preset",
+    "faults.seed",
+    "faults.server_churn_rate",
+    "faults.test_failure_rate",
+    "faults.max_retries",
+    "faults.vm_preemption_rate",
+    "faults.vm_outage_hours_min",
+    "faults.vm_outage_hours_max",
+    "faults.upload_failure_rate",
+    "faults.strict_hour_budget",
+};
+
+[[noreturn]] void throw_unknown_key(const std::string& key) {
+  const char* best = nullptr;
+  std::size_t best_distance = 0;
+  for (const char* candidate : kKnownKeys) {
+    const std::size_t d = edit_distance(key, candidate);
+    if (best == nullptr || d < best_distance) {
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  // Only suggest a near miss; an unrelated key would make the hint noise.
+  if (best != nullptr && best_distance <= key.size() / 2) {
+    throw invalid_argument_error("config: unknown key " + key +
+                                 " (did you mean " + best + "?)");
+  }
+  throw invalid_argument_error("config: unknown key " + key);
+}
+
 }  // namespace
 
 platform_config load_platform_config(const std::string& ini_text) {
@@ -34,6 +89,12 @@ platform_config load_platform_config(const std::string& ini_text) {
   platform_config cfg;
   cfg.topology_budgets.clear();  // budgets come from the file when present
   bool budgets_given = false;
+
+  // The preset seeds the whole fault config before any faults.* key is
+  // read, so individual rates in the file always override it.
+  if (doc.contains("faults.preset")) {
+    cfg.campaign_faults = fault_config::preset(doc.get("faults.preset"));
+  }
 
   for (const auto& [key, value] : doc.entries()) {
     if (key == "internet.seed") {
@@ -79,13 +140,38 @@ platform_config load_platform_config(const std::string& ini_text) {
           static_cast<unsigned>(as_count(doc, key));  // 0 = hw concurrency
     } else if (key == "campaign.link_cache") {
       cfg.campaign_link_cache = doc.get_bool(key);
+    } else if (key == "faults.preset") {
+      // Already applied, before the key loop.
+    } else if (key == "faults.enabled") {
+      cfg.campaign_faults.enabled = doc.get_bool(key);
+    } else if (key == "faults.seed") {
+      cfg.campaign_faults.seed = static_cast<std::uint64_t>(doc.get_int(key));
+    } else if (key == "faults.server_churn_rate") {
+      cfg.campaign_faults.server_churn_rate = as_fraction(doc, key);
+    } else if (key == "faults.test_failure_rate") {
+      cfg.campaign_faults.test_failure_rate = as_fraction(doc, key);
+    } else if (key == "faults.max_retries") {
+      cfg.campaign_faults.max_retries =
+          static_cast<unsigned>(as_count(doc, key));
+    } else if (key == "faults.vm_preemption_rate") {
+      cfg.campaign_faults.vm_preemption_rate = as_fraction(doc, key);
+    } else if (key == "faults.vm_outage_hours_min") {
+      cfg.campaign_faults.vm_outage_hours_min =
+          static_cast<unsigned>(as_count(doc, key));
+    } else if (key == "faults.vm_outage_hours_max") {
+      cfg.campaign_faults.vm_outage_hours_max =
+          static_cast<unsigned>(as_count(doc, key));
+    } else if (key == "faults.upload_failure_rate") {
+      cfg.campaign_faults.upload_failure_rate = as_fraction(doc, key);
+    } else if (key == "faults.strict_hour_budget") {
+      cfg.campaign_faults.strict_hour_budget = doc.get_bool(key);
     } else if (starts_with(key, "budgets.")) {
       const std::string region = key.substr(std::string("budgets.").size());
       region_by_name(region);  // validates the region name
       cfg.topology_budgets[region] = as_count(doc, key);
       budgets_given = true;
     } else {
-      throw invalid_argument_error("config: unknown key " + key);
+      throw_unknown_key(key);
     }
   }
 

@@ -71,9 +71,11 @@ campaign_runner& clasp_platform::start_topology_campaign(
   cfg.window = window;
   cfg.workers = config_.campaign_workers;
   cfg.link_cache = config_.campaign_link_cache;
+  cfg.faults = config_.campaign_faults;
   auto runner = std::make_unique<campaign_runner>(cloud_.get(), view_.get(),
                                                   &registry_, &store_);
   runner->deploy(cfg, servers);
+  if (cfg.faults.enabled) runner->set_churn_registry(&registry_);
   campaigns_.push_back(std::move(runner));
   return *campaigns_.back();
 }
@@ -102,9 +104,11 @@ clasp_platform::start_differential_campaign(const std::string& region,
     cfg.window = window;
     cfg.workers = config_.campaign_workers;
     cfg.link_cache = config_.campaign_link_cache;
+    cfg.faults = config_.campaign_faults;
     auto runner = std::make_unique<campaign_runner>(cloud_.get(), view_.get(),
                                                     &registry_, &store_);
     runner->deploy(cfg, servers);
+    if (cfg.faults.enabled) runner->set_churn_registry(&registry_);
     campaigns_.push_back(std::move(runner));
     runners[i] = campaigns_.back().get();
   }
@@ -139,6 +143,9 @@ void clasp_platform::run_campaigns(
     for (campaign_runner* r : runners) {
       const hour_range& w = r->config().window;
       if (!(w.begin_at <= at && at < w.end_at)) continue;
+      // Coordinator-side fault events (churn retirement, VM preemption/
+      // redeploy) fire before any staging worker reads this hour.
+      r->begin_hour(at);
       want_cache = want_cache || r->config().link_cache;
       for (std::size_t v = 0; v < r->vm_count(); ++v) {
         tasks.push_back({r, v});

@@ -52,6 +52,11 @@ struct platform_config {
   // deploys (campaign_config::link_cache). Off only costs speed: results
   // are bit-identical either way.
   bool campaign_link_cache{true};
+  // Fault injection for every campaign this platform deploys
+  // (campaign_config::faults). When enabled, churned servers are also
+  // retired from the platform registry so later crawls and selections no
+  // longer see them.
+  fault_config campaign_faults{};
 };
 
 class clasp_platform {

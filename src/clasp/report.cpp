@@ -37,7 +37,35 @@ std::string render_campaign_report(clasp_platform& platform,
   out << "spend to date: $" << format_double(costs.total(), 2) << " (VMs $"
       << format_double(costs.vm_usd, 2) << ", egress $"
       << format_double(costs.egress_usd, 2) << ", storage $"
-      << format_double(costs.storage_usd, 2) << ")\n\n";
+      << format_double(costs.storage_usd, 2) << ")\n";
+
+  // Campaign health (only under fault injection; a fault-free campaign
+  // is 100% complete by construction).
+  for (const auto& runner : platform.campaigns()) {
+    if (runner->config().label != "topology" ||
+        runner->config().region != region || !runner->faults().enabled()) {
+      continue;
+    }
+    const campaign_health health = runner->health();
+    out << "campaign health: "
+        << format_double(100.0 * health.mean_completeness(), 1)
+        << "% mean completeness, " << health.total_retries << " retries, "
+        << health.failed_tests << " failed tests, "
+        << health.withdrawn_servers << " servers withdrawn, "
+        << health.vm_redeploys << " VM redeploys ("
+        << health.vm_downtime_hours << " downtime hours), "
+        << health.upload_failures << " uploads lost\n";
+    const auto excluded = health.low_completeness_servers(0.8);
+    if (!excluded.empty()) {
+      out << "excluded (<80% complete):";
+      for (const std::size_t sid : excluded) {
+        out << " " << platform.registry().server(sid).name;
+      }
+      out << "\n";
+    }
+    break;
+  }
+  out << "\n";
 
   // Congestion ranking.
   struct row {

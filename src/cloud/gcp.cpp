@@ -127,6 +127,22 @@ void gcp_cloud::terminate_vm(vm_id id) {
   vm.running = false;
 }
 
+void gcp_cloud::preempt_vm(vm_id id) {
+  vm_instance& vm = vms_.at(id);
+  if (!vm.running) return;  // already down (overlapping windows)
+  vm.running = false;
+  CLASP_LOG(info, "gcp") << "preempted " << vm.id;
+}
+
+void gcp_cloud::redeploy_vm(vm_id id) {
+  vm_instance& vm = vms_.at(id);
+  if (vm.running) return;
+  vm.running = true;
+  ++vm.restarts;
+  CLASP_LOG(info, "gcp") << "redeployed " << vm.id << " (restart "
+                         << vm.restarts << ")";
+}
+
 const vm_instance& gcp_cloud::vm(vm_id id) const {
   if (id >= vms_.size()) throw not_found_error("gcp: bad vm id");
   return vms_[id];

@@ -61,6 +61,9 @@ struct vm_instance {
   host_index host;       // attachment in the topology
   bool running{true};
   double hours_run{0.0};
+  // Times the instance came back from a maintenance/preemption window
+  // (fault injection; see netsim/faults.hpp).
+  unsigned restarts{0};
 };
 
 // Egress pricing per GB (2020 list prices, first tier).
@@ -139,6 +142,13 @@ class gcp_cloud {
   vm_id create_vm(const std::string& region, service_tier tier,
                   const std::string& machine = "n1-standard-2");
   void terminate_vm(vm_id id);
+
+  // Maintenance/preemption lifecycle (fault injection): preempt_vm marks
+  // the instance not running (no VM-hour charges accrue while down);
+  // redeploy_vm brings it back on the same host and counts a restart.
+  // Both are idempotent and coordinator-thread only.
+  void preempt_vm(vm_id id);
+  void redeploy_vm(vm_id id);
 
   const vm_instance& vm(vm_id id) const;
   std::size_t vm_count() const { return vms_.size(); }

@@ -1,0 +1,134 @@
+#include "netsim/faults.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace clasp {
+
+const char* to_string(test_outcome o) {
+  switch (o) {
+    case test_outcome::ok: return "ok";
+    case test_outcome::ok_after_retry: return "ok_after_retry";
+    case test_outcome::failed: return "failed";
+    case test_outcome::server_withdrawn: return "server_withdrawn";
+    case test_outcome::vm_down: return "vm_down";
+    case test_outcome::skipped_budget: return "skipped_budget";
+  }
+  return "?";
+}
+
+fault_config fault_config::preset(std::string_view level) {
+  fault_config cfg;
+  if (level == "off") return cfg;
+  if (level == "low") {
+    // A well-run campaign's background failure rate: a couple of percent
+    // of servers churn over the window, ~2% of attempts abort, a VM sees
+    // roughly one short maintenance window per six weeks.
+    cfg.enabled = true;
+    cfg.server_churn_rate = 0.02;
+    cfg.test_failure_rate = 0.02;
+    cfg.vm_preemption_rate = 0.001;
+    cfg.vm_outage_hours_min = 1;
+    cfg.vm_outage_hours_max = 4;
+    cfg.upload_failure_rate = 0.01;
+    return cfg;
+  }
+  if (level == "high") {
+    // Stress scenario: heavy churn, one attempt in ten aborts, frequent
+    // long preemptions, flaky uploads.
+    cfg.enabled = true;
+    cfg.server_churn_rate = 0.10;
+    cfg.test_failure_rate = 0.10;
+    cfg.vm_preemption_rate = 0.01;
+    cfg.vm_outage_hours_min = 2;
+    cfg.vm_outage_hours_max = 8;
+    cfg.upload_failure_rate = 0.05;
+    return cfg;
+  }
+  throw invalid_argument_error("fault_config: unknown preset '" +
+                               std::string(level) + "' (off|low|high)");
+}
+
+fault_plan fault_plan::build(const fault_config& config,
+                             std::uint64_t stream_seed, std::size_t vm_count,
+                             const std::vector<std::size_t>& server_ids,
+                             hour_range window) {
+  if (config.vm_outage_hours_min == 0 ||
+      config.vm_outage_hours_max < config.vm_outage_hours_min) {
+    throw invalid_argument_error(
+        "fault_plan: vm_outage_hours must satisfy 1 <= min <= max");
+  }
+  fault_plan plan;
+  plan.config_ = config;
+  plan.fault_seed_ = hash_tag(stream_seed ^ config.seed, "faults");
+  if (!config.enabled) return plan;
+
+  // Server churn: one dedicated stream per server id, so adding or
+  // removing servers never perturbs another server's draw. A withdrawal
+  // hour is uniform over the window's interior (never the first hour, so
+  // every server contributes at least one measurable hour).
+  if (config.server_churn_rate > 0.0 && window.count() > 1) {
+    char tag[32];
+    for (const std::size_t sid : server_ids) {
+      const int len = std::snprintf(tag, sizeof(tag), "server:%zu", sid);
+      rng r(hash_tag(plan.fault_seed_,
+                     std::string_view(tag, static_cast<std::size_t>(len))));
+      if (!r.bernoulli(config.server_churn_rate)) continue;
+      const hour_stamp at =
+          window.begin_at + 1 + r.uniform_int(0, window.count() - 2);
+      plan.withdrawals_.emplace_back(sid, at);
+    }
+    std::sort(plan.withdrawals_.begin(), plan.withdrawals_.end());
+  }
+
+  // VM maintenance/preemption: one stream per (VM slot, hour) decides
+  // whether a window *starts* there and how long it lasts. Windows are
+  // clipped to the campaign window; overlaps are harmless (an hour is
+  // down when any window covers it).
+  if (config.vm_preemption_rate > 0.0) {
+    char tag[48];
+    for (std::size_t v = 0; v < vm_count; ++v) {
+      for (hour_stamp at = window.begin_at; at < window.end_at; ++at) {
+        const int len = std::snprintf(
+            tag, sizeof(tag), "preempt:%zu:%lld", v,
+            static_cast<long long>(at.hours_since_epoch()));
+        rng r(hash_tag(plan.fault_seed_,
+                       std::string_view(tag, static_cast<std::size_t>(len))));
+        if (!r.bernoulli(config.vm_preemption_rate)) continue;
+        const std::int64_t hours =
+            r.uniform_int(config.vm_outage_hours_min,
+                          config.vm_outage_hours_max);
+        plan.outages_.push_back(
+            {v, {at, std::min(at + hours, window.end_at)}});
+      }
+    }
+  }
+  return plan;
+}
+
+std::optional<hour_stamp> fault_plan::withdraw_hour(
+    std::size_t server_id) const {
+  const auto it = std::lower_bound(
+      withdrawals_.begin(), withdrawals_.end(), server_id,
+      [](const auto& entry, std::size_t id) { return entry.first < id; });
+  if (it == withdrawals_.end() || it->first != server_id) return std::nullopt;
+  return it->second;
+}
+
+bool fault_plan::withdrawn_by(std::size_t server_id, hour_stamp at) const {
+  const auto hour = withdraw_hour(server_id);
+  return hour.has_value() && *hour <= at;
+}
+
+rng fault_plan::vm_fault_stream(std::size_t vm_slot, hour_stamp at) const {
+  char tag[48];
+  const int len =
+      std::snprintf(tag, sizeof(tag), "vm:%zu:%lld", vm_slot,
+                    static_cast<long long>(at.hours_since_epoch()));
+  return rng(hash_tag(fault_seed_,
+                      std::string_view(tag, static_cast<std::size_t>(len))));
+}
+
+}  // namespace clasp

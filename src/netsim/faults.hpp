@@ -1,0 +1,134 @@
+// Deterministic fault injection for campaign replay.
+//
+// The paper's five-month campaign ran against 458 third-party servers and
+// a live cloud: servers were withdrawn mid-campaign, tests aborted or
+// truncated, VMs were preempted for maintenance, and artifact uploads
+// occasionally failed. This module plants those failures into the replay
+// as a *plan*: every fault is drawn from a dedicated counter-based RNG
+// stream keyed by the faulted entity (server id, VM slot, hour), never
+// from the measurement streams, so
+//  * with faults disabled the campaign output is byte-identical to a
+//    build without this module at all, and
+//  * with faults enabled the schedule depends only on (seed, config,
+//    fleet shape) — never on worker scheduling — so replay stays
+//    bit-identical for any worker count (see DESIGN.md, "Fault model &
+//    failure handling").
+//
+// The plan models four fault classes:
+//  * server churn — a server withdraws at a planned hour and vanishes
+//    from crawls (speed_server::withdrawn) and from the campaign,
+//  * per-test transient failures — an attempt aborts mid-transfer and is
+//    retried within the hour's test-slot budget,
+//  * VM maintenance/preemption windows — a VM is down for a span of
+//    hours, then redeployed,
+//  * artifact-upload failures — an hour's compressed artifacts never
+//    reach the bucket.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace clasp {
+
+// What happened to one (server, hour) test slot. Recorded per test in the
+// `test_status` TSDB series (faults enabled) and aggregated into the
+// campaign_health report.
+enum class test_outcome : std::uint8_t {
+  ok = 0,                // completed on the first attempt
+  ok_after_retry = 1,    // completed after >= 1 transient failure
+  failed = 2,            // every attempt aborted (retries exhausted)
+  server_withdrawn = 3,  // server left the fleet before this hour
+  vm_down = 4,           // the VM was in a maintenance/preemption window
+  skipped_budget = 5,    // retries ate the hour's test-slot budget first
+};
+
+const char* to_string(test_outcome o);
+
+struct fault_config {
+  bool enabled{false};
+  // Mixed into the campaign's stream seed so two campaigns with the same
+  // label can replay different fault schedules.
+  std::uint64_t seed{0};
+  // Fraction of the fleet that withdraws at some hour of the window.
+  double server_churn_rate{0.0};
+  // Per-attempt probability that a transfer aborts (truncated test).
+  double test_failure_rate{0.0};
+  // Extra attempts after a failed one; each costs one test slot of the
+  // hour's tests_per_vm_hour budget (the capped-backoff model: a slot is
+  // ~3.5 simulated minutes, which caps the retry wait).
+  unsigned max_retries{2};
+  // Per-(VM, hour) probability that a maintenance/preemption window
+  // starts; its length is uniform in [vm_outage_hours_min, _max].
+  double vm_preemption_rate{0.0};
+  unsigned vm_outage_hours_min{1};
+  unsigned vm_outage_hours_max{4};
+  // Per-(VM, hour) probability the artifact upload fails (objects lost).
+  double upload_failure_rate{0.0};
+  // When true, an hour whose retries starve a scheduled test of its slot
+  // raises budget_exceeded_error instead of recording skipped_budget.
+  bool strict_hour_budget{false};
+
+  // Named rate presets: "off", "low" (a well-run campaign's background
+  // failure rate) and "high" (a stress scenario). Throws
+  // invalid_argument_error on other names.
+  static fault_config preset(std::string_view level);
+};
+
+// One planned VM maintenance/preemption window.
+struct vm_outage {
+  std::size_t vm_slot{0};
+  hour_range window;
+};
+
+// The precomputed, deterministic fault schedule for one campaign.
+// Built once at deploy() time on the coordinator thread; workers only
+// read it (plus per-(VM, hour) fault streams derived from it), so it is
+// safe to share across staging threads.
+class fault_plan {
+ public:
+  fault_plan() = default;  // empty plan: faults disabled
+
+  // Draw the schedule. `stream_seed` is the campaign's stream seed (the
+  // plan mixes config.seed into it); `server_ids` are the campaign's
+  // servers in session order.
+  static fault_plan build(const fault_config& config,
+                          std::uint64_t stream_seed, std::size_t vm_count,
+                          const std::vector<std::size_t>& server_ids,
+                          hour_range window);
+
+  bool enabled() const { return config_.enabled; }
+  const fault_config& config() const { return config_; }
+
+  // The hour a server withdraws, if the plan churns it out.
+  std::optional<hour_stamp> withdraw_hour(std::size_t server_id) const;
+  // True when the server is gone by `at` (withdraw hour <= at).
+  bool withdrawn_by(std::size_t server_id, hour_stamp at) const;
+  std::size_t withdrawal_count() const { return withdrawals_.size(); }
+  // All (server id, withdraw hour) pairs, sorted by server id.
+  const std::vector<std::pair<std::size_t, hour_stamp>>& withdrawals() const {
+    return withdrawals_;
+  }
+
+  // Planned maintenance windows, ordered by (vm_slot, begin).
+  const std::vector<vm_outage>& outages() const { return outages_; }
+
+  // The counter-based fault stream for one (VM slot, hour): transient
+  // test failures and the upload-failure draw come from here, keeping
+  // the measurement streams untouched. Independent of scheduling.
+  rng vm_fault_stream(std::size_t vm_slot, hour_stamp at) const;
+
+ private:
+  fault_config config_{};
+  std::uint64_t fault_seed_{0};
+  // (server id, withdraw hour), sorted by server id for binary search.
+  std::vector<std::pair<std::size_t, hour_stamp>> withdrawals_;
+  std::vector<vm_outage> outages_;
+};
+
+}  // namespace clasp

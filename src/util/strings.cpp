@@ -73,4 +73,20 @@ std::string to_lower(std::string_view text) {
   return out;
 }
 
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // Single-row Wagner-Fischer; row holds distances against a's prefix.
+  std::vector<std::size_t> row(a.size() + 1);
+  for (std::size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (std::size_t j = 1; j <= b.size(); ++j) {
+    std::size_t diag = row[0];
+    row[0] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, sub});
+    }
+  }
+  return row[a.size()];
+}
+
 }  // namespace clasp

@@ -26,6 +26,10 @@ bool starts_with(std::string_view text, std::string_view prefix);
 // Lowercase an ASCII string.
 std::string to_lower(std::string_view text);
 
+// Levenshtein edit distance (insertions, deletions, substitutions), used
+// for did-you-mean suggestions on unknown config keys.
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
 // Unicode block-character sparkline of a series, scaled to [min, max].
 // Empty input renders as an empty string; constant input renders at the
 // lowest level.

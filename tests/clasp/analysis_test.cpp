@@ -203,6 +203,44 @@ TEST(AcfDetectorTest, KeepsDiurnalCongestion) {
   EXPECT_EQ(congested, 20u * 4u);
 }
 
+TEST(CompletenessTest, CountsOnlyInWindowPoints) {
+  const hour_stamp start = hour_stamp::from_civil({2020, 5, 1}, 0);
+  const hour_range window{start, start + 48};
+  // A series missing 12 of its 48 hours, plus points outside the window
+  // (which must not count toward completeness).
+  ts_series s("download_mbps", {{"server", "1"}});
+  s.append(start + (-5), 1.0);
+  for (int h = 0; h < 48; ++h) {
+    if (h % 4 == 3) continue;  // gap every fourth hour
+    s.append(start + h, 100.0);
+  }
+  s.append(start + 50, 1.0);
+  EXPECT_DOUBLE_EQ(series_completeness(s, window), 36.0 / 48.0);
+
+  ts_series empty("download_mbps", {{"server", "2"}});
+  EXPECT_DOUBLE_EQ(series_completeness(empty, window), 0.0);
+  EXPECT_DOUBLE_EQ(series_completeness(s, {start, start}), 0.0);
+}
+
+TEST(CompletenessTest, FilterKeepsServersAboveTheFloor) {
+  const hour_stamp start = hour_stamp::from_civil({2020, 5, 1}, 0);
+  const hour_range window{start, start + 24};
+  ts_series full("download_mbps", {{"server", "1"}});
+  ts_series half("download_mbps", {{"server", "2"}});
+  ts_series empty("download_mbps", {{"server", "3"}});
+  for (int h = 0; h < 24; ++h) {
+    full.append(start + h, 1.0);
+    if (h < 12) half.append(start + h, 1.0);
+  }
+  const std::vector<const ts_series*> series{&full, &half, &empty, nullptr};
+  EXPECT_EQ(filter_low_completeness(series, window, 0.8),
+            (std::vector<std::size_t>{0}));
+  EXPECT_EQ(filter_low_completeness(series, window, 0.5),
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(filter_low_completeness(series, window, 0.0),
+            (std::vector<std::size_t>{0, 1, 2}));
+}
+
 TEST(RelativeDifferenceTest, JoinsOnCommonHours) {
   ts_series prem("download_mbps", {{"tier", "premium"}});
   ts_series stnd("download_mbps", {{"tier", "standard"}});

@@ -52,6 +52,87 @@ TEST(ConfigLoaderTest, UnknownKeyRejected) {
   EXPECT_THROW(load_platform_config("random = 1\n"), invalid_argument_error);
 }
 
+TEST(ConfigLoaderTest, UnknownKeySuggestsNearestValidKey) {
+  try {
+    load_platform_config("[internet]\nseeed = 1\n");
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown key internet.seeed"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("did you mean internet.seed?"), std::string::npos)
+        << what;
+  }
+  try {
+    load_platform_config("[faults]\nserver_churn_rte = 0.1\n");
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find("did you mean faults.server_churn_rate?"),
+              std::string::npos)
+        << e.what();
+  }
+  // Nothing close: the hint is omitted rather than misleading.
+  try {
+    load_platform_config("utterly_wrong_key_zzz = 1\n");
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConfigLoaderTest, FaultKeysApply) {
+  const platform_config cfg = load_platform_config(
+      "[faults]\n"
+      "enabled = true\n"
+      "seed = 9\n"
+      "server_churn_rate = 0.05\n"
+      "test_failure_rate = 0.03\n"
+      "max_retries = 4\n"
+      "vm_preemption_rate = 0.002\n"
+      "vm_outage_hours_min = 2\n"
+      "vm_outage_hours_max = 6\n"
+      "upload_failure_rate = 0.01\n"
+      "strict_hour_budget = true\n");
+  EXPECT_TRUE(cfg.campaign_faults.enabled);
+  EXPECT_EQ(cfg.campaign_faults.seed, 9u);
+  EXPECT_DOUBLE_EQ(cfg.campaign_faults.server_churn_rate, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.campaign_faults.test_failure_rate, 0.03);
+  EXPECT_EQ(cfg.campaign_faults.max_retries, 4u);
+  EXPECT_DOUBLE_EQ(cfg.campaign_faults.vm_preemption_rate, 0.002);
+  EXPECT_EQ(cfg.campaign_faults.vm_outage_hours_min, 2u);
+  EXPECT_EQ(cfg.campaign_faults.vm_outage_hours_max, 6u);
+  EXPECT_DOUBLE_EQ(cfg.campaign_faults.upload_failure_rate, 0.01);
+  EXPECT_TRUE(cfg.campaign_faults.strict_hour_budget);
+}
+
+TEST(ConfigLoaderTest, FaultPresetSeedsRatesAndKeysOverride) {
+  // Defaults: faults off.
+  EXPECT_FALSE(load_platform_config("").campaign_faults.enabled);
+
+  const platform_config preset =
+      load_platform_config("[faults]\npreset = low\n");
+  const fault_config low = fault_config::preset("low");
+  EXPECT_TRUE(preset.campaign_faults.enabled);
+  EXPECT_DOUBLE_EQ(preset.campaign_faults.server_churn_rate,
+                   low.server_churn_rate);
+
+  // An individual key overrides the preset regardless of file order.
+  const platform_config mixed = load_platform_config(
+      "[faults]\n"
+      "test_failure_rate = 0.25\n"
+      "preset = low\n");
+  EXPECT_DOUBLE_EQ(mixed.campaign_faults.test_failure_rate, 0.25);
+  EXPECT_DOUBLE_EQ(mixed.campaign_faults.upload_failure_rate,
+                   low.upload_failure_rate);
+
+  EXPECT_THROW(load_platform_config("[faults]\npreset = extreme\n"),
+               invalid_argument_error);
+  EXPECT_THROW(load_platform_config("[faults]\ntest_failure_rate = 1.5\n"),
+               invalid_argument_error);
+}
+
 TEST(ConfigLoaderTest, BadValuesRejected) {
   EXPECT_THROW(load_platform_config("[internet]\nseed = abc\n"),
                invalid_argument_error);

@@ -11,6 +11,36 @@ namespace {
 
 using ::clasp::testing::small_platform;
 
+TEST(SelectionTest, WithdrawnServersAreNeverSelected) {
+  // Candidates come from registry crawls, which filter withdrawn
+  // servers; a selection run after churn must not pick them. Dedicated
+  // platform: retirement mutates shared registry state.
+  platform_config cfg;
+  cfg.internet = ::clasp::testing::small_internet_config();
+  cfg.internet.seed = 2024;
+  cfg.servers = ::clasp::testing::small_server_config();
+  cfg.topology_budgets = {{"us-west1", 40}};
+  clasp_platform p(cfg);
+  server_registry& reg = const_cast<server_registry&>(p.registry());
+
+  // Withdraw a spread of the US fleet before selection runs.
+  std::unordered_set<std::size_t> withdrawn;
+  const auto us = reg.crawl("US");
+  for (std::size_t i = 0; i < us.size(); i += 4) {
+    reg.retire_server(us[i]);
+    withdrawn.insert(us[i]);
+  }
+  ASSERT_FALSE(withdrawn.empty());
+
+  const topology_selection_result& result = p.select_topology("us-west1");
+  ASSERT_FALSE(result.selected.empty());
+  for (const selected_server& s : result.selected) {
+    EXPECT_FALSE(withdrawn.count(s.server_id))
+        << "withdrawn server " << s.server_id << " was selected";
+    EXPECT_FALSE(reg.server(s.server_id).withdrawn);
+  }
+}
+
 TEST(SelectionTest, PilotAndSelectionShapes) {
   auto& p = small_platform();
   const topology_selection_result& result = p.select_topology("us-west1");

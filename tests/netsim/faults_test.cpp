@@ -1,0 +1,141 @@
+// fault_plan unit tests: presets, schedule determinism, and the
+// invariants the campaign runner relies on (withdrawals never land on
+// the first hour, outages stay inside the window, disabled plans draw
+// nothing).
+#include "netsim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace clasp {
+namespace {
+
+hour_range week() {
+  return {hour_stamp::from_civil({2020, 5, 1}, 0),
+          hour_stamp::from_civil({2020, 5, 8}, 0)};
+}
+
+std::vector<std::size_t> server_ids(std::size_t n) {
+  std::vector<std::size_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i * 3 + 1;
+  return ids;
+}
+
+TEST(FaultsTest, PresetsCoverTheThreeLevels) {
+  EXPECT_FALSE(fault_config::preset("off").enabled);
+  const fault_config low = fault_config::preset("low");
+  EXPECT_TRUE(low.enabled);
+  EXPECT_GT(low.test_failure_rate, 0.0);
+  const fault_config high = fault_config::preset("high");
+  EXPECT_TRUE(high.enabled);
+  EXPECT_GT(high.server_churn_rate, low.server_churn_rate);
+  EXPECT_GT(high.test_failure_rate, low.test_failure_rate);
+  EXPECT_GT(high.vm_preemption_rate, low.vm_preemption_rate);
+  EXPECT_THROW(fault_config::preset("medium"), invalid_argument_error);
+}
+
+TEST(FaultsTest, DisabledPlanIsEmpty) {
+  const fault_plan plan =
+      fault_plan::build(fault_config{}, 42, 4, server_ids(50), week());
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_EQ(plan.withdrawal_count(), 0u);
+  EXPECT_TRUE(plan.outages().empty());
+  EXPECT_FALSE(plan.withdraw_hour(1).has_value());
+}
+
+TEST(FaultsTest, BuildIsDeterministic) {
+  const fault_config cfg = fault_config::preset("high");
+  const fault_plan a = fault_plan::build(cfg, 42, 4, server_ids(200), week());
+  const fault_plan b = fault_plan::build(cfg, 42, 4, server_ids(200), week());
+  ASSERT_EQ(a.withdrawal_count(), b.withdrawal_count());
+  EXPECT_EQ(a.withdrawals(), b.withdrawals());
+  ASSERT_EQ(a.outages().size(), b.outages().size());
+  for (std::size_t i = 0; i < a.outages().size(); ++i) {
+    EXPECT_EQ(a.outages()[i].vm_slot, b.outages()[i].vm_slot);
+    EXPECT_EQ(a.outages()[i].window.begin_at, b.outages()[i].window.begin_at);
+    EXPECT_EQ(a.outages()[i].window.end_at, b.outages()[i].window.end_at);
+  }
+  // A worker-count change (vm_count fixed) must not be the only thing
+  // keeping schedules apart: a different seed gives a different plan.
+  const fault_plan c = fault_plan::build(cfg, 43, 4, server_ids(200), week());
+  EXPECT_NE(a.withdrawals(), c.withdrawals());
+}
+
+TEST(FaultsTest, ChurnDrawsArePerServer) {
+  // Removing servers from the list never changes another server's draw.
+  const fault_config cfg = fault_config::preset("high");
+  const fault_plan full =
+      fault_plan::build(cfg, 42, 4, server_ids(200), week());
+  std::vector<std::size_t> half = server_ids(200);
+  half.resize(100);
+  const fault_plan partial = fault_plan::build(cfg, 42, 4, half, week());
+  for (const std::size_t sid : half) {
+    EXPECT_EQ(full.withdraw_hour(sid), partial.withdraw_hour(sid));
+  }
+}
+
+TEST(FaultsTest, WithdrawalsSpareTheFirstHour) {
+  const fault_config cfg = fault_config::preset("high");
+  const fault_plan plan =
+      fault_plan::build(cfg, 7, 2, server_ids(400), week());
+  ASSERT_GT(plan.withdrawal_count(), 0u);
+  for (const auto& [sid, at] : plan.withdrawals()) {
+    EXPECT_GT(at, week().begin_at);
+    EXPECT_LT(at, week().end_at);
+    EXPECT_TRUE(plan.withdrawn_by(sid, at));
+    EXPECT_FALSE(plan.withdrawn_by(sid, at + (-1)));
+  }
+}
+
+TEST(FaultsTest, OutagesStayInsideTheWindow) {
+  fault_config cfg = fault_config::preset("high");
+  cfg.vm_preemption_rate = 0.05;  // force plenty of windows
+  const fault_plan plan =
+      fault_plan::build(cfg, 7, 8, server_ids(10), week());
+  ASSERT_FALSE(plan.outages().empty());
+  for (const vm_outage& o : plan.outages()) {
+    EXPECT_LT(o.vm_slot, 8u);
+    EXPECT_GE(o.window.begin_at, week().begin_at);
+    EXPECT_LE(o.window.end_at, week().end_at);
+    EXPECT_LT(o.window.begin_at, o.window.end_at);
+  }
+}
+
+TEST(FaultsTest, BadOutageBoundsThrow) {
+  fault_config cfg = fault_config::preset("low");
+  cfg.vm_outage_hours_min = 0;
+  EXPECT_THROW(fault_plan::build(cfg, 1, 1, server_ids(5), week()),
+               invalid_argument_error);
+  cfg.vm_outage_hours_min = 5;
+  cfg.vm_outage_hours_max = 2;
+  EXPECT_THROW(fault_plan::build(cfg, 1, 1, server_ids(5), week()),
+               invalid_argument_error);
+}
+
+TEST(FaultsTest, FaultStreamIsCounterBased) {
+  const fault_config cfg = fault_config::preset("low");
+  const fault_plan plan =
+      fault_plan::build(cfg, 42, 4, server_ids(10), week());
+  rng a = plan.vm_fault_stream(2, week().begin_at + 5);
+  rng b = plan.vm_fault_stream(2, week().begin_at + 5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+  // Distinct (slot, hour) pairs get distinct streams.
+  rng c = plan.vm_fault_stream(3, week().begin_at + 5);
+  rng d = plan.vm_fault_stream(2, week().begin_at + 6);
+  EXPECT_NE(a.uniform(), c.uniform());
+  EXPECT_NE(a.uniform(), d.uniform());
+}
+
+TEST(FaultsTest, OutcomeNames) {
+  EXPECT_STREQ(to_string(test_outcome::ok), "ok");
+  EXPECT_STREQ(to_string(test_outcome::ok_after_retry), "ok_after_retry");
+  EXPECT_STREQ(to_string(test_outcome::failed), "failed");
+  EXPECT_STREQ(to_string(test_outcome::server_withdrawn),
+               "server_withdrawn");
+  EXPECT_STREQ(to_string(test_outcome::vm_down), "vm_down");
+  EXPECT_STREQ(to_string(test_outcome::skipped_budget), "skipped_budget");
+}
+
+}  // namespace
+}  // namespace clasp

@@ -148,6 +148,40 @@ TEST(RegistryTest, ChurnAddAndRetire) {
   EXPECT_THROW(reg.retire_server(reg.size()), not_found_error);
 }
 
+TEST(RegistryTest, WithdrawnServersVanishFromEveryCrawlView) {
+  // Withdrawal (fault-injection churn) must hide a server from all three
+  // crawler views — country crawl, <city, AS> lookup and the distinct-AS
+  // count — while id lookups keep resolving for historical data.
+  platform_config cfg;
+  cfg.internet = ::clasp::testing::small_internet_config();
+  cfg.internet.seed = 4242;
+  cfg.servers = ::clasp::testing::small_server_config();
+  clasp_platform p(cfg);
+  server_registry& reg = const_cast<server_registry&>(p.registry());
+
+  // Pick a US server whose <city, AS> cell it is the only member of, so
+  // retiring it empties the cell.
+  std::size_t victim = reg.size();
+  for (const std::size_t id : reg.crawl("US")) {
+    const speed_server& s = reg.server(id);
+    if (reg.in_city_as(s.city, s.network).size() == 1) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_LT(victim, reg.size());
+  const speed_server& s = reg.server(victim);
+  const std::size_t crawl_before = reg.crawl("US").size();
+  const std::size_t ases_before = reg.distinct_ases("US");
+
+  reg.retire_server(victim);
+  EXPECT_TRUE(reg.server(victim).withdrawn);
+  EXPECT_EQ(reg.crawl("US").size(), crawl_before - 1);
+  EXPECT_TRUE(reg.in_city_as(s.city, s.network).empty());
+  EXPECT_LE(reg.distinct_ases("US"), ases_before);
+  EXPECT_EQ(reg.server(victim).id, victim);  // still addressable
+}
+
 TEST(RegistryTest, PlatformNames) {
   EXPECT_STREQ(to_string(speedtest_platform::ookla), "ookla");
   EXPECT_STREQ(to_string(speedtest_platform::mlab), "mlab");

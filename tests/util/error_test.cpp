@@ -1,0 +1,54 @@
+// The clasp::error hierarchy contract: every library failure derives
+// from clasp::error, so one handler catches them all while categories
+// stay distinguishable.
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace clasp {
+namespace {
+
+template <typename E>
+void expect_catchable_as_error(const char* message) {
+  // Catchable as the exact type...
+  EXPECT_THROW(throw E(message), E);
+  // ...as the hierarchy root...
+  try {
+    throw E(message);
+    FAIL() << "unreachable";
+  } catch (const error& e) {
+    EXPECT_STREQ(e.what(), message);
+  }
+  // ...and as std::exception (the root derives from std::runtime_error).
+  try {
+    throw E(message);
+    FAIL() << "unreachable";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), message);
+  }
+}
+
+TEST(ErrorTest, EverySubclassCatchableAsClaspError) {
+  expect_catchable_as_error<invalid_argument_error>("bad argument");
+  expect_catchable_as_error<not_found_error>("missing");
+  expect_catchable_as_error<state_error>("wrong state");
+  expect_catchable_as_error<budget_exceeded_error>("budget gone");
+  expect_catchable_as_error<error>("root");
+}
+
+TEST(ErrorTest, CategoriesStayDistinguishable) {
+  // A handler for one category must not swallow another.
+  bool caught_not_found = false;
+  try {
+    throw state_error("deploy first");
+  } catch (const not_found_error&) {
+    caught_not_found = true;
+  } catch (const error&) {
+  }
+  EXPECT_FALSE(caught_not_found);
+}
+
+}  // namespace
+}  // namespace clasp

@@ -58,6 +58,18 @@ TEST(StringsTest, SparklineScalesToRange) {
   EXPECT_EQ(s, "\u2581\u2584\u2588");
 }
 
+TEST(StringsTest, EditDistance) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("internet.seeed", "internet.seed"), 1u);
+  EXPECT_EQ(edit_distance("faults.enable", "faults.enabled"), 1u);
+  // Symmetric.
+  EXPECT_EQ(edit_distance("flaw", "lawn"), edit_distance("lawn", "flaw"));
+}
+
 TEST(StringsTest, SparklineEdgeCases) {
   EXPECT_EQ(sparkline({}), "");
   EXPECT_EQ(sparkline({7.0, 7.0, 7.0}),
