@@ -9,6 +9,14 @@
 // `run` executes a topology campaign for the given number of days and can
 // dump the download series as CSV for external plotting; `pilot` prints
 // only the bdrmap scan summary; `cost` prints the billing breakdown.
+//
+// Durability: `run --checkpoint-dir DIR` checkpoints the campaign as it
+// goes and Ctrl-C stops it cleanly at the next hour boundary (after a
+// final checkpoint). `run --checkpoint-dir DIR --resume` continues a
+// killed run; the finished output is byte-identical to an uninterrupted
+// one (see DESIGN.md, "Durability & crash recovery").
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,29 +41,59 @@ struct cli_options {
   int link_cache{-1};  // -1 = config default; 0 = off; 1 = on
   std::string faults;  // empty = config default; else off|low|high
   std::uint64_t seed{42};
+  std::string checkpoint_dir;  // empty = durability off
+  int checkpoint_every{-1};    // -1 = config default (hours)
+  bool resume{false};
 };
+
+// The campaign a SIGINT should interrupt. request_interrupt only stores a
+// relaxed atomic flag, so calling it from the handler is safe.
+std::atomic<campaign_runner*> g_active_campaign{nullptr};
+
+extern "C" void handle_sigint(int) {
+  if (campaign_runner* campaign = g_active_campaign.load()) {
+    campaign->request_interrupt();
+  } else {
+    std::signal(SIGINT, SIG_DFL);
+    std::raise(SIGINT);
+  }
+}
 
 void usage() {
   std::fprintf(stderr,
                "usage: clasp_cli <select|pilot|run|cost|report> [--region R] "
                "[--days N] [--tier premium|standard] [--csv FILE] "
                "[--seed S] [--config FILE] [--workers N] "
-               "[--link-cache on|off] [--faults off|low|high]\n"
+               "[--link-cache on|off] [--faults off|low|high] "
+               "[--checkpoint-dir DIR] [--checkpoint-every HOURS] "
+               "[--resume]\n"
                "  --workers N   campaign replay threads (0 = hardware "
                "concurrency); results are identical for any N\n"
                "  --link-cache  hour-epoch link-condition cache (default "
                "on); off only slows replay, results are identical\n"
                "  --faults      deterministic fault injection preset "
                "(server churn, transient failures, VM preemption); run "
-               "prints a campaign health report when enabled\n");
+               "prints a campaign health report when enabled\n"
+               "  --checkpoint-dir DIR  checkpoint the campaign under DIR "
+               "as it runs; Ctrl-C then stops cleanly at the next hour\n"
+               "  --checkpoint-every H  hours between checkpoints "
+               "(default 24; hours in between are WAL-covered)\n"
+               "  --resume      continue a killed run from DIR's latest "
+               "checkpoint; output is byte-identical to an uninterrupted "
+               "run\n");
 }
 
 bool parse_args(int argc, char** argv, cli_options& opts) {
   if (argc < 2) return false;
   opts.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     const std::string key = argv[i];
-    const std::string value = argv[i + 1];
+    if (key == "--resume") {  // the only valueless flag
+      opts.resume = true;
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    const std::string value = argv[++i];
     if (key == "--region") {
       opts.region = value;
     } else if (key == "--days") {
@@ -88,10 +126,20 @@ bool parse_args(int argc, char** argv, cli_options& opts) {
     } else if (key == "--faults") {
       if (value != "off" && value != "low" && value != "high") return false;
       opts.faults = value;
+    } else if (key == "--checkpoint-dir") {
+      opts.checkpoint_dir = value;
+    } else if (key == "--checkpoint-every") {
+      try {
+        opts.checkpoint_every = std::stoi(value);
+      } catch (const std::exception&) {
+        return false;
+      }
+      if (opts.checkpoint_every <= 0) return false;
     } else {
       return false;
     }
   }
+  if (opts.resume && opts.checkpoint_dir.empty()) return false;
   return opts.command == "select" || opts.command == "pilot" ||
          opts.command == "run" || opts.command == "cost" ||
          opts.command == "report";
@@ -138,7 +186,28 @@ int cmd_run(clasp_platform& platform, const cli_options& opts) {
       hour_stamp::from_civil({2020, 5, 1}, 0) + opts.days * 24};
   campaign_runner& campaign =
       platform.start_topology_campaign(opts.region, window);
-  campaign.run();
+  if (campaign.durable()) {
+    if (opts.resume) {
+      if (campaign.resume(campaign.config().checkpoint_dir)) {
+        std::printf("resumed from %s at %s\n",
+                    campaign.config().checkpoint_dir.c_str(),
+                    campaign.cursor().to_string().c_str());
+      } else {
+        std::printf("no checkpoint under %s, starting fresh\n",
+                    campaign.config().checkpoint_dir.c_str());
+      }
+    }
+    // Ctrl-C now means "checkpoint and stop at the next hour boundary".
+    g_active_campaign.store(&campaign);
+    std::signal(SIGINT, handle_sigint);
+  }
+  const bool completed = campaign.run();
+  g_active_campaign.store(nullptr);
+  if (!completed) {
+    std::printf("interrupted at %s; rerun with --resume to continue\n",
+                campaign.cursor().to_string().c_str());
+    return 130;
+  }
   std::printf("ran %zu tests on %zu servers from %zu VMs\n",
               campaign.tests_run(), campaign.session_count(),
               campaign.vm_count());
@@ -236,6 +305,13 @@ int main(int argc, char** argv) {
   }
   if (!opts.faults.empty()) {
     cfg.campaign_faults = fault_config::preset(opts.faults);
+  }
+  if (!opts.checkpoint_dir.empty()) {
+    cfg.campaign_checkpoint_dir = opts.checkpoint_dir;
+  }
+  if (opts.checkpoint_every > 0) {
+    cfg.campaign_checkpoint_every_hours =
+        static_cast<unsigned>(opts.checkpoint_every);
   }
   clasp_platform platform(cfg);
 

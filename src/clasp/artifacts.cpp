@@ -233,6 +233,10 @@ std::vector<std::uint8_t> serialize_bundle_binary(
 
   prev_hour = 0;
   for (const traceroute_result& t : bundle.traces) {
+    // Mirror the parser's sanity cap: a bundle that serializes must parse.
+    if (t.hops.size() > 255) {
+      throw invalid_argument_error("warts-lite: traceroute exceeds 255 hops");
+    }
     put_u32(out, t.src.value());
     put_u32(out, t.dst.value());
     put_varint(out, zigzag(t.at.hours_since_epoch() - prev_hour));

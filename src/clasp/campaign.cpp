@@ -27,6 +27,10 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
   if (config.tests_per_vm_hour == 0) {
     throw invalid_argument_error("campaign_runner: tests_per_vm_hour == 0");
   }
+  if (!config.checkpoint_dir.empty() && config.checkpoint_every_hours == 0) {
+    throw invalid_argument_error(
+        "campaign_runner: checkpoint_every_hours == 0");
+  }
   config_ = config;
   stream_seed_ = hash_tag(cloud_->net().config.seed,
                           "campaign:" + config.label + ":" + config.region);
@@ -94,6 +98,7 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
   if (config_.workers != 1) {
     pool_ = std::make_unique<thread_pool>(config_.workers);
   }
+  cursor_ = config_.window.begin_at;
   deployed_ = true;
   CLASP_LOG(info, "campaign")
       << config.label << "/" << config.region << ": " << vms_.size()
@@ -102,13 +107,43 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
   return vms_.size();
 }
 
-void campaign_runner::run() {
+bool campaign_runner::run() {
+  if (!run_until(config_.window.end_at)) return false;
+  // Bill monthly storage exactly once per campaign: a resume after the
+  // window completed (storage_billed_ restored from the checkpoint) must
+  // not double-charge.
+  if (!storage_billed_) charge_monthly_storage();
+  // Final checkpoint captures the storage bill, so resuming a finished
+  // campaign is a no-op.
+  if (durable()) checkpoint(config_.checkpoint_dir);
+  return true;
+}
+
+bool campaign_runner::run_until(hour_stamp stop) {
   if (!deployed_) throw state_error("campaign_runner: not deployed");
-  for (hour_stamp t = config_.window.begin_at; t < config_.window.end_at;
-       ++t) {
-    run_hour(t);
+  // First durable hour: anchor the log with a checkpoint (possibly the
+  // window-begin one) so WAL replay always has a base snapshot. resume()
+  // already wrote one and opened the WAL.
+  if (durable() && wal_ == nullptr) checkpoint(config_.checkpoint_dir);
+  const std::int64_t begin = config_.window.begin_at.hours_since_epoch();
+  while (cursor_ < stop) {
+    if (interrupt_.load(std::memory_order_relaxed)) {
+      interrupt_.store(false, std::memory_order_relaxed);
+      if (durable()) checkpoint(config_.checkpoint_dir);
+      CLASP_LOG(info, "campaign")
+          << config_.label << "/" << config_.region << ": interrupted at "
+          << cursor_.to_string();
+      return false;
+    }
+    run_hour(cursor_);  // advances cursor_
+    if (durable() &&
+        (cursor_.hours_since_epoch() - begin) %
+                static_cast<std::int64_t>(config_.checkpoint_every_hours) ==
+            0) {
+      checkpoint(config_.checkpoint_dir);
+    }
   }
-  charge_monthly_storage();
+  return true;
 }
 
 void campaign_runner::charge_monthly_storage() {
@@ -117,6 +152,7 @@ void campaign_runner::charge_monthly_storage() {
       static_cast<double>(config_.window.count()) / (30.0 * 24.0);
   const double gb = cloud_->bucket(config_.region).total_megabytes() / 1024.0;
   cloud_->charge_storage_month(gb * months / 2.0);  // average occupancy
+  storage_billed_ = true;
 }
 
 void campaign_runner::inject_vm_outage(std::size_t vm_slot,
@@ -190,11 +226,17 @@ void campaign_runner::run_hour(hour_stamp at) {
     view_->link_cache().prefill(at, pool_.get());
   }
   staging_.resize(vms_.size());
+  // Durable runs log each staged record before committing it; the flush
+  // below is the hour's durability point. Workers never touch the log —
+  // the coordinator appends in slot order at the hour barrier, so the
+  // WAL's (hour asc, slot asc) order is a structural invariant replay
+  // can rely on.
   if (pool_) {
     pool_->parallel_for(vms_.size(), [&](std::size_t v) {
       stage_vm_hour_into(v, at, staging_[v]);
     });
     for (std::size_t v = 0; v < vms_.size(); ++v) {
+      if (wal_) wal_->append(encode_wal_record(v, staging_[v]));
       commit_vm_hour(v, std::move(staging_[v]));
     }
   } else {
@@ -203,9 +245,12 @@ void campaign_runner::run_hour(hour_stamp at) {
     // order) but the staged points are still cache-hot when merged.
     for (std::size_t v = 0; v < vms_.size(); ++v) {
       stage_vm_hour_into(v, at, staging_[v]);
+      if (wal_) wal_->append(encode_wal_record(v, staging_[v]));
       commit_vm_hour(v, std::move(staging_[v]));
     }
   }
+  if (wal_) wal_->flush();
+  cursor_ = at + 1;
 }
 
 campaign_runner::vm_hour_staging campaign_runner::stage_vm_hour(

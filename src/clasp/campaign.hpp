@@ -29,6 +29,7 @@
 // completeness, retries and downtime per server.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -41,6 +42,7 @@
 #include "speedtest/registry.hpp"
 #include "speedtest/webtest.hpp"
 #include "tsdb/tsdb.hpp"
+#include "tsdb/wal.hpp"
 #include "util/thread_pool.hpp"
 
 namespace clasp {
@@ -72,6 +74,17 @@ struct campaign_config {
   // enabled output is byte-identical for any worker count (the schedule
   // comes from dedicated counter-based streams — see netsim/faults.hpp).
   fault_config faults{};
+  // Durability (see DESIGN.md, "Durability & crash recovery"). When
+  // checkpoint_dir is non-empty, run() write-ahead-logs every committed
+  // (VM, hour) record to <dir>/wal.log and publishes a full checkpoint
+  // (TSDB snapshot + campaign state) every checkpoint_every_hours
+  // simulated hours. A killed campaign resumes via resume(dir) and
+  // produces output byte-identical to an uninterrupted run. Empty
+  // checkpoint_dir disables durability entirely (zero overhead).
+  std::string checkpoint_dir;
+  // Checkpoint cadence in simulated hours; must be >= 1 (the config
+  // loader rejects 0). Hours between checkpoints are covered by the WAL.
+  unsigned checkpoint_every_hours{24};
 };
 
 // Post-campaign operational report: how complete each server's series is
@@ -124,9 +137,18 @@ class campaign_runner {
   std::size_t deploy(const campaign_config& config,
                      const std::vector<std::size_t>& server_ids);
 
-  // Run every hour in the window (calls run_hour repeatedly), then bill
-  // the accumulated bucket volume.
-  void run();
+  // Run every remaining hour in the window (from cursor(), which resume()
+  // may have advanced), then bill the accumulated bucket volume (once —
+  // a resumed-after-complete run never double-bills). With a
+  // checkpoint_dir configured, checkpoints are published on the cadence
+  // and a final one after billing. Returns false when request_interrupt()
+  // stopped the run early (after checkpointing, if durable); true when
+  // the window completed.
+  bool run();
+
+  // Run hours [cursor(), stop) with WAL logging and periodic checkpoints
+  // when durable. Returns false when interrupted before reaching `stop`.
+  bool run_until(hour_stamp stop);
 
   // Run one hour of the campaign: stage all VMs (in parallel when the
   // campaign was configured with workers != 1), then merge in slot order.
@@ -214,6 +236,34 @@ class campaign_runner {
     return someta_.at(vm_slot);
   }
 
+  // --- durability (implemented in checkpoint.cpp) ---
+  // Publish a checkpoint of the campaign at cursor(): a versioned
+  // directory <dir>/ckpt-<hour> holding the TSDB snapshot, the serialized
+  // campaign/cloud state and a CRC-checked manifest, made visible by an
+  // atomic rename and a CURRENT pointer update — a crash mid-checkpoint
+  // leaves the previous checkpoint intact. When `dir` is the configured
+  // checkpoint_dir the WAL is reset (its records are now covered by the
+  // snapshot) and older checkpoints are garbage-collected.
+  void checkpoint(const std::string& dir);
+  // Restore from the latest checkpoint under `dir`, then replay every
+  // complete (all-VM) hour group in the WAL, dropping a torn tail or a
+  // partial hour (those hours re-run deterministically). Requires a
+  // deployed runner whose fingerprint (seed, window, fleet shape, fault
+  // config) matches the checkpoint; throws state_error on a mismatch and
+  // invalid_argument_error on corruption. Returns false when `dir` holds
+  // no checkpoint (caller starts fresh). On success `dir` becomes the
+  // campaign's checkpoint_dir and cursor() points at the next hour to run.
+  bool resume(const std::string& dir);
+  // Ask a running run()/run_until() to stop at the next hour boundary
+  // (safe from a signal handler; the runner checkpoints before
+  // returning when durable).
+  void request_interrupt() { interrupt_.store(true, std::memory_order_relaxed); }
+  // The next hour run()/run_until() will execute (window begin after
+  // deploy; advanced by run_hour and by resume).
+  hour_stamp cursor() const { return cursor_; }
+  // True when a checkpoint_dir is configured.
+  bool durable() const { return !config_.checkpoint_dir.empty(); }
+
  private:
   // Interned TSDB handles for one session's six metrics.
   struct session_series {
@@ -240,6 +290,19 @@ class campaign_runner {
   // every other stream.
   rng vm_stream(std::size_t vm_slot, hour_stamp at) const;
   bool vm_down(std::size_t vm_slot, hour_stamp at) const;
+
+  // Durability internals (checkpoint.cpp). fingerprint() hashes the
+  // campaign identity (seed, label, region, window, fleet shape, fault
+  // config) so resume rejects a checkpoint from a different campaign.
+  std::uint64_t fingerprint() const;
+  void save_state(binary_writer& out) const;
+  void load_state(binary_reader& in);
+  std::string encode_wal_record(std::size_t vm_slot,
+                                const vm_hour_staging& staged) const;
+  // Decode a WAL record into (vm_slot, staging); throws
+  // invalid_argument_error on a malformed payload.
+  std::size_t decode_wal_record(std::string_view payload,
+                                vm_hour_staging& out) const;
 
   gcp_cloud* cloud_;
   const network_view* view_;
@@ -273,6 +336,11 @@ class campaign_runner {
   // Outage windows per VM slot.
   std::vector<std::vector<hour_range>> outages_;
   bool deployed_{false};
+  // --- durability state ---
+  hour_stamp cursor_{hour_stamp{0}};  // next hour to run (set at deploy)
+  bool storage_billed_{false};        // run() billed monthly storage
+  std::atomic<bool> interrupt_{false};
+  std::unique_ptr<wal_writer> wal_;  // open while a durable run is active
 };
 
 }  // namespace clasp

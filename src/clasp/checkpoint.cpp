@@ -1,0 +1,446 @@
+// Checkpoint/resume implementation: the on-disk format helpers plus the
+// campaign_runner durability members declared in campaign.hpp. Kept out
+// of campaign.cpp so the replay hot path and the recovery machinery stay
+// separately readable. Format documentation lives in checkpoint.hpp.
+#include "clasp/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "clasp/campaign.hpp"
+#include "util/binio.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace clasp {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x4B434C43u;  // "CLCK" little-endian
+constexpr std::uint8_t kVmHourTag = 'V';
+
+std::string checkpoint_name(hour_stamp cursor) {
+  return "ckpt-" + std::to_string(cursor.hours_since_epoch());
+}
+
+// payload + u32 crc32 trailer. A plain write: atomicity comes from the
+// directory rename that publishes the whole checkpoint at once.
+void write_crc_file(const fs::path& path, std::string_view payload) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw not_found_error("checkpoint: cannot write " + path.string());
+  }
+  binary_writer trailer;
+  trailer.u32(crc32(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(trailer.bytes().data(),
+            static_cast<std::streamsize>(trailer.bytes().size()));
+  out.flush();
+  if (!out) throw state_error("checkpoint: write failed " + path.string());
+}
+
+std::string read_crc_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw not_found_error("checkpoint: cannot read " + path.string());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (content.size() < 4) {
+    throw invalid_argument_error("checkpoint: truncated " + path.string());
+  }
+  const std::string_view payload =
+      std::string_view(content).substr(0, content.size() - 4);
+  binary_reader trailer(std::string_view(content).substr(content.size() - 4));
+  if (trailer.u32() != crc32(payload)) {
+    throw invalid_argument_error("checkpoint: CRC mismatch in " +
+                                 path.string());
+  }
+  content.resize(content.size() - 4);
+  return content;
+}
+
+void put_sample(binary_writer& out, const vm_metadata_sample& s) {
+  out.svarint(s.at.hours_since_epoch());
+  out.f64(s.cpu_utilization);
+  out.f64(s.memory_gb);
+  out.f64(s.io_wait);
+  out.boolean(s.cpu_saturated);
+}
+
+vm_metadata_sample get_sample(binary_reader& in) {
+  vm_metadata_sample s;
+  s.at = hour_stamp{in.svarint()};
+  s.cpu_utilization = in.f64();
+  s.memory_gb = in.f64();
+  s.io_wait = in.f64();
+  s.cpu_saturated = in.boolean();
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::string> current_checkpoint(const std::string& dir) {
+  std::ifstream in(fs::path(dir) / "CURRENT");
+  if (!in) return std::nullopt;
+  std::string name;
+  std::getline(in, name);
+  while (!name.empty() &&
+         (name.back() == '\r' || name.back() == ' ')) {
+    name.pop_back();
+  }
+  if (name.empty() || !starts_with(name, "ckpt-") ||
+      name.find('/') != std::string::npos) {
+    throw invalid_argument_error("checkpoint: corrupt CURRENT in " + dir);
+  }
+  const fs::path target = fs::path(dir) / name;
+  if (!fs::exists(target)) {
+    throw state_error("checkpoint: CURRENT points at missing " +
+                      target.string());
+  }
+  return target.string();
+}
+
+checkpoint_info read_checkpoint_info(const std::string& checkpoint_path) {
+  const std::string payload =
+      read_crc_file(fs::path(checkpoint_path) / "MANIFEST");
+  binary_reader in(payload);
+  if (in.u32() != kManifestMagic) {
+    throw invalid_argument_error("checkpoint: bad manifest magic");
+  }
+  checkpoint_info info;
+  info.version = in.u32();
+  if (info.version != kCheckpointVersion) {
+    throw invalid_argument_error("checkpoint: unsupported version " +
+                                 std::to_string(info.version));
+  }
+  info.fingerprint = in.u64();
+  info.cursor_hours = in.svarint();
+  if (!in.done()) {
+    throw invalid_argument_error("checkpoint: trailing bytes in manifest");
+  }
+  return info;
+}
+
+std::uint64_t campaign_runner::fingerprint() const {
+  // Everything that determines the replay's output: the stream seed
+  // already hashes (net seed, label, region); the rest pins the window,
+  // the fleet shape and the fault schedule inputs. Serialized through
+  // binio so the hash input is unambiguous, then folded with hash_tag.
+  binary_writer id;
+  id.u64(stream_seed_);
+  id.str(config_.label);
+  id.str(config_.region);
+  id.svarint(config_.window.begin_at.hours_since_epoch());
+  id.svarint(config_.window.end_at.hours_since_epoch());
+  id.varint(vms_.size());
+  id.varint(sessions_.size());
+  id.varint(config_.tests_per_vm_hour);
+  const fault_config& f = config_.faults;
+  id.boolean(f.enabled);
+  id.u64(f.seed);
+  id.f64(f.server_churn_rate);
+  id.f64(f.test_failure_rate);
+  id.varint(f.max_retries);
+  id.f64(f.vm_preemption_rate);
+  id.varint(f.vm_outage_hours_min);
+  id.varint(f.vm_outage_hours_max);
+  id.f64(f.upload_failure_rate);
+  return hash_tag(kCheckpointVersion, id.bytes());
+}
+
+void campaign_runner::save_state(binary_writer& out) const {
+  out.varint(tests_run_);
+  out.varint(tests_missed_);
+  out.varint(upload_failures_);
+  out.boolean(storage_billed_);
+  out.varint(tallies_.size());
+  for (const session_tally& t : tallies_) {
+    out.varint(t.completed);
+    out.varint(t.failed);
+    out.varint(t.retries);
+    out.varint(t.down_hours);
+    out.varint(t.withdrawn_hours);
+    out.varint(t.skipped_hours);
+  }
+  out.varint(someta_.size());
+  for (const someta_recorder& rec : someta_) {
+    out.varint(rec.samples().size());
+    for (const vm_metadata_sample& s : rec.samples()) put_sample(out, s);
+  }
+  // Full outage windows (plan + manual injections): vm_down must answer
+  // identically in the resumed process.
+  out.varint(outages_.size());
+  for (const std::vector<hour_range>& windows : outages_) {
+    out.varint(windows.size());
+    for (const hour_range& w : windows) {
+      out.svarint(w.begin_at.hours_since_epoch());
+      out.svarint(w.end_at.hours_since_epoch());
+    }
+  }
+  cloud_->save_state(out);
+}
+
+void campaign_runner::load_state(binary_reader& in) {
+  tests_run_ = static_cast<std::size_t>(in.varint());
+  tests_missed_ = static_cast<std::size_t>(in.varint());
+  upload_failures_ = static_cast<std::size_t>(in.varint());
+  storage_billed_ = in.boolean();
+  if (in.varint() != tallies_.size()) {
+    throw state_error("checkpoint: session count mismatch");
+  }
+  for (session_tally& t : tallies_) {
+    t.completed = static_cast<std::size_t>(in.varint());
+    t.failed = static_cast<std::size_t>(in.varint());
+    t.retries = static_cast<std::size_t>(in.varint());
+    t.down_hours = static_cast<std::size_t>(in.varint());
+    t.withdrawn_hours = static_cast<std::size_t>(in.varint());
+    t.skipped_hours = static_cast<std::size_t>(in.varint());
+  }
+  if (in.varint() != someta_.size()) {
+    throw state_error("checkpoint: VM count mismatch (someta)");
+  }
+  for (someta_recorder& rec : someta_) {
+    std::vector<vm_metadata_sample> samples(
+        static_cast<std::size_t>(in.varint()));
+    for (vm_metadata_sample& s : samples) s = get_sample(in);
+    rec.restore_samples(std::move(samples));
+  }
+  if (in.varint() != outages_.size()) {
+    throw state_error("checkpoint: VM count mismatch (outages)");
+  }
+  for (std::vector<hour_range>& windows : outages_) {
+    windows.resize(static_cast<std::size_t>(in.varint()));
+    for (hour_range& w : windows) {
+      w.begin_at = hour_stamp{in.svarint()};
+      w.end_at = hour_stamp{in.svarint()};
+    }
+  }
+  cloud_->load_state(in);
+}
+
+std::string campaign_runner::encode_wal_record(
+    std::size_t vm_slot, const vm_hour_staging& staged) const {
+  binary_writer out;
+  out.u8(kVmHourTag);
+  out.varint(vm_slot);
+  out.svarint(staged.at.hours_since_epoch());
+  out.varint(staged.points.size());
+  for (const staged_point& p : staged.points) {
+    out.varint(p.ref);
+    out.f64(p.value);
+  }
+  out.varint(staged.someta.size());
+  for (const vm_metadata_sample& s : staged.someta) put_sample(out, s);
+  out.varint(staged.outcomes.size());
+  for (const staged_outcome& o : staged.outcomes) {
+    out.varint(o.session);
+    out.u8(static_cast<std::uint8_t>(o.outcome));
+    out.u8(o.attempts);
+  }
+  const charge_sheet& c = staged.charges;
+  out.varint(c.vm_hours.size());
+  for (const std::size_t id : c.vm_hours) out.varint(id);
+  out.f64(c.egress_premium.value);
+  out.f64(c.egress_standard.value);
+  out.varint(c.puts.size());
+  for (const charge_sheet::object_put& p : c.puts) {
+    out.str(p.bucket_region);
+    out.str(p.object_name);
+    out.f64(p.megabytes_stored);
+  }
+  out.varint(staged.tests_run);
+  out.varint(staged.tests_missed);
+  out.boolean(staged.upload_failed);
+  return out.take();
+}
+
+std::size_t campaign_runner::decode_wal_record(std::string_view payload,
+                                               vm_hour_staging& out) const {
+  binary_reader in(payload);
+  if (in.u8() != kVmHourTag) {
+    throw invalid_argument_error("checkpoint: not a VM-hour WAL record");
+  }
+  const std::size_t vm_slot = static_cast<std::size_t>(in.varint());
+  out.at = hour_stamp{in.svarint()};
+  out.points.clear();
+  out.someta.clear();
+  out.outcomes.clear();
+  out.charges.reset();
+  const std::uint64_t n_points = in.varint();
+  out.points.reserve(static_cast<std::size_t>(n_points));
+  for (std::uint64_t i = 0; i < n_points; ++i) {
+    const series_ref ref = static_cast<series_ref>(in.varint());
+    out.points.push_back({ref, in.f64()});
+  }
+  const std::uint64_t n_someta = in.varint();
+  out.someta.reserve(static_cast<std::size_t>(n_someta));
+  for (std::uint64_t i = 0; i < n_someta; ++i) {
+    out.someta.push_back(get_sample(in));
+  }
+  const std::uint64_t n_outcomes = in.varint();
+  out.outcomes.reserve(static_cast<std::size_t>(n_outcomes));
+  for (std::uint64_t i = 0; i < n_outcomes; ++i) {
+    staged_outcome o;
+    o.session = static_cast<std::uint32_t>(in.varint());
+    o.outcome = static_cast<test_outcome>(in.u8());
+    o.attempts = in.u8();
+    out.outcomes.push_back(o);
+  }
+  const std::uint64_t n_vm_hours = in.varint();
+  out.charges.vm_hours.reserve(static_cast<std::size_t>(n_vm_hours));
+  for (std::uint64_t i = 0; i < n_vm_hours; ++i) {
+    out.charges.vm_hours.push_back(static_cast<std::size_t>(in.varint()));
+  }
+  out.charges.egress_premium = megabytes{in.f64()};
+  out.charges.egress_standard = megabytes{in.f64()};
+  const std::uint64_t n_puts = in.varint();
+  for (std::uint64_t i = 0; i < n_puts; ++i) {
+    std::string region = in.str();
+    std::string name = in.str();
+    out.charges.add_put(std::move(region), std::move(name), in.f64());
+  }
+  out.tests_run = static_cast<std::size_t>(in.varint());
+  out.tests_missed = static_cast<std::size_t>(in.varint());
+  out.upload_failed = in.boolean();
+  if (!in.done()) {
+    throw invalid_argument_error("checkpoint: trailing bytes in WAL record");
+  }
+  return vm_slot;
+}
+
+void campaign_runner::checkpoint(const std::string& dir) {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
+  if (dir.empty()) {
+    throw invalid_argument_error("campaign_runner: empty checkpoint dir");
+  }
+  const fs::path root(dir);
+  fs::create_directories(root);
+  const std::string name = checkpoint_name(cursor_);
+  const fs::path staging = root / (name + ".staging");
+  std::error_code ec;
+  fs::remove_all(staging, ec);
+  fs::create_directories(staging);
+  store_->snapshot_to((staging / "tsdb.snap").string());
+  binary_writer state;
+  save_state(state);
+  write_crc_file(staging / "state.bin", state.bytes());
+  binary_writer manifest;
+  manifest.u32(kManifestMagic);
+  manifest.u32(kCheckpointVersion);
+  manifest.u64(fingerprint());
+  manifest.svarint(cursor_.hours_since_epoch());
+  write_crc_file(staging / "MANIFEST", manifest.bytes());
+  // Publish: the staged directory becomes visible in one rename, then the
+  // CURRENT pointer flips in another. Re-checkpointing at the same hour
+  // (resume after replay) replaces the directory.
+  const fs::path published = root / name;
+  fs::remove_all(published, ec);
+  fs::rename(staging, published);
+  {
+    std::ofstream cur(root / "CURRENT.tmp", std::ios::trunc);
+    cur << name << '\n';
+    cur.flush();
+    if (!cur) {
+      throw state_error("checkpoint: cannot write CURRENT in " + dir);
+    }
+  }
+  fs::rename(root / "CURRENT.tmp", root / "CURRENT");
+  // GC: older checkpoints and stale staging dirs. CURRENT already points
+  // at the new one, so a crash mid-GC costs only disk space.
+  for (const fs::directory_entry& entry : fs::directory_iterator(root)) {
+    const std::string base = entry.path().filename().string();
+    if (base == name || !starts_with(base, "ckpt-")) continue;
+    fs::remove_all(entry.path(), ec);
+  }
+  // Reset the campaign WAL: its records are covered by this snapshot.
+  if (dir == config_.checkpoint_dir) {
+    wal_ = std::make_unique<wal_writer>((root / "wal.log").string(),
+                                        /*truncate=*/true);
+  }
+  CLASP_LOG(info, "campaign")
+      << config_.label << "/" << config_.region << ": checkpoint " << name;
+}
+
+bool campaign_runner::resume(const std::string& dir) {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
+  const std::optional<std::string> current = current_checkpoint(dir);
+  if (!current) return false;
+  const checkpoint_info info = read_checkpoint_info(*current);
+  if (info.fingerprint != fingerprint()) {
+    throw state_error(
+        "campaign_runner: checkpoint fingerprint mismatch (different "
+        "campaign, seed, window or fault config)");
+  }
+  store_->restore_from((fs::path(*current) / "tsdb.snap").string());
+  const std::string state = read_crc_file(fs::path(*current) / "state.bin");
+  binary_reader in(state);
+  load_state(in);
+  if (!in.done()) {
+    throw invalid_argument_error("checkpoint: trailing bytes in state");
+  }
+  cursor_ = hour_stamp{info.cursor_hours};
+  config_.checkpoint_dir = dir;
+  // Registry catch-up: withdrawals before the cursor were retired hour by
+  // hour in the interrupted process; this process's registry is fresh.
+  if (churn_registry_ != nullptr && plan_.enabled()) {
+    for (const auto& [server_id, hour] : plan_.withdrawals()) {
+      if (hour < cursor_ && !churn_registry_->retired(server_id)) {
+        churn_registry_->retire_server(server_id);
+      }
+    }
+  }
+  // WAL replay: an hour is durable only as a complete group — slot
+  // records 0..vm_count-1, all at the cursor hour. Stale records (hour
+  // before the cursor: crash between publish and WAL reset) are skipped;
+  // a partial group or torn tail is dropped and that hour re-runs.
+  const wal_scan_result scan =
+      scan_wal((fs::path(dir) / "wal.log").string());
+  std::size_t i = 0;
+  std::size_t replayed = 0;
+  vm_hour_staging peek;
+  std::vector<vm_hour_staging> group(vms_.size());
+  while (i < scan.records.size()) {
+    const std::size_t slot = decode_wal_record(scan.records[i], peek);
+    if (peek.at < cursor_) {
+      ++i;
+      continue;
+    }
+    if (peek.at != cursor_ || slot != 0 ||
+        i + vms_.size() > scan.records.size()) {
+      break;
+    }
+    bool complete = true;
+    for (std::size_t v = 0; v < vms_.size(); ++v) {
+      if (decode_wal_record(scan.records[i + v], group[v]) != v ||
+          group[v].at != cursor_) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) break;
+    begin_hour(cursor_);
+    for (std::size_t v = 0; v < vms_.size(); ++v) {
+      commit_vm_hour(v, std::move(group[v]));
+    }
+    i += vms_.size();
+    cursor_ = cursor_ + 1;
+    ++replayed;
+  }
+  CLASP_LOG(info, "campaign")
+      << config_.label << "/" << config_.region << ": resumed at "
+      << cursor_.to_string() << " (" << replayed << " WAL hours replayed, "
+      << (scan.records.size() - i) << " records dropped"
+      << (scan.torn_tail ? ", torn tail" : "") << ")";
+  // Re-anchor: a fresh checkpoint at the replayed cursor resets the WAL
+  // (dropping stale records and any torn tail) and opens it for the run.
+  checkpoint(dir);
+  return true;
+}
+
+}  // namespace clasp

@@ -1,0 +1,61 @@
+// Crash-consistent checkpoint/resume for campaign replay.
+//
+// A multi-month campaign replay can be killed — operator Ctrl-C, batch
+// scheduler preemption, crash — at any point. The durability layer makes
+// that recoverable with byte-identical output: because every (VM slot,
+// hour) owns a counter-based RNG stream, the only state a resume needs is
+// *where the campaign was* plus the accumulated results; re-running any
+// hour reproduces it bit-for-bit.
+//
+// On-disk layout under a campaign's checkpoint directory:
+//
+//   <dir>/CURRENT            name of the published checkpoint ("ckpt-<h>")
+//   <dir>/ckpt-<h>/MANIFEST  magic, version, fingerprint, cursor (+CRC32)
+//   <dir>/ckpt-<h>/tsdb.snap full TSDB snapshot (tsdb::snapshot_to)
+//   <dir>/ckpt-<h>/state.bin campaign + cloud state (+CRC32)
+//   <dir>/wal.log            per-(VM, hour) records since the checkpoint
+//
+// Publish protocol (campaign_runner::checkpoint): write everything into
+// ckpt-<h>.staging, fs::rename it to ckpt-<h> (atomic on POSIX), then
+// update CURRENT via write-tmp + rename, then truncate the WAL and GC
+// older checkpoints. A crash at any step leaves either the old or the
+// new checkpoint fully intact — never a half-written one.
+//
+// Recovery (campaign_runner::resume): restore the snapshot and state of
+// the CURRENT checkpoint, then replay WAL hour groups. An hour is
+// durable only when all vm_count() slot records of that hour are present
+// and CRC-valid; a torn tail or a partial group is truncated and the
+// hour simply re-runs. Compatibility is versioned: kCheckpointVersion
+// bumps on any format change, and resume rejects other versions rather
+// than guessing (see DESIGN.md, "Durability & crash recovery").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace clasp {
+
+// Bump on any change to the manifest, state.bin, WAL record or TSDB
+// snapshot encoding. Old checkpoints are then rejected, not migrated: a
+// campaign replay is cheap to restart relative to silent corruption.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// Parsed MANIFEST of one checkpoint.
+struct checkpoint_info {
+  std::uint32_t version{0};
+  std::uint64_t fingerprint{0};   // campaign identity hash
+  std::int64_t cursor_hours{0};   // next hour to run, hours since epoch
+};
+
+// Path of the published checkpoint under `dir` (what CURRENT points at),
+// or nullopt when no checkpoint has been published. Throws state_error
+// when CURRENT names a directory that does not exist (torn GC — should
+// be impossible under the publish protocol).
+std::optional<std::string> current_checkpoint(const std::string& dir);
+
+// Read and verify a checkpoint's MANIFEST. Throws invalid_argument_error
+// on a corrupt or version-mismatched manifest.
+checkpoint_info read_checkpoint_info(const std::string& checkpoint_path);
+
+}  // namespace clasp

@@ -51,6 +51,8 @@ constexpr const char* kKnownKeys[] = {
     "differential.small_delta_ms",
     "campaign.workers",
     "campaign.link_cache",
+    "campaign.checkpoint_dir",
+    "campaign.checkpoint_every_hours",
     "faults.enabled",
     "faults.preset",
     "faults.seed",
@@ -140,6 +142,17 @@ platform_config load_platform_config(const std::string& ini_text) {
           static_cast<unsigned>(as_count(doc, key));  // 0 = hw concurrency
     } else if (key == "campaign.link_cache") {
       cfg.campaign_link_cache = doc.get_bool(key);
+    } else if (key == "campaign.checkpoint_dir") {
+      cfg.campaign_checkpoint_dir = doc.get(key);
+    } else if (key == "campaign.checkpoint_every_hours") {
+      const std::size_t every = as_count(doc, key);
+      if (every == 0) {
+        throw invalid_argument_error(
+            "config: campaign.checkpoint_every_hours must be >= 1 (hours "
+            "between checkpoints; use campaign.checkpoint_dir = <empty> to "
+            "disable durability)");
+      }
+      cfg.campaign_checkpoint_every_hours = static_cast<unsigned>(every);
     } else if (key == "faults.preset") {
       // Already applied, before the key loop.
     } else if (key == "faults.enabled") {

@@ -18,6 +18,8 @@
 //   workers = 4          ; replay concurrency (0 = hardware concurrency)
 //   link_cache = true    ; hour-epoch link-condition cache (speed only;
 //                        ; results are bit-identical on or off)
+//   checkpoint_dir = /var/lib/clasp/ckpt   ; durability root ("" = off)
+//   checkpoint_every_hours = 24            ; cadence, must be >= 1
 //
 //   [budgets]            ; per-region topology deployment budgets
 //   us-west1 = 106

@@ -72,6 +72,11 @@ campaign_runner& clasp_platform::start_topology_campaign(
   cfg.workers = config_.campaign_workers;
   cfg.link_cache = config_.campaign_link_cache;
   cfg.faults = config_.campaign_faults;
+  if (!config_.campaign_checkpoint_dir.empty()) {
+    cfg.checkpoint_dir =
+        config_.campaign_checkpoint_dir + "/" + cfg.label + "-" + region;
+    cfg.checkpoint_every_hours = config_.campaign_checkpoint_every_hours;
+  }
   auto runner = std::make_unique<campaign_runner>(cloud_.get(), view_.get(),
                                                   &registry_, &store_);
   runner->deploy(cfg, servers);
@@ -105,6 +110,11 @@ clasp_platform::start_differential_campaign(const std::string& region,
     cfg.workers = config_.campaign_workers;
     cfg.link_cache = config_.campaign_link_cache;
     cfg.faults = config_.campaign_faults;
+    if (!config_.campaign_checkpoint_dir.empty()) {
+      cfg.checkpoint_dir =
+          config_.campaign_checkpoint_dir + "/" + cfg.label + "-" + region;
+      cfg.checkpoint_every_hours = config_.campaign_checkpoint_every_hours;
+    }
     auto runner = std::make_unique<campaign_runner>(cloud_.get(), view_.get(),
                                                     &registry_, &store_);
     runner->deploy(cfg, servers);

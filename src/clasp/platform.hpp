@@ -57,6 +57,13 @@ struct platform_config {
   // retired from the platform registry so later crawls and selections no
   // longer see them.
   fault_config campaign_faults{};
+  // Durability for every campaign this platform deploys. When non-empty,
+  // each campaign checkpoints under <dir>/<label>-<region> (so several
+  // campaigns can share one root) every campaign_checkpoint_every_hours
+  // simulated hours, and a killed run resumes via campaign_runner::
+  // resume. Empty disables durability (see campaign_config).
+  std::string campaign_checkpoint_dir;
+  unsigned campaign_checkpoint_every_hours{24};
 };
 
 class clasp_platform {

@@ -1,5 +1,6 @@
 #include "cloud/gcp.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -187,6 +188,54 @@ storage_bucket& gcp_cloud::bucket(const std::string& region) {
     it = buckets_.emplace(region, storage_bucket("clasp-data-" + region)).first;
   }
   return it->second;
+}
+
+void gcp_cloud::save_state(binary_writer& out) const {
+  out.varint(vms_.size());
+  for (const vm_instance& vm : vms_) {
+    out.f64(vm.hours_run);
+    out.boolean(vm.running);
+    out.varint(vm.restarts);
+  }
+  out.f64(costs_.vm_usd);
+  out.f64(costs_.egress_usd);
+  out.f64(costs_.storage_usd);
+  // Bucket map in sorted region order so identical state always produces
+  // identical checkpoint bytes.
+  std::vector<const std::string*> regions;
+  regions.reserve(buckets_.size());
+  for (const auto& [region, b] : buckets_) regions.push_back(&region);
+  std::sort(regions.begin(), regions.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  out.varint(regions.size());
+  for (const std::string* region : regions) {
+    const storage_bucket& b = buckets_.at(*region);
+    out.str(*region);
+    out.f64(b.total_megabytes());
+    out.varint(b.object_count());
+  }
+}
+
+void gcp_cloud::load_state(binary_reader& in) {
+  const std::uint64_t n_vms = in.varint();
+  if (n_vms != vms_.size()) {
+    throw state_error("gcp_cloud: checkpoint VM count mismatch");
+  }
+  for (vm_instance& vm : vms_) {
+    vm.hours_run = in.f64();
+    vm.running = in.boolean();
+    vm.restarts = static_cast<unsigned>(in.varint());
+  }
+  costs_.vm_usd = in.f64();
+  costs_.egress_usd = in.f64();
+  costs_.storage_usd = in.f64();
+  const std::uint64_t n_buckets = in.varint();
+  for (std::uint64_t i = 0; i < n_buckets; ++i) {
+    std::string region = in.str();
+    const double total_mb = in.f64();
+    const std::uint64_t objects = in.varint();
+    bucket(region).restore(total_mb, static_cast<std::size_t>(objects));
+  }
 }
 
 endpoint gcp_cloud::vm_endpoint(vm_id id) const {

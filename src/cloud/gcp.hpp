@@ -16,6 +16,7 @@
 
 #include "netsim/generator.hpp"
 #include "netsim/routing.hpp"
+#include "util/binio.hpp"
 #include "util/units.hpp"
 
 namespace clasp {
@@ -123,6 +124,13 @@ class storage_bucket {
   std::size_t object_count() const { return objects_; }
   const std::string& name() const { return name_; }
 
+  // Checkpoint restore: overwrite the accumulated totals (gcp_cloud::
+  // load_state only; puts after restore accumulate on top).
+  void restore(double total_mb, std::size_t objects) {
+    total_mb_ = total_mb;
+    objects_ = objects;
+  }
+
  private:
   std::string name_;
   double total_mb_{0.0};
@@ -168,6 +176,14 @@ class gcp_cloud {
   const cost_report& costs() const { return costs_; }
 
   storage_bucket& bucket(const std::string& region);
+
+  // Checkpoint support: serialize the mutable billing/VM/bucket state
+  // (accumulated costs, per-VM hours/running/restarts, bucket totals).
+  // The fleet *shape* is not serialized — a resumed process re-runs the
+  // same deterministic deploy sequence first, and load_state validates
+  // the VM count matches before overwriting. See clasp/checkpoint.hpp.
+  void save_state(binary_writer& out) const;
+  void load_state(binary_reader& in);
 
   // Routing endpoint for a VM.
   endpoint vm_endpoint(vm_id id) const;

@@ -43,6 +43,12 @@ class someta_recorder {
   // metadata without mutating the recorder concurrently.
   void absorb(std::vector<vm_metadata_sample>&& staged);
 
+  // Checkpoint restore: replace the sample history wholesale (the
+  // machine type is rebuilt by the deterministic re-deploy).
+  void restore_samples(std::vector<vm_metadata_sample> samples) {
+    samples_ = std::move(samples);
+  }
+
   const std::vector<vm_metadata_sample>& samples() const { return samples_; }
   // Fraction of recorded tests with a saturated CPU (the paper's claim:
   // ~0 for n1-standard-2 at <= 1 Gbps).

@@ -1,10 +1,14 @@
 #include "tsdb/tsdb.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <iterator>
 #include <ostream>
 #include <set>
 #include <unordered_set>
+#include <utility>
 
+#include "util/binio.hpp"
 #include "util/error.hpp"
 
 namespace clasp {
@@ -156,6 +160,106 @@ void tsdb::export_csv(std::ostream& os, const std::string& metric,
       os << '\n';
     }
   }
+}
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x53544C43u;  // "CLTS" little-endian
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+void tsdb::snapshot_to(std::ostream& os) const {
+  binary_writer out;
+  out.u32(kSnapshotMagic);
+  out.u32(kSnapshotVersion);
+  out.varint(series_.size());
+  for (const ts_series& s : series_) {
+    out.str(s.metric());
+    out.varint(s.tags().size());
+    for (const auto& [k, v] : s.tags()) {
+      out.str(k);
+      out.str(v);
+    }
+    out.varint(s.points().size());
+    std::int64_t prev_hour = 0;
+    for (const ts_point& p : s.points()) {
+      out.svarint(p.at.hours_since_epoch() - prev_hour);
+      prev_hour = p.at.hours_since_epoch();
+      out.f64(p.value);
+    }
+  }
+  const std::string payload = out.take();
+  binary_writer trailer;
+  trailer.u32(crc32(payload));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  os.write(trailer.bytes().data(),
+           static_cast<std::streamsize>(trailer.bytes().size()));
+  if (!os) throw state_error("tsdb: snapshot write failed");
+}
+
+void tsdb::snapshot_to(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw not_found_error("tsdb: cannot write snapshot " + path);
+  snapshot_to(static_cast<std::ostream&>(out));
+}
+
+void tsdb::restore_from(std::istream& is) {
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  if (content.size() < 12) {
+    throw invalid_argument_error("tsdb: truncated snapshot");
+  }
+  const std::string_view payload =
+      std::string_view(content).substr(0, content.size() - 4);
+  binary_reader trailer(
+      std::string_view(content).substr(content.size() - 4));
+  if (trailer.u32() != crc32(payload)) {
+    throw invalid_argument_error("tsdb: snapshot CRC mismatch");
+  }
+  binary_reader in(payload);
+  if (in.u32() != kSnapshotMagic) {
+    throw invalid_argument_error("tsdb: bad snapshot magic");
+  }
+  if (in.u32() != kSnapshotVersion) {
+    throw invalid_argument_error("tsdb: unsupported snapshot version");
+  }
+  std::vector<ts_series> series;
+  std::unordered_map<std::string, std::size_t> index;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_metric;
+  const std::uint64_t n_series = in.varint();
+  series.reserve(static_cast<std::size_t>(n_series));
+  for (std::uint64_t i = 0; i < n_series; ++i) {
+    std::string metric = in.str();
+    tag_set tags;
+    const std::uint64_t n_tags = in.varint();
+    for (std::uint64_t t = 0; t < n_tags; ++t) {
+      std::string key = in.str();
+      tags.emplace(std::move(key), in.str());
+    }
+    ts_series s(metric, tags);
+    const std::uint64_t n_points = in.varint();
+    std::int64_t prev_hour = 0;
+    for (std::uint64_t p = 0; p < n_points; ++p) {
+      prev_hour += in.svarint();
+      s.append(hour_stamp{prev_hour}, in.f64());
+    }
+    index.emplace(series_key(metric, tags), series.size());
+    by_metric[metric].push_back(series.size());
+    series.push_back(std::move(s));
+  }
+  if (!in.done()) {
+    throw invalid_argument_error("tsdb: trailing bytes in snapshot");
+  }
+  series_ = std::move(series);
+  index_ = std::move(index);
+  by_metric_ = std::move(by_metric);
+}
+
+void tsdb::restore_from(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw not_found_error("tsdb: cannot read snapshot " + path);
+  restore_from(static_cast<std::istream&>(in));
 }
 
 std::size_t tsdb::point_count() const {

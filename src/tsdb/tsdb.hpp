@@ -119,6 +119,19 @@ class tsdb {
   void export_csv(std::ostream& os, const std::string& metric,
                   const tag_filter& filter = {}) const;
 
+  // --- durability (see DESIGN.md, "Durability & crash recovery") ---
+  // Binary full snapshot: magic + version, every series in insertion
+  // order (so restored series_refs equal the originals), strings carried
+  // length-prefixed (non-ASCII tag values round-trip exactly), values as
+  // IEEE-754 bit patterns, the whole payload CRC32-framed. restore_from
+  // replaces the store's contents and throws invalid_argument_error on a
+  // corrupt, truncated or version-mismatched snapshot. The path overloads
+  // throw not_found_error when the file cannot be opened.
+  void snapshot_to(std::ostream& os) const;
+  void snapshot_to(const std::string& path) const;
+  void restore_from(std::istream& is);
+  void restore_from(const std::string& path);
+
  private:
   static std::string series_key(const std::string& metric,
                                 const tag_set& tags);

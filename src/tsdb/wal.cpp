@@ -1,0 +1,108 @@
+#include "tsdb/wal.hpp"
+
+#include <filesystem>
+#include <iterator>
+
+#include "util/binio.hpp"
+#include "util/error.hpp"
+
+namespace clasp {
+
+namespace {
+
+// Frames larger than this are treated as corruption, not allocation
+// requests: a campaign hour's record is a few kilobytes.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 30;
+
+constexpr std::uint8_t kTsdbCommitTag = 'C';
+
+}  // namespace
+
+wal_writer::wal_writer(const std::string& path, bool truncate)
+    : path_(path),
+      out_(path, truncate ? std::ios::binary | std::ios::trunc
+                          : std::ios::binary | std::ios::app) {
+  if (!out_) throw not_found_error("wal: cannot open " + path);
+}
+
+void wal_writer::append(std::string_view payload) {
+  binary_writer header;
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u32(crc32(payload));
+  out_.write(header.bytes().data(),
+             static_cast<std::streamsize>(header.bytes().size()));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out_) throw state_error("wal: write failed on " + path_);
+}
+
+void wal_writer::flush() {
+  out_.flush();
+  if (!out_) throw state_error("wal: flush failed on " + path_);
+}
+
+wal_scan_result scan_wal(const std::string& path) {
+  wal_scan_result result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;  // no log yet: nothing to recover
+
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  while (pos + 8 <= content.size()) {
+    binary_reader header(std::string_view(content).substr(pos, 8));
+    const std::uint32_t len = header.u32();
+    const std::uint32_t expect_crc = header.u32();
+    if (len > kMaxRecordBytes || pos + 8 + len > content.size()) break;
+    const std::string_view payload =
+        std::string_view(content).substr(pos + 8, len);
+    if (crc32(payload) != expect_crc) break;
+    result.records.emplace_back(payload);
+    pos += 8 + len;
+    result.record_end.push_back(pos);
+  }
+  result.valid_bytes = pos;
+  result.torn_tail = pos < content.size();
+  return result;
+}
+
+void truncate_wal(const std::string& path, std::uint64_t valid_bytes) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size <= valid_bytes) return;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  if (ec) {
+    throw state_error("wal: cannot truncate " + path + ": " + ec.message());
+  }
+}
+
+std::string encode_tsdb_commit(
+    hour_stamp at, std::span<const std::pair<series_ref, double>> writes) {
+  binary_writer out;
+  out.u8(kTsdbCommitTag);
+  out.svarint(at.hours_since_epoch());
+  out.varint(writes.size());
+  for (const auto& [ref, value] : writes) {
+    out.varint(ref);
+    out.f64(value);
+  }
+  return out.take();
+}
+
+void apply_tsdb_commit(tsdb& db, std::string_view payload) {
+  binary_reader in(payload);
+  if (in.u8() != kTsdbCommitTag) {
+    throw invalid_argument_error("wal: not a tsdb commit record");
+  }
+  const hour_stamp at{in.svarint()};
+  const std::uint64_t n = in.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const series_ref ref = static_cast<series_ref>(in.varint());
+    const double value = in.f64();
+    db.write(ref, at, value);
+  }
+  if (!in.done()) {
+    throw invalid_argument_error("wal: trailing bytes in commit record");
+  }
+}
+
+}  // namespace clasp

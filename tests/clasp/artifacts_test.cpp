@@ -228,6 +228,148 @@ TEST(WartsLiteTest, CorruptInputRejected) {
   EXPECT_THROW(parse_bundle_binary(trailing), invalid_argument_error);
 }
 
+// --- fuzz-ish round-trips ---------------------------------------------------
+//
+// Random bundles, drawn on the codec's quantization grid (millis /
+// micros), must survive serialize -> parse -> serialize byte-identically
+// in both the text and binary codecs. Covers empty bundles, empty hop
+// lists, unresponsive hops, negative hour stamps and out-of-order times.
+
+speed_test_report random_report(rng& r) {
+  speed_test_report rep;
+  rep.server_id = static_cast<std::size_t>(r.uniform_int(0, 1 << 20));
+  // Negative stamps exercise the zigzag delta path.
+  rep.at = hour_stamp{r.uniform_int(-5000, 500000)};
+  rep.tier = r.bernoulli(0.5) ? service_tier::premium : service_tier::standard;
+  rep.download = mbps{static_cast<double>(r.uniform_int(0, 2'000'000)) / 1e3};
+  rep.upload = mbps{static_cast<double>(r.uniform_int(0, 1'000'000)) / 1e3};
+  rep.latency = millis{static_cast<double>(r.uniform_int(0, 400'000)) / 1e3};
+  rep.download_loss = static_cast<double>(r.uniform_int(0, 1'000'000)) / 1e6;
+  rep.upload_loss = static_cast<double>(r.uniform_int(0, 1'000'000)) / 1e6;
+  rep.ground_truth_episode = r.bernoulli(0.2);
+  return rep;
+}
+
+traceroute_result random_trace(rng& r) {
+  traceroute_result t;
+  t.src = ipv4_addr{static_cast<std::uint32_t>(r.uniform_int(0, 0xFFFFFFFF))};
+  t.dst = ipv4_addr{static_cast<std::uint32_t>(r.uniform_int(0, 0xFFFFFFFF))};
+  t.at = hour_stamp{r.uniform_int(-5000, 500000)};
+  t.reached = r.bernoulli(0.7);
+  const std::int64_t hops = r.uniform_int(0, 40);
+  for (std::int64_t h = 0; h < hops; ++h) {
+    traceroute_hop hop;
+    hop.ttl = static_cast<unsigned>(h + 1);
+    if (r.bernoulli(0.85)) {
+      hop.address =
+          ipv4_addr{static_cast<std::uint32_t>(r.uniform_int(0, 0xFFFFFFFF))};
+    }
+    hop.rtt = millis{static_cast<double>(r.uniform_int(0, 300'000)) / 1e3};
+    t.hops.push_back(hop);
+  }
+  return t;
+}
+
+artifact_bundle random_bundle(rng& r) {
+  artifact_bundle b;
+  const std::int64_t n_reports = r.uniform_int(0, 20);
+  const std::int64_t n_traces = r.uniform_int(0, 10);
+  for (std::int64_t i = 0; i < n_reports; ++i) {
+    b.reports.push_back(random_report(r));
+  }
+  for (std::int64_t i = 0; i < n_traces; ++i) {
+    b.traces.push_back(random_trace(r));
+  }
+  return b;
+}
+
+TEST(WartsLiteTest, FuzzRoundTripIsByteIdentical) {
+  rng r(20210815);
+  for (int iter = 0; iter < 200; ++iter) {
+    const artifact_bundle original = random_bundle(r);
+    // Binary: bytes -> bundle -> bytes must be the identity.
+    const std::vector<std::uint8_t> bytes = serialize_bundle_binary(original);
+    const artifact_bundle decoded = parse_bundle_binary(bytes);
+    ASSERT_EQ(decoded.reports.size(), original.reports.size());
+    ASSERT_EQ(decoded.traces.size(), original.traces.size());
+    EXPECT_EQ(serialize_bundle_binary(decoded), bytes);
+    // Text: the same bundle through the line codec.
+    const std::string text = serialize_bundle(original);
+    const artifact_bundle reparsed = parse_bundle(text);
+    EXPECT_EQ(serialize_bundle(reparsed), text);
+    // And the two codecs agree with each other.
+    EXPECT_EQ(serialize_bundle_binary(reparsed), bytes);
+  }
+}
+
+TEST(WartsLiteTest, FuzzFieldEqualityOnTheQuantizationGrid) {
+  rng r(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    const artifact_bundle original = random_bundle(r);
+    const artifact_bundle decoded =
+        parse_bundle_binary(serialize_bundle_binary(original));
+    for (std::size_t i = 0; i < original.reports.size(); ++i) {
+      const speed_test_report& a = original.reports[i];
+      const speed_test_report& b = decoded.reports[i];
+      EXPECT_EQ(a.server_id, b.server_id);
+      EXPECT_EQ(a.at, b.at);
+      EXPECT_EQ(a.tier, b.tier);
+      EXPECT_EQ(a.download.value, b.download.value);
+      EXPECT_EQ(a.upload.value, b.upload.value);
+      EXPECT_EQ(a.latency.value, b.latency.value);
+      EXPECT_EQ(a.download_loss, b.download_loss);
+      EXPECT_EQ(a.upload_loss, b.upload_loss);
+      EXPECT_EQ(a.ground_truth_episode, b.ground_truth_episode);
+    }
+    for (std::size_t i = 0; i < original.traces.size(); ++i) {
+      const traceroute_result& a = original.traces[i];
+      const traceroute_result& b = decoded.traces[i];
+      EXPECT_EQ(a.src.value(), b.src.value());
+      EXPECT_EQ(a.dst.value(), b.dst.value());
+      EXPECT_EQ(a.at, b.at);
+      EXPECT_EQ(a.reached, b.reached);
+      ASSERT_EQ(a.hops.size(), b.hops.size());
+      for (std::size_t h = 0; h < a.hops.size(); ++h) {
+        EXPECT_EQ(a.hops[h].ttl, b.hops[h].ttl);
+        EXPECT_EQ(a.hops[h].address.has_value(), b.hops[h].address.has_value());
+        if (a.hops[h].address) {
+          EXPECT_EQ(a.hops[h].address->value(), b.hops[h].address->value());
+        }
+        EXPECT_EQ(a.hops[h].rtt.value, b.hops[h].rtt.value);
+      }
+    }
+  }
+}
+
+TEST(WartsLiteTest, EmptyBundleRoundTripsInBothCodecs) {
+  const artifact_bundle empty;
+  const std::vector<std::uint8_t> bytes = serialize_bundle_binary(empty);
+  const artifact_bundle decoded = parse_bundle_binary(bytes);
+  EXPECT_TRUE(decoded.reports.empty());
+  EXPECT_TRUE(decoded.traces.empty());
+  EXPECT_EQ(serialize_bundle_binary(decoded), bytes);
+  EXPECT_TRUE(parse_bundle(serialize_bundle(empty)).reports.empty());
+}
+
+TEST(WartsLiteTest, OversizedHopListRejectedSymmetrically) {
+  // The parser caps hop counts at 255; the serializer must refuse the
+  // same bundles rather than emit bytes that can never be parsed back.
+  traceroute_result t = sample_trace();
+  t.hops.clear();
+  for (unsigned ttl = 1; ttl <= 256; ++ttl) {
+    t.hops.push_back({ttl, std::nullopt, millis{1.0}});
+  }
+  artifact_bundle bundle;
+  bundle.traces.push_back(t);
+  EXPECT_THROW(serialize_bundle_binary(bundle), invalid_argument_error);
+  // One fewer hop is within the contract on both sides.
+  bundle.traces[0].hops.pop_back();
+  const artifact_bundle decoded =
+      parse_bundle_binary(serialize_bundle_binary(bundle));
+  ASSERT_EQ(decoded.traces.size(), 1u);
+  EXPECT_EQ(decoded.traces[0].hops.size(), 255u);
+}
+
 TEST(WartsLiteTest, ImplausibleCountsRejected) {
   std::vector<std::uint8_t> bytes{'C', 'L', 'W', '1'};
   // Claim 2^40 reports.

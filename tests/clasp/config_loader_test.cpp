@@ -133,6 +133,45 @@ TEST(ConfigLoaderTest, FaultPresetSeedsRatesAndKeysOverride) {
                invalid_argument_error);
 }
 
+TEST(ConfigLoaderTest, CheckpointKeysApply) {
+  const platform_config cfg = load_platform_config(
+      "[campaign]\n"
+      "checkpoint_dir = /var/lib/clasp/ckpt\n"
+      "checkpoint_every_hours = 6\n");
+  EXPECT_EQ(cfg.campaign_checkpoint_dir, "/var/lib/clasp/ckpt");
+  EXPECT_EQ(cfg.campaign_checkpoint_every_hours, 6u);
+  // Defaults: durability off, daily cadence once a dir is set.
+  const platform_config defaults = load_platform_config("");
+  EXPECT_TRUE(defaults.campaign_checkpoint_dir.empty());
+  EXPECT_EQ(defaults.campaign_checkpoint_every_hours, 24u);
+}
+
+TEST(ConfigLoaderTest, ZeroCheckpointCadenceRejected) {
+  try {
+    load_platform_config("[campaign]\ncheckpoint_every_hours = 0\n");
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checkpoint_every_hours must be >= 1"),
+              std::string::npos)
+        << what;
+    // The message explains how to disable durability instead.
+    EXPECT_NE(what.find("checkpoint_dir"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigLoaderTest, CheckpointKeyTyposGetSuggestions) {
+  try {
+    load_platform_config("[campaign]\ncheckpoint_every_hour = 12\n");
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find("did you mean campaign.checkpoint_every_hours?"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ConfigLoaderTest, BadValuesRejected) {
   EXPECT_THROW(load_platform_config("[internet]\nseed = abc\n"),
                invalid_argument_error);
