@@ -15,36 +15,29 @@
 // final checkpoint). `run --checkpoint-dir DIR --resume` continues a
 // killed run; the finished output is byte-identical to an uninterrupted
 // one (see DESIGN.md, "Durability & crash recovery").
+//
+// Observability: `--metrics-out FILE` enables the obs subsystem and
+// writes a Prometheus text exposition to FILE (plus FILE.json) when the
+// command finishes; `--heartbeat-every N` logs one INFO progress line
+// every N simulated hours. Both are purely observational — campaign
+// output is byte-identical with them on or off. CLASP_LOG=debug|info|
+// warn|error sets the log level (see DESIGN.md, "Observability").
 #include <atomic>
 #include <csignal>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 
+#include "clasp/cli.hpp"
 #include "clasp/config_loader.hpp"
 #include "clasp/platform.hpp"
 #include "clasp/report.hpp"
+#include "obs/export.hpp"
+#include "util/log.hpp"
 
 namespace {
 
 using namespace clasp;
-
-struct cli_options {
-  std::string command;
-  std::string region{"us-west1"};
-  std::string tier{"premium"};
-  std::string csv_path;
-  std::string config_path;
-  int days{7};
-  int workers{-1};  // -1 = leave config default; 0 = hardware concurrency
-  int link_cache{-1};  // -1 = config default; 0 = off; 1 = on
-  std::string faults;  // empty = config default; else off|low|high
-  std::uint64_t seed{42};
-  std::string checkpoint_dir;  // empty = durability off
-  int checkpoint_every{-1};    // -1 = config default (hours)
-  bool resume{false};
-};
 
 // The campaign a SIGINT should interrupt. request_interrupt only stores a
 // relaxed atomic flag, so calling it from the handler is safe.
@@ -66,7 +59,7 @@ void usage() {
                "[--seed S] [--config FILE] [--workers N] "
                "[--link-cache on|off] [--faults off|low|high] "
                "[--checkpoint-dir DIR] [--checkpoint-every HOURS] "
-               "[--resume]\n"
+               "[--resume] [--metrics-out FILE] [--heartbeat-every HOURS]\n"
                "  --workers N   campaign replay threads (0 = hardware "
                "concurrency); results are identical for any N\n"
                "  --link-cache  hour-epoch link-condition cache (default "
@@ -80,69 +73,11 @@ void usage() {
                "(default 24; hours in between are WAL-covered)\n"
                "  --resume      continue a killed run from DIR's latest "
                "checkpoint; output is byte-identical to an uninterrupted "
-               "run\n");
-}
-
-bool parse_args(int argc, char** argv, cli_options& opts) {
-  if (argc < 2) return false;
-  opts.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string key = argv[i];
-    if (key == "--resume") {  // the only valueless flag
-      opts.resume = true;
-      continue;
-    }
-    if (i + 1 >= argc) return false;
-    const std::string value = argv[++i];
-    if (key == "--region") {
-      opts.region = value;
-    } else if (key == "--days") {
-      opts.days = std::stoi(value);
-      if (opts.days <= 0 || opts.days > 153) return false;
-    } else if (key == "--tier") {
-      if (value != "premium" && value != "standard") return false;
-      opts.tier = value;
-    } else if (key == "--csv") {
-      opts.csv_path = value;
-    } else if (key == "--config") {
-      opts.config_path = value;
-    } else if (key == "--seed") {
-      opts.seed = std::stoull(value);
-    } else if (key == "--workers") {
-      try {
-        opts.workers = std::stoi(value);
-      } catch (const std::exception&) {
-        return false;
-      }
-      if (opts.workers < 0) return false;
-    } else if (key == "--link-cache") {
-      if (value == "on" || value == "1" || value == "true") {
-        opts.link_cache = 1;
-      } else if (value == "off" || value == "0" || value == "false") {
-        opts.link_cache = 0;
-      } else {
-        return false;
-      }
-    } else if (key == "--faults") {
-      if (value != "off" && value != "low" && value != "high") return false;
-      opts.faults = value;
-    } else if (key == "--checkpoint-dir") {
-      opts.checkpoint_dir = value;
-    } else if (key == "--checkpoint-every") {
-      try {
-        opts.checkpoint_every = std::stoi(value);
-      } catch (const std::exception&) {
-        return false;
-      }
-      if (opts.checkpoint_every <= 0) return false;
-    } else {
-      return false;
-    }
-  }
-  if (opts.resume && opts.checkpoint_dir.empty()) return false;
-  return opts.command == "select" || opts.command == "pilot" ||
-         opts.command == "run" || opts.command == "cost" ||
-         opts.command == "report";
+               "run\n"
+               "  --metrics-out FILE    write Prometheus metrics to FILE "
+               "(and JSON to FILE.json) when the command finishes\n"
+               "  --heartbeat-every H   log one progress line every H "
+               "simulated hours (cursor, tests, cache hits, WAL bytes)\n");
 }
 
 int cmd_select(clasp_platform& platform, const cli_options& opts) {
@@ -282,8 +217,13 @@ int cmd_cost(clasp_platform& platform, const cli_options& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  init_log_from_env();
   cli_options opts;
-  if (!parse_args(argc, argv, opts)) {
+  const cli_parse_result parsed = parse_cli_args(argc, argv, opts);
+  if (!parsed.ok) {
+    if (!parsed.error.empty()) {
+      std::fprintf(stderr, "clasp_cli: %s\n", parsed.error.c_str());
+    }
     usage();
     return 2;
   }
@@ -313,11 +253,38 @@ int main(int argc, char** argv) {
     cfg.campaign_checkpoint_every_hours =
         static_cast<unsigned>(opts.checkpoint_every);
   }
+  if (!opts.metrics_out.empty()) cfg.obs_metrics = true;
+  if (opts.heartbeat_every > 0) {
+    cfg.obs_metrics = true;
+    cfg.obs_heartbeat_every_hours =
+        static_cast<unsigned>(opts.heartbeat_every);
+    // The heartbeat goes through the info level; a default-warn build
+    // would swallow it.
+    if (get_log_level() > log_level::info) set_log_level(log_level::info);
+  }
   clasp_platform platform(cfg);
 
-  if (opts.command == "select") return cmd_select(platform, opts);
-  if (opts.command == "pilot") return cmd_pilot(platform, opts);
-  if (opts.command == "run") return cmd_run(platform, opts);
-  if (opts.command == "report") return cmd_report(platform, opts);
-  return cmd_cost(platform, opts);
+  int rc = 0;
+  if (opts.command == "select") {
+    rc = cmd_select(platform, opts);
+  } else if (opts.command == "pilot") {
+    rc = cmd_pilot(platform, opts);
+  } else if (opts.command == "run") {
+    rc = cmd_run(platform, opts);
+  } else if (opts.command == "report") {
+    rc = cmd_report(platform, opts);
+  } else {
+    rc = cmd_cost(platform, opts);
+  }
+  if (!opts.metrics_out.empty()) {
+    try {
+      obs::write_metrics_files(opts.metrics_out);
+      std::printf("wrote metrics to %s and %s.json\n",
+                  opts.metrics_out.c_str(), opts.metrics_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+  return rc;
 }

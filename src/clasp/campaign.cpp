@@ -1,8 +1,11 @@
 #include "clasp/campaign.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <string_view>
 
+#include "obs/families.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -18,6 +21,36 @@ campaign_runner::campaign_runner(gcp_cloud* cloud, const network_view* view,
   }
 }
 
+void campaign_runner::resolve_metrics() {
+  obs::metrics_registry& reg = obs::metrics_registry::instance();
+  namespace fam = obs::family;
+  metrics_.hours = &reg.get_counter(fam::kCampaignHours);
+  metrics_.tests = &reg.get_counter(fam::kCampaignTests);
+  metrics_.tests_failed = &reg.get_counter(fam::kCampaignTestsFailed);
+  metrics_.test_retries = &reg.get_counter(fam::kCampaignTestRetries);
+  metrics_.tests_missed = &reg.get_counter(fam::kCampaignTestsMissed);
+  metrics_.points = &reg.get_counter(fam::kCampaignPoints);
+  metrics_.upload_failures = &reg.get_counter(fam::kCampaignUploadFailures);
+  metrics_.fault_preempts = &reg.get_counter(fam::kFaultsPreempts);
+  metrics_.fault_redeploys = &reg.get_counter(fam::kFaultsRedeploys);
+  metrics_.fault_withdrawals = &reg.get_counter(fam::kFaultsWithdrawals);
+  metrics_.fault_vm_down_hours = &reg.get_counter(fam::kFaultsVmDownHours);
+  metrics_.fault_skipped = &reg.get_counter(fam::kFaultsSkippedTests);
+  metrics_.cache_hits = &reg.get_counter(fam::kCacheHits);
+  metrics_.cache_misses = &reg.get_counter(fam::kCacheMisses);
+  metrics_.cursor_hours = &reg.get_gauge(fam::kCampaignCursorHours);
+  metrics_.window_hours = &reg.get_gauge(fam::kCampaignWindowHours);
+  metrics_.sessions = &reg.get_gauge(fam::kCampaignSessions);
+  metrics_.pool_workers = &reg.get_gauge(fam::kPoolWorkers);
+  metrics_.pool_batches = &reg.get_gauge(fam::kPoolBatches);
+  metrics_.pool_tasks = &reg.get_gauge(fam::kPoolTasks);
+  metrics_.pool_busy_seconds = &reg.get_gauge(fam::kPoolBusySeconds);
+  metrics_.pool_last_batch = &reg.get_gauge(fam::kPoolLastBatchSize);
+  metrics_.pool_utilization = &reg.get_gauge(fam::kPoolUtilization);
+  metrics_.hour_seconds =
+      &reg.get_histogram(fam::kCampaignHourSeconds, obs::duration_buckets());
+}
+
 std::size_t campaign_runner::deploy(const campaign_config& config,
                                     const std::vector<std::size_t>& server_ids) {
   if (deployed_) throw state_error("campaign_runner: already deployed");
@@ -31,6 +64,8 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
     throw invalid_argument_error(
         "campaign_runner: checkpoint_every_hours == 0");
   }
+  const obs::trace_span deploy_span(obs::phase::deploy);
+  resolve_metrics();
   config_ = config;
   stream_seed_ = hash_tag(cloud_->net().config.seed,
                           "campaign:" + config.label + ":" + config.region);
@@ -100,6 +135,12 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
   }
   cursor_ = config_.window.begin_at;
   deployed_ = true;
+  if (obs::enabled()) {
+    metrics_.sessions->set(static_cast<double>(sessions_.size()));
+    metrics_.window_hours->set(static_cast<double>(config_.window.count()));
+    metrics_.cursor_hours->set(0.0);
+    metrics_.pool_workers->set(static_cast<double>(workers()));
+  }
   CLASP_LOG(info, "campaign")
       << config.label << "/" << config.region << ": " << vms_.size()
       << " VMs for " << sessions_.size() << " servers (" << workers()
@@ -196,6 +237,7 @@ void campaign_runner::begin_hour(hour_stamp at) {
     for (const auto& [server_id, hour] : plan_.withdrawals()) {
       if (hour == at && !churn_registry_->retired(server_id)) {
         churn_registry_->retire_server(server_id);
+        metrics_.fault_withdrawals->add(1);
         CLASP_LOG(info, "campaign")
             << config_.label << ": server " << server_id << " withdrew at "
             << at.to_string();
@@ -211,18 +253,29 @@ void campaign_runner::begin_hour(hour_stamp at) {
         at > config_.window.begin_at && vm_down(v, at + (-1));
     if (down && !was_down) {
       cloud_->preempt_vm(vms_[v]);
+      metrics_.fault_preempts->add(1);
     } else if (!down && was_down) {
       cloud_->redeploy_vm(vms_[v]);
+      metrics_.fault_redeploys->add(1);
     }
   }
 }
 
 void campaign_runner::run_hour(hour_stamp at) {
   if (!deployed_) throw state_error("campaign_runner: not deployed");
-  begin_hour(at);
+  const bool obs_on = obs::enabled();
+  const auto hour_begin =
+      obs_on ? std::chrono::steady_clock::now()
+             : std::chrono::steady_clock::time_point{};
+  const std::int64_t h = at.hours_since_epoch();
+  {
+    const obs::trace_span span(obs::phase::begin_hour, h);
+    begin_hour(at);
+  }
   // Prefill the shared hour-epoch cache before any worker starts reading;
   // the pool's batch join publishes the writes (see condition_cache.hpp).
   if (config_.link_cache) {
+    const obs::trace_span span(obs::phase::prefill, h);
     view_->link_cache().prefill(at, pool_.get());
   }
   staging_.resize(vms_.size());
@@ -232,9 +285,13 @@ void campaign_runner::run_hour(hour_stamp at) {
   // WAL's (hour asc, slot asc) order is a structural invariant replay
   // can rely on.
   if (pool_) {
-    pool_->parallel_for(vms_.size(), [&](std::size_t v) {
-      stage_vm_hour_into(v, at, staging_[v]);
-    });
+    {
+      const obs::trace_span span(obs::phase::stage, h);
+      pool_->parallel_for(vms_.size(), [&](std::size_t v) {
+        stage_vm_hour_into(v, at, staging_[v]);
+      });
+    }
+    const obs::trace_span span(obs::phase::commit, h);
     for (std::size_t v = 0; v < vms_.size(); ++v) {
       if (wal_) wal_->append(encode_wal_record(v, staging_[v]));
       commit_vm_hour(v, std::move(staging_[v]));
@@ -242,7 +299,9 @@ void campaign_runner::run_hour(hour_stamp at) {
   } else {
     // Serial replay commits each VM right after staging it: identical
     // order (staging reads only immutable state, commits stay in slot
-    // order) but the staged points are still cache-hot when merged.
+    // order) but the staged points are still cache-hot when merged. The
+    // fused loop is attributed to the `stage` phase.
+    const obs::trace_span span(obs::phase::stage, h);
     for (std::size_t v = 0; v < vms_.size(); ++v) {
       stage_vm_hour_into(v, at, staging_[v]);
       if (wal_) wal_->append(encode_wal_record(v, staging_[v]));
@@ -251,6 +310,77 @@ void campaign_runner::run_hour(hour_stamp at) {
   }
   if (wal_) wal_->flush();
   cursor_ = at + 1;
+  if (obs_on) {
+    publish_hour_metrics(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - hour_begin)
+                             .count());
+  }
+}
+
+void campaign_runner::publish_hour_metrics(double hour_seconds) {
+  metrics_.hours->add(1);
+  metrics_.hour_seconds->observe(hour_seconds);
+  const std::int64_t done =
+      cursor_.hours_since_epoch() - config_.window.begin_at.hours_since_epoch();
+  metrics_.cursor_hours->set(static_cast<double>(done));
+  if (pool_) {
+    const pool_stats ps = pool_->stats();
+    metrics_.pool_workers->set(static_cast<double>(ps.workers));
+    metrics_.pool_batches->set(static_cast<double>(ps.batches));
+    metrics_.pool_tasks->set(static_cast<double>(ps.tasks));
+    metrics_.pool_busy_seconds->set(static_cast<double>(ps.busy_ns) / 1e9);
+    metrics_.pool_last_batch->set(static_cast<double>(ps.last_batch_size));
+    metrics_.pool_utilization->set(ps.utilization());
+  }
+  if (config_.heartbeat_every_hours > 0 &&
+      done % static_cast<std::int64_t>(config_.heartbeat_every_hours) == 0) {
+    emit_heartbeat();
+  }
+}
+
+void campaign_runner::emit_heartbeat() const {
+  // One grep-able INFO line per cadence tick. The hit ratio and the
+  // failure counters read the process-wide registry, so with several
+  // concurrent campaigns the line reports fleet-wide totals.
+  const std::uint64_t hits = metrics_.cache_hits->value();
+  const std::uint64_t misses = metrics_.cache_misses->value();
+  const double hit_ratio =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  const std::int64_t done =
+      cursor_.hours_since_epoch() - config_.window.begin_at.hours_since_epoch();
+  char line[256];
+  int len = std::snprintf(
+      line, sizeof(line),
+      "%s/%s hour=%lld/%lld tests=%zu failed=%llu retried=%llu missed=%zu "
+      "cache_hit=%.1f%%",
+      config_.label.c_str(), config_.region.c_str(),
+      static_cast<long long>(done),
+      static_cast<long long>(config_.window.count()), tests_run_,
+      static_cast<unsigned long long>(metrics_.tests_failed->value()),
+      static_cast<unsigned long long>(metrics_.test_retries->value()),
+      tests_missed_, 100.0 * hit_ratio);
+  if (wal_ != nullptr && len > 0 &&
+      static_cast<std::size_t>(len) < sizeof(line)) {
+    len += std::snprintf(
+        line + len, sizeof(line) - static_cast<std::size_t>(len),
+        " wal_mb=%.2f",
+        static_cast<double>(wal_->bytes_written()) / (1024.0 * 1024.0));
+  }
+  if (durable() && last_checkpoint_hour_ >= 0 && len > 0 &&
+      static_cast<std::size_t>(len) < sizeof(line)) {
+    len += std::snprintf(
+        line + len, sizeof(line) - static_cast<std::size_t>(len),
+        " ckpt_age_h=%lld",
+        static_cast<long long>(cursor_.hours_since_epoch() -
+                               last_checkpoint_hour_));
+  }
+  if (pool_ && len > 0 && static_cast<std::size_t>(len) < sizeof(line)) {
+    std::snprintf(line + len, sizeof(line) - static_cast<std::size_t>(len),
+                  " pool_util=%.2f", pool_->stats().utilization());
+  }
+  log_message(log_level::info, "heartbeat", line);
 }
 
 campaign_runner::vm_hour_staging campaign_runner::stage_vm_hour(
@@ -432,6 +562,39 @@ void campaign_runner::commit_vm_hour(std::size_t vm_slot,
     }
   }
   if (staged.upload_failed) ++upload_failures_;
+  if (obs::enabled()) {
+    // Bulk adds at the hour barrier (coordinator thread): one pass over
+    // the outcome list, a handful of sharded adds per VM-hour. The hot
+    // staging loop stays untouched.
+    std::uint64_t failed = 0, retries = 0, skipped = 0, down = 0;
+    for (const staged_outcome& o : staged.outcomes) {
+      switch (o.outcome) {
+        case test_outcome::ok:
+          break;
+        case test_outcome::ok_after_retry:
+        case test_outcome::failed:
+          retries += o.attempts > 0 ? o.attempts - 1u : 0u;
+          if (o.outcome == test_outcome::failed) ++failed;
+          break;
+        case test_outcome::server_withdrawn:
+          break;
+        case test_outcome::vm_down:
+          ++down;
+          break;
+        case test_outcome::skipped_budget:
+          ++skipped;
+          break;
+      }
+    }
+    metrics_.tests->add(staged.tests_run);
+    metrics_.tests_missed->add(staged.tests_missed);
+    metrics_.points->add(staged.points.size());
+    if (failed != 0) metrics_.tests_failed->add(failed);
+    if (retries != 0) metrics_.test_retries->add(retries);
+    if (skipped != 0) metrics_.fault_skipped->add(skipped);
+    if (down != 0) metrics_.fault_vm_down_hours->add(down);
+    if (staged.upload_failed) metrics_.upload_failures->add(1);
+  }
   someta_.at(vm_slot).absorb(std::move(staged.someta));
   cloud_->apply(staged.charges);
   tests_run_ += staged.tests_run;

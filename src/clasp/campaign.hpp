@@ -39,6 +39,7 @@
 #include "cloud/someta.hpp"
 #include "netsim/faults.hpp"
 #include "netsim/network.hpp"
+#include "obs/metrics.hpp"
 #include "speedtest/registry.hpp"
 #include "speedtest/webtest.hpp"
 #include "tsdb/tsdb.hpp"
@@ -85,6 +86,12 @@ struct campaign_config {
   // Checkpoint cadence in simulated hours; must be >= 1 (the config
   // loader rejects 0). Hours between checkpoints are covered by the WAL.
   unsigned checkpoint_every_hours{24};
+  // Observability heartbeat cadence in simulated hours; 0 disables the
+  // line. With obs enabled and a cadence N, run_hour logs one INFO line
+  // every N hours (cursor, tests done/failed/retried, cache hit ratio,
+  // WAL bytes, checkpoint age) through util/log. Purely observational:
+  // output stays byte-identical for any cadence.
+  unsigned heartbeat_every_hours{0};
 };
 
 // Post-campaign operational report: how complete each server's series is
@@ -291,6 +298,43 @@ class campaign_runner {
   rng vm_stream(std::size_t vm_slot, hour_stamp at) const;
   bool vm_down(std::size_t vm_slot, hour_stamp at) const;
 
+  // Registry handles (obs/families.hpp), resolved once at deploy so
+  // instrumentation sites are a branch plus a sharded add. The cache
+  // hit/miss handles are the same process-wide counters condition_cache
+  // feeds; the heartbeat reads them for its hit-ratio column.
+  struct metric_handles {
+    obs::counter* hours{nullptr};
+    obs::counter* tests{nullptr};
+    obs::counter* tests_failed{nullptr};
+    obs::counter* test_retries{nullptr};
+    obs::counter* tests_missed{nullptr};
+    obs::counter* points{nullptr};
+    obs::counter* upload_failures{nullptr};
+    obs::counter* fault_preempts{nullptr};
+    obs::counter* fault_redeploys{nullptr};
+    obs::counter* fault_withdrawals{nullptr};
+    obs::counter* fault_vm_down_hours{nullptr};
+    obs::counter* fault_skipped{nullptr};
+    obs::counter* cache_hits{nullptr};
+    obs::counter* cache_misses{nullptr};
+    obs::gauge* cursor_hours{nullptr};
+    obs::gauge* window_hours{nullptr};
+    obs::gauge* sessions{nullptr};
+    obs::gauge* pool_workers{nullptr};
+    obs::gauge* pool_batches{nullptr};
+    obs::gauge* pool_tasks{nullptr};
+    obs::gauge* pool_busy_seconds{nullptr};
+    obs::gauge* pool_last_batch{nullptr};
+    obs::gauge* pool_utilization{nullptr};
+    obs::histogram* hour_seconds{nullptr};
+  };
+  void resolve_metrics();
+  // Hour-close bookkeeping: counters/gauges, the hour-duration histogram
+  // and (on the configured cadence) the heartbeat line. Only called when
+  // obs is enabled.
+  void publish_hour_metrics(double hour_seconds);
+  void emit_heartbeat() const;
+
   // Durability internals (checkpoint.cpp). fingerprint() hashes the
   // campaign identity (seed, label, region, window, fleet shape, fault
   // config) so resume rejects a checkpoint from a different campaign.
@@ -341,6 +385,9 @@ class campaign_runner {
   bool storage_billed_{false};        // run() billed monthly storage
   std::atomic<bool> interrupt_{false};
   std::unique_ptr<wal_writer> wal_;  // open while a durable run is active
+  // --- observability state ---
+  metric_handles metrics_{};          // resolved at deploy
+  std::int64_t last_checkpoint_hour_{-1};  // heartbeat ckpt age; -1 = none
 };
 
 }  // namespace clasp

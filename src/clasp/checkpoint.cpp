@@ -4,6 +4,7 @@
 // separately readable. Format documentation lives in checkpoint.hpp.
 #include "clasp/checkpoint.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -12,6 +13,8 @@
 #include <vector>
 
 #include "clasp/campaign.hpp"
+#include "obs/families.hpp"
+#include "obs/trace.hpp"
 #include "util/binio.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -319,6 +322,13 @@ void campaign_runner::checkpoint(const std::string& dir) {
   if (dir.empty()) {
     throw invalid_argument_error("campaign_runner: empty checkpoint dir");
   }
+  const obs::trace_span ckpt_span(obs::phase::checkpoint,
+                                  cursor_.hours_since_epoch());
+  const bool obs_on = obs::enabled();
+  const auto publish_begin =
+      obs_on ? std::chrono::steady_clock::now()
+             : std::chrono::steady_clock::time_point{};
+  std::size_t gc_removed = 0;
   const fs::path root(dir);
   fs::create_directories(root);
   const std::string name = checkpoint_name(cursor_);
@@ -357,11 +367,27 @@ void campaign_runner::checkpoint(const std::string& dir) {
     const std::string base = entry.path().filename().string();
     if (base == name || !starts_with(base, "ckpt-")) continue;
     fs::remove_all(entry.path(), ec);
+    ++gc_removed;
   }
   // Reset the campaign WAL: its records are covered by this snapshot.
   if (dir == config_.checkpoint_dir) {
     wal_ = std::make_unique<wal_writer>((root / "wal.log").string(),
                                         /*truncate=*/true);
+  }
+  last_checkpoint_hour_ = cursor_.hours_since_epoch();
+  if (obs_on) {
+    obs::metrics_registry& reg = obs::metrics_registry::instance();
+    reg.get_counter(obs::family::kCheckpointPublishes).add(1);
+    if (gc_removed != 0) {
+      reg.get_counter(obs::family::kCheckpointGcRemoved).add(gc_removed);
+    }
+    reg.get_gauge(obs::family::kCheckpointLastHour)
+        .set(static_cast<double>(cursor_.hours_since_epoch()));
+    reg.get_histogram(obs::family::kCheckpointPublishSeconds,
+                      obs::duration_buckets())
+        .observe(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - publish_begin)
+                     .count());
   }
   CLASP_LOG(info, "campaign")
       << config_.label << "/" << config_.region << ": checkpoint " << name;
@@ -371,6 +397,11 @@ bool campaign_runner::resume(const std::string& dir) {
   if (!deployed_) throw state_error("campaign_runner: not deployed");
   const std::optional<std::string> current = current_checkpoint(dir);
   if (!current) return false;
+  const obs::trace_span resume_span(obs::phase::resume,
+                                    cursor_.hours_since_epoch());
+  obs::metrics_registry::instance()
+      .get_counter(obs::family::kCheckpointResumes)
+      .add(1);
   const checkpoint_info info = read_checkpoint_info(*current);
   if (info.fingerprint != fingerprint()) {
     throw state_error(

@@ -1,0 +1,47 @@
+// clasp_cli argument parsing, as a library so tests can exercise it
+// without spawning the binary. The parser is strict: an unknown flag is
+// an error (with a did-you-mean suggestion when a known flag is close),
+// and a flag that needs a value but sits at the end of the line names
+// itself in the error instead of falling through to the generic usage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clasp {
+
+struct cli_options {
+  std::string command;
+  std::string region{"us-west1"};
+  std::string tier{"premium"};
+  std::string csv_path;
+  std::string config_path;
+  int days{7};
+  int workers{-1};     // -1 = config default; 0 = hardware concurrency
+  int link_cache{-1};  // -1 = config default; 0 = off; 1 = on
+  std::string faults;  // empty = config default; else off|low|high
+  std::uint64_t seed{42};
+  std::string checkpoint_dir;  // empty = durability off
+  int checkpoint_every{-1};    // -1 = config default (hours)
+  bool resume{false};
+  // Observability: write Prometheus text to FILE (and JSON to FILE.json)
+  // after the command finishes. Implies obs metrics on.
+  std::string metrics_out;
+  // Heartbeat cadence in simulated hours; -1 = off. Implies obs on.
+  int heartbeat_every{-1};
+};
+
+struct cli_parse_result {
+  bool ok{false};
+  // Human-readable reason when !ok; empty when the caller should print
+  // plain usage (no arguments / unknown command).
+  std::string error;
+};
+
+// Parse argv (argv[0] is the program name). On failure, `error` explains
+// which flag was wrong — including "unknown flag --foo (did you mean
+// --for?)" suggestions via util::edit_distance.
+cli_parse_result parse_cli_args(int argc, const char* const* argv,
+                                cli_options& opts);
+
+}  // namespace clasp

@@ -64,6 +64,9 @@ constexpr const char* kKnownKeys[] = {
     "faults.vm_outage_hours_max",
     "faults.upload_failure_rate",
     "faults.strict_hour_budget",
+    "obs.metrics",
+    "obs.heartbeat_every_hours",
+    "obs.span_ring_capacity",
 };
 
 [[noreturn]] void throw_unknown_key(const std::string& key) {
@@ -178,6 +181,13 @@ platform_config load_platform_config(const std::string& ini_text) {
       cfg.campaign_faults.upload_failure_rate = as_fraction(doc, key);
     } else if (key == "faults.strict_hour_budget") {
       cfg.campaign_faults.strict_hour_budget = doc.get_bool(key);
+    } else if (key == "obs.metrics") {
+      cfg.obs_metrics = doc.get_bool(key);
+    } else if (key == "obs.heartbeat_every_hours") {
+      cfg.obs_heartbeat_every_hours =
+          static_cast<unsigned>(as_count(doc, key));
+    } else if (key == "obs.span_ring_capacity") {
+      cfg.obs_span_ring_capacity = as_count(doc, key);
     } else if (starts_with(key, "budgets.")) {
       const std::string region = key.substr(std::string("budgets.").size());
       region_by_name(region);  // validates the region name

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -11,6 +13,13 @@ clasp_platform::clasp_platform(platform_config config)
     : config_(std::move(config)),
       net_(generate_internet(config_.internet)),
       rng_(hash_tag(config_.internet.seed, "platform")) {
+  if (config_.obs_metrics) {
+    obs::set_enabled(true);
+    obs::register_core_families();
+  }
+  if (config_.obs_span_ring_capacity > 0) {
+    obs::trace_ring::instance().set_capacity(config_.obs_span_ring_capacity);
+  }
   planner_ = std::make_unique<route_planner>(&net_);
   view_ = std::make_unique<network_view>(&net_);
   registry_ = deploy_servers(net_, config_.servers);
@@ -72,6 +81,7 @@ campaign_runner& clasp_platform::start_topology_campaign(
   cfg.workers = config_.campaign_workers;
   cfg.link_cache = config_.campaign_link_cache;
   cfg.faults = config_.campaign_faults;
+  cfg.heartbeat_every_hours = config_.obs_heartbeat_every_hours;
   if (!config_.campaign_checkpoint_dir.empty()) {
     cfg.checkpoint_dir =
         config_.campaign_checkpoint_dir + "/" + cfg.label + "-" + region;
@@ -110,6 +120,7 @@ clasp_platform::start_differential_campaign(const std::string& region,
     cfg.workers = config_.campaign_workers;
     cfg.link_cache = config_.campaign_link_cache;
     cfg.faults = config_.campaign_faults;
+    cfg.heartbeat_every_hours = config_.obs_heartbeat_every_hours;
     if (!config_.campaign_checkpoint_dir.empty()) {
       cfg.checkpoint_dir =
           config_.campaign_checkpoint_dir + "/" + cfg.label + "-" + region;

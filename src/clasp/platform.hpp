@@ -64,6 +64,16 @@ struct platform_config {
   // resume. Empty disables durability (see campaign_config).
   std::string campaign_checkpoint_dir;
   unsigned campaign_checkpoint_every_hours{24};
+  // Observability (src/obs/). When obs_metrics is true the platform
+  // enables the process-wide registry and pre-creates every core metric
+  // family, so an exposition after any run covers the full taxonomy.
+  // Metrics never alter campaign output — byte-identical on or off.
+  bool obs_metrics{false};
+  // Heartbeat cadence handed to every campaign this platform deploys
+  // (campaign_config::heartbeat_every_hours); 0 disables the line.
+  unsigned obs_heartbeat_every_hours{0};
+  // Trace-span ring capacity; 0 keeps the default (256 spans).
+  std::size_t obs_span_ring_capacity{0};
 };
 
 class clasp_platform {

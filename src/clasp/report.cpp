@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -12,6 +13,7 @@ namespace clasp {
 std::string render_campaign_report(clasp_platform& platform,
                                    const std::string& region,
                                    const report_options& options) {
+  const obs::trace_span span(obs::phase::analysis);
   const auto data = platform.download_series("topology", region);
   if (data.series.empty()) {
     throw state_error("report: no topology campaign data for " + region);

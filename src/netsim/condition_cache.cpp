@@ -1,10 +1,20 @@
 #include "netsim/condition_cache.hpp"
 
+#include "obs/families.hpp"
 #include "util/error.hpp"
 
 namespace clasp {
 
-condition_cache::condition_cache(const internet* net) : net_(net) {
+condition_cache::condition_cache(const internet* net)
+    : net_(net),
+      hits_(&obs::metrics_registry::instance().get_counter(
+          obs::family::kCacheHits)),
+      misses_(&obs::metrics_registry::instance().get_counter(
+          obs::family::kCacheMisses)),
+      prefills_(&obs::metrics_registry::instance().get_counter(
+          obs::family::kCachePrefills)),
+      prefill_links_(&obs::metrics_registry::instance().get_counter(
+          obs::family::kCachePrefillLinks)) {
   if (net == nullptr) {
     throw invalid_argument_error("condition_cache: null net");
   }
@@ -55,6 +65,8 @@ void condition_cache::prefill(hour_stamp at, thread_pool* pool) {
   }
   epoch_ = at.hours_since_epoch();
   valid_ = true;
+  prefills_->add(1);
+  prefill_links_->add(links_.size());
 }
 
 }  // namespace clasp

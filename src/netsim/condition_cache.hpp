@@ -34,10 +34,25 @@
 
 #include "netsim/generator.hpp"
 #include "netsim/routing.hpp"
+#include "obs/metrics.hpp"
 #include "util/sim_time.hpp"
 #include "util/thread_pool.hpp"
 
 namespace clasp {
+
+namespace detail {
+// Per-thread hit/miss tally for the global cache counter family. Plain
+// fields with constant initialization: the per-evaluation cost is two TLS
+// adds and a compare, with the sharded-counter publish amortized over
+// kCacheTallyFlushLookups lookups. All condition_cache instances resolve
+// the same registry counters, so one process-wide tally is sound.
+struct cache_tally {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+};
+inline thread_local cache_tally t_cache_tally;
+inline constexpr std::uint64_t kCacheTallyFlushLookups = 4096;
+}  // namespace detail
 
 class condition_cache {
  public:
@@ -69,6 +84,24 @@ class condition_cache {
     return &table_[2 * slot + (dir == link_dir::a_to_b ? 0 : 1)];
   }
 
+  // Batched hit/miss accounting. lookup() itself stays metric-free so the
+  // per-hop cost is untouched; callers tally locally per evaluation and
+  // publish once (network_view::evaluate does this per path). The publish
+  // lands in a thread-local tally, pushed to the sharded counters every
+  // few thousand lookups; a residual below the threshold can linger per
+  // thread, which the >90%-hit-ratio consumers tolerate by design.
+  void note_lookups(std::uint64_t hits, std::uint64_t misses) const {
+    if (!obs::enabled()) return;
+    detail::cache_tally& t = detail::t_cache_tally;
+    t.hits += hits;
+    t.misses += misses;
+    if (t.hits + t.misses >= detail::kCacheTallyFlushLookups) {
+      hits_->add(t.hits);
+      misses_->add(t.misses);
+      t = {};
+    }
+  }
+
  private:
   static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
 
@@ -89,6 +122,12 @@ class condition_cache {
   std::vector<link_condition> table_;   // 2 per slot: [a_to_b, b_to_a]
   std::int64_t epoch_{0};               // hour the table was filled for
   bool valid_{false};                   // false until the first prefill
+
+  // Registry handles, resolved once at construction (stable pointers).
+  obs::counter* const hits_;
+  obs::counter* const misses_;
+  obs::counter* const prefills_;
+  obs::counter* const prefill_links_;
 };
 
 }  // namespace clasp

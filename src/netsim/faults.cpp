@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/families.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace clasp {
@@ -104,6 +106,21 @@ fault_plan fault_plan::build(const fault_config& config,
             {v, {at, std::min(at + hours, window.end_at)}});
       }
     }
+  }
+  if (obs::enabled()) {
+    // Planned-fault gauges let operators compare the deterministic
+    // schedule against the observed *_total counters at a glance.
+    obs::metrics_registry& reg = obs::metrics_registry::instance();
+    reg.get_gauge(obs::family::kFaultsPlannedWithdrawals)
+        .set(static_cast<double>(plan.withdrawals_.size()));
+    reg.get_gauge(obs::family::kFaultsPlannedOutages)
+        .set(static_cast<double>(plan.outages_.size()));
+    std::int64_t outage_hours = 0;
+    for (const vm_outage& o : plan.outages_) {
+      outage_hours += o.window.count();
+    }
+    reg.get_gauge(obs::family::kFaultsPlannedOutageHours)
+        .set(static_cast<double>(outage_hours));
   }
   return plan;
 }

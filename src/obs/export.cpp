@@ -1,0 +1,202 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace clasp::obs {
+
+namespace {
+
+// Compact deterministic number rendering shared by both formats:
+// integers print without a decimal point, everything else as %.9g.
+std::string format_number(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+std::string format_number(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+double ns_to_s(std::uint64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const metrics_registry& reg,
+                          const trace_ring& ring) {
+  std::string out;
+  for (const auto& [name, value] : reg.counters()) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + format_number(value) + "\n";
+  }
+  for (const auto& [name, value] : reg.gauges()) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + format_number(value) + "\n";
+  }
+  for (const auto& [name, snap] : reg.histograms()) {
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+      cum += snap.counts[i];
+      out += name + "_bucket{le=\"" + format_number(snap.bounds[i]) + "\"} " +
+             format_number(cum) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + format_number(snap.count) + "\n";
+    out += name + "_sum " + format_number(snap.sum) + "\n";
+    out += name + "_count " + format_number(snap.count) + "\n";
+  }
+  const auto rollups = ring.rollups();
+  out += "# TYPE clasp_span_count_total counter\n";
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    out += std::string("clasp_span_count_total{phase=\"") +
+           to_string(static_cast<phase>(i)) + "\"} " +
+           format_number(rollups[i].count) + "\n";
+  }
+  out += "# TYPE clasp_span_wall_seconds_total counter\n";
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    out += std::string("clasp_span_wall_seconds_total{phase=\"") +
+           to_string(static_cast<phase>(i)) + "\"} " +
+           format_number(ns_to_s(rollups[i].wall_ns)) + "\n";
+  }
+  out += "# TYPE clasp_span_cpu_seconds_total counter\n";
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    out += std::string("clasp_span_cpu_seconds_total{phase=\"") +
+           to_string(static_cast<phase>(i)) + "\"} " +
+           format_number(ns_to_s(rollups[i].cpu_ns)) + "\n";
+  }
+  return out;
+}
+
+std::string to_prometheus() {
+  return to_prometheus(metrics_registry::instance(), trace_ring::instance());
+}
+
+std::string to_json(const metrics_registry& reg, const trace_ring& ring) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : reg.counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, name);
+    out += "\": " + format_number(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : reg.gauges()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, name);
+    out += "\": " + format_number(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, snap] : reg.histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, name);
+    out += "\": {\"count\": " + format_number(snap.count);
+    out += ", \"sum\": " + format_number(snap.sum);
+    out += ", \"p50\": " + format_number(snapshot_quantile(snap, 0.50));
+    out += ", \"p95\": " + format_number(snapshot_quantile(snap, 0.95));
+    out += ", \"bounds\": [";
+    for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+      if (i) out += ", ";
+      out += format_number(snap.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      if (i) out += ", ";
+      out += format_number(snap.counts[i]);
+    }
+    out += "]}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  const auto rollups = ring.rollups();
+  out += "  \"spans\": {\n    \"rollups\": {";
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += std::string("      \"") + to_string(static_cast<phase>(i)) +
+           "\": {\"count\": " + format_number(rollups[i].count) +
+           ", \"wall_seconds\": " + format_number(ns_to_s(rollups[i].wall_ns)) +
+           ", \"cpu_seconds\": " + format_number(ns_to_s(rollups[i].cpu_ns)) +
+           ", \"max_wall_seconds\": " +
+           format_number(ns_to_s(rollups[i].max_wall_ns)) + "}";
+  }
+  out += "\n    },\n";
+
+  const std::vector<span_record> recent = ring.recent();
+  std::vector<double> walls;
+  walls.reserve(recent.size());
+  for (const span_record& s : recent) walls.push_back(ns_to_s(s.wall_ns));
+  out += "    \"recent_wall_seconds_p50\": " +
+         format_number(percentile_or(walls, 50.0, 0.0)) + ",\n";
+  out += "    \"recent_wall_seconds_p95\": " +
+         format_number(percentile_or(walls, 95.0, 0.0)) + ",\n";
+  out += "    \"recent\": [";
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += std::string("      {\"phase\": \"") + to_string(recent[i].ph) +
+           "\", \"hour\": " +
+           format_number(static_cast<double>(recent[i].hour)) +
+           ", \"wall_seconds\": " + format_number(ns_to_s(recent[i].wall_ns)) +
+           ", \"cpu_seconds\": " + format_number(ns_to_s(recent[i].cpu_ns)) +
+           "}";
+  }
+  out += recent.empty() ? "]\n" : "\n    ]\n";
+  out += "  }\n}\n";
+  return out;
+}
+
+std::string to_json() {
+  return to_json(metrics_registry::instance(), trace_ring::instance());
+}
+
+void write_metrics_files(const std::string& path) {
+  {
+    std::ofstream prom(path, std::ios::trunc);
+    if (!prom) throw not_found_error("metrics: cannot write " + path);
+    prom << to_prometheus();
+  }
+  const std::string json_path = path + ".json";
+  std::ofstream json(json_path, std::ios::trunc);
+  if (!json) throw not_found_error("metrics: cannot write " + json_path);
+  json << to_json();
+}
+
+}  // namespace clasp::obs

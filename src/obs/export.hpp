@@ -1,0 +1,34 @@
+// Exposition: Prometheus text format and structured JSON snapshots.
+//
+// Both renderings are deterministic for a given metric state (names
+// sorted, phases in enum order) so tests can golden-match them. Span
+// quantiles reuse util/stats percentile paths.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace clasp::obs {
+
+// Prometheus text exposition (one `# TYPE` line per family; histogram
+// buckets use cumulative `_bucket{le="..."}` samples; span rollups are
+// exposed as `clasp_span_*{phase="..."}` series).
+std::string to_prometheus(const metrics_registry& reg,
+                          const trace_ring& ring);
+std::string to_prometheus();
+
+// JSON snapshot: {"counters": {...}, "gauges": {...}, "histograms":
+// {...}, "spans": {"rollups": {...}, "recent": [...]}}. Histograms carry
+// p50/p95 estimates; recent spans carry wall-time p50/p95 computed with
+// util/stats percentile.
+std::string to_json(const metrics_registry& reg, const trace_ring& ring);
+std::string to_json();
+
+// Writes the Prometheus text to `path` and the JSON snapshot to
+// `path + ".json"`. Throws not_found_error when either file cannot be
+// opened for writing.
+void write_metrics_files(const std::string& path);
+
+}  // namespace clasp::obs

@@ -1,0 +1,87 @@
+// Canonical metric family names. Instrumentation sites and tests share
+// these constants so the taxonomy stays typo-free; register_core_families
+// creates all of them so an exposition always covers every family, even
+// when a run never touches some subsystem.
+#pragma once
+
+namespace clasp::obs::family {
+
+// Campaign replay (src/clasp/campaign.cpp).
+inline constexpr const char* kCampaignHours = "clasp_campaign_hours_total";
+inline constexpr const char* kCampaignTests = "clasp_campaign_tests_total";
+inline constexpr const char* kCampaignTestsFailed =
+    "clasp_campaign_tests_failed_total";
+inline constexpr const char* kCampaignTestRetries =
+    "clasp_campaign_test_retries_total";
+inline constexpr const char* kCampaignTestsMissed =
+    "clasp_campaign_tests_missed_total";
+inline constexpr const char* kCampaignPoints = "clasp_campaign_points_total";
+inline constexpr const char* kCampaignUploadFailures =
+    "clasp_campaign_upload_failures_total";
+inline constexpr const char* kCampaignCursorHours =
+    "clasp_campaign_cursor_hours";
+inline constexpr const char* kCampaignWindowHours =
+    "clasp_campaign_window_hours";
+inline constexpr const char* kCampaignSessions = "clasp_campaign_sessions";
+inline constexpr const char* kCampaignHourSeconds =
+    "clasp_campaign_hour_seconds";
+
+// Thread pool (published from util::thread_pool::stats() by the campaign
+// coordinator; the pool itself stays obs-free to avoid a util->obs cycle).
+inline constexpr const char* kPoolWorkers = "clasp_pool_workers";
+inline constexpr const char* kPoolBatches = "clasp_pool_batches";
+inline constexpr const char* kPoolTasks = "clasp_pool_tasks";
+inline constexpr const char* kPoolBusySeconds = "clasp_pool_busy_seconds";
+inline constexpr const char* kPoolLastBatchSize =
+    "clasp_pool_last_batch_size";
+inline constexpr const char* kPoolUtilization = "clasp_pool_utilization";
+
+// Hour-epoch link-condition cache (src/netsim/condition_cache.cpp).
+inline constexpr const char* kCacheHits = "clasp_cache_hits_total";
+inline constexpr const char* kCacheMisses = "clasp_cache_misses_total";
+inline constexpr const char* kCachePrefills = "clasp_cache_prefills_total";
+inline constexpr const char* kCachePrefillLinks =
+    "clasp_cache_prefill_links_total";
+
+// TSDB + WAL (src/tsdb/).
+inline constexpr const char* kWalAppends = "clasp_wal_appends_total";
+inline constexpr const char* kWalBytes = "clasp_wal_bytes_total";
+inline constexpr const char* kWalFlushes = "clasp_wal_flushes_total";
+inline constexpr const char* kTsdbSnapshots = "clasp_tsdb_snapshots_total";
+inline constexpr const char* kTsdbSnapshotBytes =
+    "clasp_tsdb_snapshot_bytes_total";
+inline constexpr const char* kTsdbRestores = "clasp_tsdb_restores_total";
+inline constexpr const char* kTsdbSnapshotSeconds =
+    "clasp_tsdb_snapshot_seconds";
+
+// Checkpoint/resume (src/clasp/checkpoint.cpp).
+inline constexpr const char* kCheckpointPublishes =
+    "clasp_checkpoint_publishes_total";
+inline constexpr const char* kCheckpointGcRemoved =
+    "clasp_checkpoint_gc_removed_total";
+inline constexpr const char* kCheckpointResumes =
+    "clasp_checkpoint_resumes_total";
+inline constexpr const char* kCheckpointLastHour =
+    "clasp_checkpoint_last_hour";
+inline constexpr const char* kCheckpointPublishSeconds =
+    "clasp_checkpoint_publish_seconds";
+
+// Fault injection: planned (from the deterministic schedule) vs observed
+// (what the replay actually recorded).
+inline constexpr const char* kFaultsPlannedWithdrawals =
+    "clasp_faults_planned_withdrawals";
+inline constexpr const char* kFaultsPlannedOutages =
+    "clasp_faults_planned_outages";
+inline constexpr const char* kFaultsPlannedOutageHours =
+    "clasp_faults_planned_outage_hours";
+inline constexpr const char* kFaultsPreempts = "clasp_faults_preempts_total";
+inline constexpr const char* kFaultsRedeploys =
+    "clasp_faults_redeploys_total";
+inline constexpr const char* kFaultsWithdrawals =
+    "clasp_faults_withdrawals_total";
+inline constexpr const char* kFaultsVmDownHours =
+    "clasp_faults_vm_down_hours_total";
+inline constexpr const char* kFaultsSkippedTests =
+    "clasp_faults_skipped_tests_total";
+
+}  // namespace clasp::obs::family

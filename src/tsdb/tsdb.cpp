@@ -1,6 +1,7 @@
 #include "tsdb/tsdb.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iterator>
 #include <ostream>
@@ -8,6 +9,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/families.hpp"
+#include "obs/metrics.hpp"
 #include "util/binio.hpp"
 #include "util/error.hpp"
 
@@ -170,6 +173,7 @@ constexpr std::uint32_t kSnapshotVersion = 1;
 }  // namespace
 
 void tsdb::snapshot_to(std::ostream& os) const {
+  const auto begin = std::chrono::steady_clock::now();
   binary_writer out;
   out.u32(kSnapshotMagic);
   out.u32(kSnapshotVersion);
@@ -196,6 +200,17 @@ void tsdb::snapshot_to(std::ostream& os) const {
   os.write(trailer.bytes().data(),
            static_cast<std::streamsize>(trailer.bytes().size()));
   if (!os) throw state_error("tsdb: snapshot write failed");
+  if (obs::enabled()) {
+    obs::metrics_registry& reg = obs::metrics_registry::instance();
+    reg.get_counter(obs::family::kTsdbSnapshots).add(1);
+    reg.get_counter(obs::family::kTsdbSnapshotBytes)
+        .add(payload.size() + trailer.bytes().size());
+    reg.get_histogram(obs::family::kTsdbSnapshotSeconds,
+                      obs::duration_buckets())
+        .observe(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - begin)
+                     .count());
+  }
 }
 
 void tsdb::snapshot_to(const std::string& path) const {
@@ -205,6 +220,9 @@ void tsdb::snapshot_to(const std::string& path) const {
 }
 
 void tsdb::restore_from(std::istream& is) {
+  obs::metrics_registry::instance()
+      .get_counter(obs::family::kTsdbRestores)
+      .add(1);
   std::string content((std::istreambuf_iterator<char>(is)),
                       std::istreambuf_iterator<char>());
   if (content.size() < 12) {

@@ -3,12 +3,32 @@
 #include <filesystem>
 #include <iterator>
 
+#include "obs/families.hpp"
+#include "obs/metrics.hpp"
 #include "util/binio.hpp"
 #include "util/error.hpp"
 
 namespace clasp {
 
 namespace {
+
+// Process-wide WAL counters (one campaign writes one WAL at a time, and
+// the registry aggregates across writers anyway).
+struct wal_metrics {
+  obs::counter* appends;
+  obs::counter* bytes;
+  obs::counter* flushes;
+};
+
+wal_metrics& wal_counters() {
+  static wal_metrics m{
+      &obs::metrics_registry::instance().get_counter(
+          obs::family::kWalAppends),
+      &obs::metrics_registry::instance().get_counter(obs::family::kWalBytes),
+      &obs::metrics_registry::instance().get_counter(
+          obs::family::kWalFlushes)};
+  return m;
+}
 
 // Frames larger than this are treated as corruption, not allocation
 // requests: a campaign hour's record is a few kilobytes.
@@ -33,11 +53,15 @@ void wal_writer::append(std::string_view payload) {
              static_cast<std::streamsize>(header.bytes().size()));
   out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   if (!out_) throw state_error("wal: write failed on " + path_);
+  bytes_written_ += 8 + payload.size();
+  wal_counters().appends->add(1);
+  wal_counters().bytes->add(8 + payload.size());
 }
 
 void wal_writer::flush() {
   out_.flush();
   if (!out_) throw state_error("wal: flush failed on " + path_);
+  wal_counters().flushes->add(1);
 }
 
 wal_scan_result scan_wal(const std::string& path) {

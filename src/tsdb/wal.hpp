@@ -43,9 +43,14 @@ class wal_writer {
   void flush();
   const std::string& path() const { return path_; }
 
+  // Bytes appended through this writer (header + payload), excluding
+  // whatever the file held before opening. Feeds the campaign heartbeat.
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
  private:
   std::string path_;
   std::ofstream out_;
+  std::uint64_t bytes_written_{0};
 };
 
 // Result of walking a log front to back.

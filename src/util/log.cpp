@@ -1,13 +1,23 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace clasp {
 
 namespace {
 
 std::atomic<log_level> g_level{log_level::warn};
+
+// Sink swaps are rare (tests); the mutex guards the function object and
+// serializes emission so interleaved lines stay whole.
+std::mutex g_sink_mu;
+log_sink g_sink;  // empty → stderr default
 
 const char* level_name(log_level level) {
   switch (level) {
@@ -20,16 +30,62 @@ const char* level_name(log_level level) {
   return "?";
 }
 
+void default_sink(log_level level, std::string_view component,
+                  std::string_view message) {
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "[%9.3f] ", log_uptime_seconds());
+  std::cerr << stamp << '[' << level_name(level) << "] " << component << ": "
+            << message << '\n';
+}
+
 }  // namespace
 
 void set_log_level(log_level level) { g_level.store(level); }
 log_level get_log_level() { return g_level.load(); }
 
+std::optional<log_level> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return log_level::debug;
+  if (lower == "info") return log_level::info;
+  if (lower == "warn") return log_level::warn;
+  if (lower == "error") return log_level::error;
+  if (lower == "off") return log_level::off;
+  return std::nullopt;
+}
+
+log_level init_log_from_env() {
+  if (const char* env = std::getenv("CLASP_LOG")) {
+    if (const auto parsed = parse_log_level(env)) set_log_level(*parsed);
+  }
+  return get_log_level();
+}
+
+double log_uptime_seconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void set_log_sink(log_sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
 void log_message(log_level level, std::string_view component,
                  std::string_view message) {
   if (level < g_level.load()) return;
-  std::cerr << '[' << level_name(level) << "] " << component << ": " << message
-            << '\n';
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink) {
+    g_sink(level, component, message);
+  } else {
+    default_sink(level, component, message);
+  }
 }
 
 }  // namespace clasp

@@ -1,13 +1,22 @@
 // Minimal leveled logger.
 //
-// The library itself logs sparingly (campaign milestones, budget events);
-// benches and examples raise the level for progress visibility. A single
-// global sink keeps the substrate deterministic — logging never consumes
-// random state or simulated time.
+// The library itself logs sparingly (campaign milestones, budget events,
+// the obs heartbeat); benches and examples raise the level for progress
+// visibility. A single global sink keeps the substrate deterministic —
+// logging never consumes random state or simulated time.
+//
+// The default sink writes to stderr as
+//   [   12.345] [LEVEL] component: message
+// where the leading column is monotonic seconds since process start, so
+// heartbeat lines are grep-able and totally ordered even when wall time
+// steps. Tests swap the sink with set_log_sink to capture output.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace clasp {
 
@@ -18,7 +27,26 @@ enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
 void set_log_level(log_level level);
 log_level get_log_level();
 
-// Emit one line to stderr as "[LEVEL] component: message".
+// "debug" | "info" | "warn" | "error" | "off" (case-insensitive);
+// nullopt for anything else.
+std::optional<log_level> parse_log_level(std::string_view name);
+
+// Applies $CLASP_LOG when set and parseable (unset or malformed values
+// leave the level untouched). Returns the level now in effect.
+log_level init_log_from_env();
+
+// Monotonic seconds since the first call in this process — the timestamp
+// the default sink prefixes lines with.
+double log_uptime_seconds();
+
+// Pluggable sink. The sink receives messages that already passed the
+// level gate; an empty function restores the stderr default.
+using log_sink =
+    std::function<void(log_level, std::string_view component,
+                       std::string_view message)>;
+void set_log_sink(log_sink sink);
+
+// Emit one line through the current sink (level-gated).
 void log_message(log_level level, std::string_view component,
                  std::string_view message);
 

@@ -28,14 +28,23 @@ double percentile(std::span<const double> xs, double p) {
   if (p < 0.0 || p > 100.0) {
     throw invalid_argument_error("percentile: p outside [0, 100]");
   }
+  if (xs.size() == 1) return xs.front();
+  // Exact extremes: interpolation would be a no-op in exact arithmetic,
+  // but p/100*(n-1) can land on (n-1)-epsilon and drag the maximum down.
+  if (p == 0.0) return *std::min_element(xs.begin(), xs.end());
+  if (p == 100.0) return *std::max_element(xs.begin(), xs.end());
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
-  if (sorted.size() == 1) return sorted.front();
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double percentile_or(std::span<const double> xs, double p, double fallback) {
+  if (xs.empty()) return fallback;
+  return percentile(xs, std::clamp(p, 0.0, 100.0));
 }
 
 double median(std::span<const double> xs) { return percentile(xs, 50.0); }

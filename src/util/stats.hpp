@@ -20,7 +20,14 @@ double sample_stddev(std::span<const double> xs);
 
 // Linear-interpolated percentile, p in [0, 100]. Throws
 // invalid_argument_error on an empty input or p outside [0, 100].
+// Edge cases are exact: a single sample is returned for any p, p == 0
+// returns the minimum and p == 100 the maximum (no interpolation
+// round-off at the extremes).
 double percentile(std::span<const double> xs, double p);
+
+// Non-throwing variant for observability paths: returns `fallback` on
+// empty input and clamps p into [0, 100].
+double percentile_or(std::span<const double> xs, double p, double fallback);
 
 // Convenience wrappers.
 double median(std::span<const double> xs);

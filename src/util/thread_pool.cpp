@@ -1,8 +1,32 @@
 #include "util/thread_pool.hpp"
 
+#include <chrono>
+
 #include "util/error.hpp"
 
 namespace clasp {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+pool_stats thread_pool::stats() const {
+  pool_stats s;
+  s.batches = stat_batches_.load(std::memory_order_relaxed);
+  s.tasks = stat_tasks_.load(std::memory_order_relaxed);
+  s.busy_ns = stat_busy_ns_.load(std::memory_order_relaxed);
+  s.wall_ns = stat_wall_ns_.load(std::memory_order_relaxed);
+  s.last_batch_size = stat_last_batch_.load(std::memory_order_relaxed);
+  s.workers = concurrency();
+  return s;
+}
 
 unsigned thread_pool::default_concurrency() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -27,9 +51,12 @@ thread_pool::~thread_pool() {
 }
 
 void thread_pool::drain(batch& b) {
+  const std::uint64_t begin_ns = now_ns();
+  std::uint64_t claimed = 0;
   for (;;) {
     const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= b.size) return;
+    if (i >= b.size) break;
+    ++claimed;
     if (!b.failed.load(std::memory_order_relaxed)) {
       try {
         (*b.fn)(i);
@@ -41,6 +68,10 @@ void thread_pool::drain(batch& b) {
     }
     b.completed.fetch_add(1, std::memory_order_acq_rel);
   }
+  // Two clock reads per participating thread per batch — cheap enough to
+  // keep unconditional, which keeps pool timing obs-independent.
+  stat_tasks_.fetch_add(claimed, std::memory_order_relaxed);
+  stat_busy_ns_.fetch_add(now_ns() - begin_ns, std::memory_order_relaxed);
 }
 
 void thread_pool::worker_loop() {
@@ -68,11 +99,19 @@ void thread_pool::worker_loop() {
 void thread_pool::parallel_for(std::size_t n,
                                const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  stat_batches_.fetch_add(1, std::memory_order_relaxed);
+  stat_last_batch_.store(n, std::memory_order_relaxed);
   if (threads_.empty() || n == 1) {
+    const std::uint64_t begin_ns = now_ns();
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    const std::uint64_t elapsed = now_ns() - begin_ns;
+    stat_tasks_.fetch_add(n, std::memory_order_relaxed);
+    stat_busy_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+    stat_wall_ns_.fetch_add(elapsed, std::memory_order_relaxed);
     return;
   }
 
+  const std::uint64_t batch_begin_ns = now_ns();
   auto b = std::make_shared<batch>();
   b->size = n;
   b->fn = &fn;
@@ -95,6 +134,8 @@ void thread_pool::parallel_for(std::size_t n,
     });
     batch_ = nullptr;
   }
+  stat_wall_ns_.fetch_add(now_ns() - batch_begin_ns,
+                          std::memory_order_relaxed);
   if (b->error) std::rethrow_exception(b->error);
 }
 

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -23,6 +24,27 @@
 #include <vector>
 
 namespace clasp {
+
+// Cumulative scheduling counters, maintained with relaxed atomics so
+// they are safe to read mid-batch. The pool deliberately has no obs
+// dependency (obs sits above util); the campaign coordinator publishes
+// these into the metrics registry at read time.
+struct pool_stats {
+  std::uint64_t batches{0};        // parallel_for invocations
+  std::uint64_t tasks{0};          // indices claimed and run
+  std::uint64_t busy_ns{0};        // summed per-thread drain time
+  std::uint64_t wall_ns{0};        // summed caller-side batch wall time
+  std::uint64_t last_batch_size{0};
+  unsigned workers{1};             // pool concurrency (caller included)
+
+  // busy time / (wall time × workers); 1.0 means every worker ran the
+  // whole batch. 0 before the first batch.
+  double utilization() const {
+    if (wall_ns == 0 || workers == 0) return 0.0;
+    return static_cast<double>(busy_ns) /
+           (static_cast<double>(wall_ns) * static_cast<double>(workers));
+  }
+};
 
 class thread_pool {
  public:
@@ -46,6 +68,9 @@ class thread_pool {
   // hardware_concurrency with a floor of 1.
   static unsigned default_concurrency();
 
+  // Snapshot of the cumulative scheduling counters.
+  pool_stats stats() const;
+
  private:
   // One parallel_for invocation: workers claim indices until exhausted.
   struct batch {
@@ -59,10 +84,15 @@ class thread_pool {
   };
 
   // Claim-and-run loop shared by workers and the caller.
-  static void drain(batch& b);
+  void drain(batch& b);
   void worker_loop();
 
   std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> stat_batches_{0};
+  std::atomic<std::uint64_t> stat_tasks_{0};
+  std::atomic<std::uint64_t> stat_busy_ns_{0};
+  std::atomic<std::uint64_t> stat_wall_ns_{0};
+  std::atomic<std::uint64_t> stat_last_batch_{0};
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers wait for a batch / stop
   std::condition_variable done_cv_;  // caller waits for batch completion

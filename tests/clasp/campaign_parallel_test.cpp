@@ -14,6 +14,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/families.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "test_support.hpp"
 
 namespace clasp {
@@ -175,6 +178,45 @@ TEST(CampaignParallelTest, LinkCacheNeverChangesResults) {
   for (const unsigned workers : {1u, 2u, 8u}) {
     expect_identical(reference, run_once(workers, /*link_cache=*/true));
     expect_identical(reference, run_once(workers, /*link_cache=*/false));
+  }
+}
+
+TEST(CampaignParallelTest, MetricsNeverChangeResults) {
+  // Observability must be a pure observer: the same campaign with the
+  // obs subsystem recording (counters, spans, heartbeat cadence) must be
+  // byte-identical to the memoized metrics-off runs, for every worker
+  // count. Runs fresh (not memoized) so the enabled flag is honored.
+  const campaign_snapshot& reference = run_once(1);
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    obs::metrics_registry::instance().reset_values();
+    obs::trace_ring::instance().reset();
+    obs::set_enabled(true);
+    platform_config cfg = tiny_config(workers);
+    cfg.obs_metrics = true;
+    cfg.obs_heartbeat_every_hours = 7;  // exercise the heartbeat path too
+    clasp_platform p(cfg);
+    campaign_runner& c = p.start_topology_campaign("us-west1", two_days());
+    c.inject_vm_outage(0,
+                       {two_days().begin_at + 20, two_days().begin_at + 24});
+    c.run();
+    const campaign_snapshot snap = snapshot_of(p, c);
+    obs::set_enabled(false);
+    expect_identical(reference, snap);
+
+    // The recorded totals must agree with the runner's own bookkeeping.
+    const auto counters = obs::metrics_registry::instance().counters();
+    EXPECT_EQ(counters.at(obs::family::kCampaignTests), snap.tests_run);
+    EXPECT_EQ(counters.at(obs::family::kCampaignTestsMissed),
+              snap.tests_missed);
+    EXPECT_EQ(counters.at(obs::family::kCampaignHours), 48u);
+
+    // The hour-epoch cache must be effective while being counted: after
+    // the first hour warms it, virtually every link lookup hits.
+    const std::uint64_t hits = counters.at(obs::family::kCacheHits);
+    const std::uint64_t misses = counters.at(obs::family::kCacheMisses);
+    ASSERT_GT(hits + misses, 0u);
+    EXPECT_GT(static_cast<double>(hits) / static_cast<double>(hits + misses),
+              0.9);
   }
 }
 

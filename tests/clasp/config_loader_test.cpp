@@ -172,6 +172,33 @@ TEST(ConfigLoaderTest, CheckpointKeyTyposGetSuggestions) {
   }
 }
 
+TEST(ConfigLoaderTest, ObsKeysApply) {
+  const platform_config cfg = load_platform_config(
+      "[obs]\n"
+      "metrics = true\n"
+      "heartbeat_every_hours = 12\n"
+      "span_ring_capacity = 512\n");
+  EXPECT_TRUE(cfg.obs_metrics);
+  EXPECT_EQ(cfg.obs_heartbeat_every_hours, 12u);
+  EXPECT_EQ(cfg.obs_span_ring_capacity, 512u);
+  // Defaults: observability fully off.
+  const platform_config defaults = load_platform_config("");
+  EXPECT_FALSE(defaults.obs_metrics);
+  EXPECT_EQ(defaults.obs_heartbeat_every_hours, 0u);
+  EXPECT_EQ(defaults.obs_span_ring_capacity, 0u);
+}
+
+TEST(ConfigLoaderTest, ObsKeyTyposGetSuggestions) {
+  try {
+    load_platform_config("[obs]\nmetric = true\n");
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean obs.metrics?"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ConfigLoaderTest, BadValuesRejected) {
   EXPECT_THROW(load_platform_config("[internet]\nseed = abc\n"),
                invalid_argument_error);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 namespace clasp {
 namespace {
 
@@ -34,6 +38,59 @@ TEST_F(LogTest, StreamStyleBuildsMessages) {
   // common types and destruction is safe below the level.
   CLASP_LOG(debug, "component") << "x=" << 1 << " y=" << 2.5 << " z="
                                 << std::string("s");
+}
+
+TEST_F(LogTest, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("debug"), log_level::debug);
+  EXPECT_EQ(parse_log_level("INFO"), log_level::info);
+  EXPECT_EQ(parse_log_level("Warn"), log_level::warn);
+  EXPECT_EQ(parse_log_level("error"), log_level::error);
+  EXPECT_EQ(parse_log_level("off"), log_level::off);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+}
+
+TEST_F(LogTest, InitFromEnvAppliesAndIgnoresGarbage) {
+  set_log_level(log_level::warn);
+  ::setenv("CLASP_LOG", "debug", 1);
+  EXPECT_EQ(init_log_from_env(), log_level::debug);
+  EXPECT_EQ(get_log_level(), log_level::debug);
+  // Malformed values leave the level untouched.
+  set_log_level(log_level::warn);
+  ::setenv("CLASP_LOG", "nonsense", 1);
+  EXPECT_EQ(init_log_from_env(), log_level::warn);
+  ::unsetenv("CLASP_LOG");
+  EXPECT_EQ(init_log_from_env(), log_level::warn);
+}
+
+TEST_F(LogTest, SinkCapturesGatedMessages) {
+  struct captured {
+    log_level level;
+    std::string component;
+    std::string message;
+  };
+  std::vector<captured> lines;
+  set_log_sink([&](log_level lv, std::string_view c, std::string_view m) {
+    lines.push_back({lv, std::string(c), std::string(m)});
+  });
+  set_log_level(log_level::info);
+  log_message(log_level::debug, "gated", "below threshold");
+  log_message(log_level::info, "heartbeat", "hour=5/24");
+  CLASP_LOG(warn, "stream") << "x=" << 7;
+  set_log_sink({});  // restore stderr default before asserting
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].level, log_level::info);
+  EXPECT_EQ(lines[0].component, "heartbeat");
+  EXPECT_EQ(lines[0].message, "hour=5/24");
+  EXPECT_EQ(lines[1].component, "stream");
+  EXPECT_EQ(lines[1].message, "x=7");
+}
+
+TEST_F(LogTest, UptimeIsMonotonic) {
+  const double a = log_uptime_seconds();
+  const double b = log_uptime_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
 }
 
 TEST_F(LogTest, OrderingOfLevels) {

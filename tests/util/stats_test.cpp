@@ -56,6 +56,28 @@ TEST(PercentileTest, Errors) {
   EXPECT_THROW(percentile(xs, 101.0), invalid_argument_error);
 }
 
+TEST(PercentileTest, PercentileOrFallsBackOnEmpty) {
+  EXPECT_DOUBLE_EQ(percentile_or({}, 50.0, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(percentile_or({}, 95.0, 0.0), 0.0);
+}
+
+TEST(PercentileTest, PercentileOrMatchesPercentileOnData) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile_or(xs, 50.0, -1.0), percentile(xs, 50.0));
+  EXPECT_DOUBLE_EQ(percentile_or(xs, 0.0, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_or(xs, 100.0, -1.0), 10.0);
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(percentile_or(one, 99.0, -1.0), 42.0);
+}
+
+TEST(PercentileTest, PercentileOrClampsRank) {
+  // Out-of-range ranks clamp instead of throwing: the caller asked for a
+  // best-effort summary statistic, not validation.
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile_or(xs, -5.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_or(xs, 250.0, 0.0), 3.0);
+}
+
 // Property: for any sample, percentiles are monotone and bounded.
 class PercentileProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
