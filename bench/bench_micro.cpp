@@ -16,31 +16,49 @@
 #include <memory>
 #include <string_view>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "clasp/platform.hpp"
+#include "netsim/network.hpp"
 #include "obs/families.hpp"
 #include "obs/metrics.hpp"
 #include "probes/traceroute.hpp"
+#include "speedtest/webtest.hpp"
 
 namespace {
 
 using namespace clasp;
 
-// (workers, cached) -> accumulated run_hour time, for BENCH_campaign.json.
+// (workers, cached, fleet_scale, batch) -> accumulated run_hour time,
+// for BENCH_campaign.json.
 struct campaign_bench_total {
   double ns{0.0};
   std::int64_t hours{0};
 };
-std::map<std::pair<int, int>, campaign_bench_total>& campaign_totals() {
-  static auto* totals = new std::map<std::pair<int, int>, campaign_bench_total>();
+using campaign_bench_key = std::tuple<int, int, int, int>;
+std::map<campaign_bench_key, campaign_bench_total>& campaign_totals() {
+  static auto* totals =
+      new std::map<campaign_bench_key, campaign_bench_total>();
   return *totals;
 }
 
 clasp_platform& shared_platform() {
   static clasp_platform* platform = [] {
     platform_config cfg;
+    return new clasp_platform(cfg);
+  }();
+  return *platform;
+}
+
+// A second platform with a 10x-replicated fleet: same world (replicas
+// share their base servers' host attachments), ten times the measurement
+// load per campaign hour.
+clasp_platform& scaled_platform() {
+  static clasp_platform* platform = [] {
+    platform_config cfg;
+    cfg.fleet_scale = 10;
     return new clasp_platform(cfg);
   }();
   return *platform;
@@ -216,36 +234,44 @@ BENCHMARK(BM_TsdbQuery);
 
 void BM_CampaignHour(benchmark::State& state) {
   // One simulated campaign hour (the unit every figure bench replays
-  // thousands of times), across worker counts with the link-condition
-  // cache on and off. Each configuration deploys its own fleet against
-  // the shared substrate; the hour counter never rewinds so TSDB appends
+  // thousands of times), across worker counts, the link-condition cache
+  // on/off, fleet scale 1x/10x and the batched arena evaluator on/off
+  // (off = the pre-refactor per-session path, kept as the legacy
+  // baseline). Each configuration deploys its own fleet against its
+  // platform's substrate; the hour counter never rewinds so TSDB appends
   // stay time-ordered (which also guarantees an uncached configuration
   // never hits a stale prefilled epoch — the hour always moved on).
-  auto& p = shared_platform();
-  static const std::vector<std::size_t> servers = [&] {
-    auto us = p.registry().crawl("US");
-    us.resize(std::min<std::size_t>(us.size(), 64));
-    return us;
-  }();
-
   const int workers = static_cast<int>(state.range(0));
   const bool cached = state.range(1) != 0;
-  // One fleet per (workers, cached) configuration, shared across the
-  // library's calibration reruns: repeated deploys would keep growing the
-  // platform (VMs, interned series), silently slowing whichever configs
-  // happen to run later.
+  const int scale = static_cast<int>(state.range(2));
+  const bool batch = state.range(3) != 0;
+  auto& p = scale > 1 ? scaled_platform() : shared_platform();
+  // 64 base US servers; the scaled platform fans each out to its
+  // replicas (640 sessions at 10x).
+  const std::vector<std::size_t> servers = [&] {
+    auto us = p.registry().crawl("US");
+    us.resize(std::min<std::size_t>(us.size(), 64));
+    return p.registry().with_replicas(us);
+  }();
+
+  // One fleet per configuration, shared across the library's calibration
+  // reruns: repeated deploys would keep growing the platform (VMs,
+  // interned series), silently slowing whichever configs run later.
   static auto* runners =
-      new std::map<std::pair<int, int>, std::unique_ptr<campaign_runner>>();
+      new std::map<campaign_bench_key, std::unique_ptr<campaign_runner>>();
   static std::int64_t h = 0;
-  std::unique_ptr<campaign_runner>& slot = (*runners)[{workers, cached ? 1 : 0}];
+  const campaign_bench_key key{workers, cached ? 1 : 0, scale, batch ? 1 : 0};
+  std::unique_ptr<campaign_runner>& slot = (*runners)[key];
   if (!slot) {
     campaign_config cfg;
     cfg.region = "us-east1";
     cfg.label = "bench-hour-" + std::to_string(workers) +
-                (cached ? "-cached" : "-uncached");
+                (cached ? "-cached" : "-uncached") + "-x" +
+                std::to_string(scale) + (batch ? "-batch" : "-legacy");
     cfg.tests_per_vm_hour = 17;  // the paper's VM budget: 4 VMs, 64 servers
     cfg.workers = static_cast<unsigned>(workers);
     cfg.link_cache = cached;
+    cfg.batch_eval = batch;
     slot = std::make_unique<campaign_runner>(&p.cloud(), &p.view(),
                                              &p.registry(), &p.store());
     slot->deploy(cfg, servers);
@@ -266,27 +292,138 @@ void BM_CampaignHour(benchmark::State& state) {
     ns += std::chrono::duration<double, std::nano>(end - begin).count();
     ++hours;
   }
-  campaign_bench_total& total = campaign_totals()[{workers, cached ? 1 : 0}];
+  campaign_bench_total& total = campaign_totals()[key];
   total.ns += ns;
   total.hours += hours;
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(servers.size()));
   state.SetLabel(std::to_string(runner.vm_count()) + " VMs, " +
                  std::to_string(runner.workers()) + " workers, cache " +
-                 (cached ? "on" : "off"));
+                 (cached ? "on" : "off") + ", x" + std::to_string(scale) +
+                 (batch ? ", batch" : ", legacy"));
 }
 BENCHMARK(BM_CampaignHour)->Apply([](benchmark::internal::Benchmark* b) {
+  // {workers, cached, fleet_scale, batch}
+  b->Args({1, 0, 1, 1});
+  b->Args({1, 1, 1, 1});
+  b->Args({2, 0, 1, 1});
+  b->Args({2, 1, 1, 1});
+  b->Args({4, 1, 1, 1});
+  // The legacy per-session path at 1x (regression sentinel for the
+  // batch=off fallback)...
+  b->Args({1, 1, 1, 0});
+  // ...and the 10x fleet, legacy-uncached vs batched-cached: the pair
+  // behind BENCH_campaign.json's speedup_at_10x.
+  b->Args({1, 0, 10, 0});
+  b->Args({1, 1, 10, 1});
+  // Full hardware concurrency, unless that duplicates a config above
+  // (e.g. the 1-CPU bench container, where it would re-run {1, 1, 1, 1}
+  // against a by-then much larger store and skew the per-config
+  // averages).
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 4) b->Args({hw, 1, 1, 1});
+  b->Unit(benchmark::kMillisecond)->UseRealTime();
+});
+
+// (fleet_scale, batch) -> accumulated path-metrics production time, for
+// BENCH_campaign.json's speedup_at_10x.
+using link_bench_key = std::pair<int, int>;
+std::map<link_bench_key, campaign_bench_total>& link_eval_totals() {
+  static auto* totals = new std::map<link_bench_key, campaign_bench_total>();
+  return *totals;
+}
+
+void BM_LinkHourEval(benchmark::State& state) {
+  // The tentpole fast path in isolation: producing every session path's
+  // metrics for one hour at fleet scale. legacy = per-session
+  // evaluate(flat_path) with per-hop condition computation — exactly
+  // what session.run() did before the refactor; batch = one hour-epoch
+  // prefill of the shared condition cache plus one blocked sweep over
+  // the path arena. The two produce bit-identical metrics (asserted by
+  // netsim's NetworkBatch tests); this measures only the time. At 10x
+  // fleet the replicas share their base servers' links, so the legacy
+  // path recomputes every shared link condition per crossing session
+  // while the batch path computes each distinct (link, dir) once.
+  const int scale = static_cast<int>(state.range(0));
+  const bool batch = state.range(1) != 0;
+  auto& p = scale > 1 ? scaled_platform() : shared_platform();
+
+  struct fixture {
+    network_view view;
+    std::vector<speed_test_session> sessions;
+    path_arena arena;
+    std::vector<path_metrics> out;
+    fixture(clasp_platform& plat, bool batched) : view(&plat.net()) {
+      auto us = plat.registry().crawl("US");
+      us.resize(std::min<std::size_t>(us.size(), 64));
+      const auto servers = plat.registry().with_replicas(us);
+      const auto vm =
+          plat.cloud().create_vm("us-east1", service_tier::premium);
+      sessions.reserve(servers.size());
+      for (const std::size_t id : servers) {
+        sessions.emplace_back(&plat.cloud(), &view, vm,
+                              plat.registry().server(id));
+      }
+      if (batched) {
+        for (const auto& s : sessions) {
+          view.link_cache().register_path(s.download_path());
+          view.link_cache().register_path(s.upload_path());
+          arena.add(s.flat_download_path());
+          arena.add(s.flat_upload_path());
+        }
+        arena.resolve(view.link_cache());
+        out.resize(arena.size());
+      }
+    }
+  };
+  // One fixture per config, reused across the library's calibration
+  // reruns. Each owns its view — and therefore its condition cache — so
+  // registrations here never perturb BM_CampaignHour's prefill set.
+  static auto* fixtures =
+      new std::map<link_bench_key, std::unique_ptr<fixture>>();
+  static std::int64_t h = 0;
+  const link_bench_key key{scale, batch ? 1 : 0};
+  std::unique_ptr<fixture>& slot = (*fixtures)[key];
+  if (!slot) slot = std::make_unique<fixture>(p, batch);
+  fixture& fx = *slot;
+
+  double ns = 0.0;
+  std::int64_t hours = 0;
+  for (auto _ : state) {
+    const hour_stamp at{h++};
+    const auto begin = std::chrono::steady_clock::now();
+    if (batch) {
+      fx.view.link_cache().prefill(at);
+      fx.view.evaluate_batch(fx.arena, at, 0, fx.arena.size(),
+                             fx.out.data());
+      benchmark::DoNotOptimize(fx.out.front().rtt.value);
+    } else {
+      double sink = 0.0;
+      for (const speed_test_session& s : fx.sessions) {
+        sink += fx.view.evaluate(s.flat_download_path(), at).rtt.value;
+        sink += fx.view.evaluate(s.flat_upload_path(), at).rtt.value;
+      }
+      benchmark::DoNotOptimize(sink);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    ns += std::chrono::duration<double, std::nano>(end - begin).count();
+    ++hours;
+  }
+  campaign_bench_total& total = link_eval_totals()[key];
+  total.ns += ns;
+  total.hours += hours;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.sessions.size()));
+  state.SetLabel(std::to_string(fx.sessions.size()) + " sessions, x" +
+                 std::to_string(scale) + (batch ? ", batch" : ", legacy"));
+}
+BENCHMARK(BM_LinkHourEval)->Apply([](benchmark::internal::Benchmark* b) {
+  // {fleet_scale, batch}
   b->Args({1, 0});
   b->Args({1, 1});
-  b->Args({2, 0});
-  b->Args({2, 1});
-  b->Args({4, 1});
-  // Full hardware concurrency, unless that duplicates a config above
-  // (e.g. the 1-CPU bench container, where it would re-run {1, 1} against
-  // a by-then much larger store and skew the per-config averages).
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  if (hw > 4) b->Args({hw, 1});
-  b->Unit(benchmark::kMillisecond)->UseRealTime();
+  b->Args({10, 0});
+  b->Args({10, 1});
+  b->Unit(benchmark::kMicrosecond)->UseRealTime();
 });
 
 void BM_DailyVariability(benchmark::State& state) {
@@ -300,12 +437,26 @@ void BM_DailyVariability(benchmark::State& state) {
 }
 BENCHMARK(BM_DailyVariability);
 
-// BENCH_campaign.json: [{workers, cached, ns_per_hour}, ...] plus one
-// cached_vs_uncached_ratio entry per worker count measured both ways
-// (uncached ns / cached ns; > 1 means the cache wins).
+// BENCH_campaign.json: [{workers, cached, fleet_scale, batch,
+// ns_per_hour}, ...] plus one cached_vs_uncached_ratio entry per worker
+// count measured both ways at 1x (uncached ns / cached ns; > 1 means the
+// cache wins), the 1x batched-cached ns/hour (ns_per_hour_1x, the soft
+// perf gate's input), and two 10x-fleet speedups:
+//  * speedup_at_10x — BM_LinkHourEval's batched arena sweep vs the
+//    pre-refactor per-session evaluate path, for the hour's path-metrics
+//    production (the work this refactor targets);
+//  * hour_speedup_at_10x — the whole campaign hour (staging, noise
+//    model, commit and all), batched-cached vs legacy-uncached. Smaller
+//    by Amdahl: per-session measurement-noise synthesis dominates the
+//    hour and is byte-identity-frozen, so no evaluator can touch it.
 void write_campaign_json(const char* path) {
   const auto& totals = campaign_totals();
   if (totals.empty()) return;  // BM_CampaignHour filtered out of the run
+  const auto ns_per_hour = [&](const campaign_bench_key& key) {
+    const auto it = totals.find(key);
+    if (it == totals.end() || it->second.hours == 0) return 0.0;
+    return it->second.ns / static_cast<double>(it->second.hours);
+  };
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_micro: cannot write %s\n", path);
@@ -315,10 +466,13 @@ void write_campaign_json(const char* path) {
   bool first = true;
   for (const auto& [key, total] : totals) {
     if (total.hours == 0) continue;
-    std::fprintf(f, "%s    {\"workers\": %d, \"cached\": %s, "
+    const auto [workers, cached, scale, batch] = key;
+    std::fprintf(f,
+                 "%s    {\"workers\": %d, \"cached\": %s, "
+                 "\"fleet_scale\": %d, \"batch\": %s, "
                  "\"ns_per_hour\": %.1f, \"hours\": %lld}",
-                 first ? "" : ",\n", key.first,
-                 key.second ? "true" : "false",
+                 first ? "" : ",\n", workers, cached ? "true" : "false",
+                 scale, batch ? "true" : "false",
                  total.ns / static_cast<double>(total.hours),
                  static_cast<long long>(total.hours));
     first = false;
@@ -326,18 +480,62 @@ void write_campaign_json(const char* path) {
   std::fprintf(f, "\n  ],\n  \"cached_vs_uncached_ratio\": {");
   first = true;
   for (const auto& [key, total] : totals) {
-    if (key.second != 0 || total.hours == 0) continue;
-    const auto cached_it = totals.find({key.first, 1});
-    if (cached_it == totals.end() || cached_it->second.hours == 0) continue;
+    const auto [workers, cached, scale, batch] = key;
+    if (cached != 0 || scale != 1 || batch != 1 || total.hours == 0) continue;
     const double uncached = total.ns / static_cast<double>(total.hours);
-    const double cached =
-        cached_it->second.ns / static_cast<double>(cached_it->second.hours);
-    if (cached <= 0.0) continue;
-    std::fprintf(f, "%s\"%d\": %.3f", first ? "" : ", ", key.first,
-                 uncached / cached);
+    const double cached_ns = ns_per_hour({workers, 1, 1, 1});
+    if (cached_ns <= 0.0) continue;
+    std::fprintf(f, "%s\"%d\": %.3f", first ? "" : ", ", workers,
+                 uncached / cached_ns);
     first = false;
   }
-  std::fprintf(f, "}\n}\n");
+  std::fprintf(f, "}");
+  // BM_LinkHourEval's per-config ns/hour (path-metrics production only).
+  const auto& link_totals = link_eval_totals();
+  const auto link_ns_per_hour = [&](const link_bench_key& key) {
+    const auto it = link_totals.find(key);
+    if (it == link_totals.end() || it->second.hours == 0) return 0.0;
+    return it->second.ns / static_cast<double>(it->second.hours);
+  };
+  if (!link_totals.empty()) {
+    std::fprintf(f, ",\n  \"link_eval_runs\": [\n");
+    first = true;
+    for (const auto& [key, total] : link_totals) {
+      if (total.hours == 0) continue;
+      std::fprintf(f,
+                   "%s    {\"fleet_scale\": %d, \"batch\": %s, "
+                   "\"ns_per_hour\": %.1f, \"hours\": %lld}",
+                   first ? "" : ",\n", key.first,
+                   key.second != 0 ? "true" : "false",
+                   total.ns / static_cast<double>(total.hours),
+                   static_cast<long long>(total.hours));
+      first = false;
+    }
+    std::fprintf(f, "\n  ]");
+  }
+  // The soft perf gate's input: serial batched-cached ns/hour at 1x.
+  const double one_x = ns_per_hour({1, 1, 1, 1});
+  if (one_x > 0.0) {
+    std::fprintf(f, ",\n  \"ns_per_hour_1x\": %.1f", one_x);
+  }
+  // 10x fleet, whole campaign hour: batched-cached vs legacy-uncached
+  // (> 1 means the SoA refactor wins end to end).
+  const double legacy_10x = ns_per_hour({1, 0, 10, 0});
+  const double batched_10x = ns_per_hour({1, 1, 10, 1});
+  if (legacy_10x > 0.0 && batched_10x > 0.0) {
+    std::fprintf(f, ",\n  \"hour_speedup_at_10x\": %.3f",
+                 legacy_10x / batched_10x);
+  }
+  // 10x fleet, the hour's path-metrics production: batched arena sweep
+  // (prefill + blocked evaluate) vs the pre-refactor per-session
+  // evaluate calls. This is the operation the refactor replaces.
+  const double link_legacy_10x = link_ns_per_hour({10, 0});
+  const double link_batched_10x = link_ns_per_hour({10, 1});
+  if (link_legacy_10x > 0.0 && link_batched_10x > 0.0) {
+    std::fprintf(f, ",\n  \"speedup_at_10x\": %.3f",
+                 link_legacy_10x / link_batched_10x);
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
 }
 

@@ -57,13 +57,19 @@ void usage() {
                "usage: clasp_cli <select|pilot|run|cost|report> [--region R] "
                "[--days N] [--tier premium|standard] [--csv FILE] "
                "[--seed S] [--config FILE] [--workers N] "
-               "[--link-cache on|off] [--faults off|low|high] "
+               "[--link-cache on|off] [--batch-eval on|off] "
+               "[--fleet-scale N] [--faults off|low|high] "
                "[--checkpoint-dir DIR] [--checkpoint-every HOURS] "
                "[--resume] [--metrics-out FILE] [--heartbeat-every HOURS]\n"
                "  --workers N   campaign replay threads (0 = hardware "
                "concurrency); results are identical for any N\n"
                "  --link-cache  hour-epoch link-condition cache (default "
                "on); off only slows replay, results are identical\n"
+               "  --batch-eval  batched link-hour evaluation (default on); "
+               "off only slows replay, results are identical\n"
+               "  --fleet-scale N  measure N replicas of every selected "
+               "server (default 1 = the paper-scale fleet); the generated "
+               "world and the base fleet's results are unchanged\n"
                "  --faults      deterministic fault injection preset "
                "(server churn, transient failures, VM preemption); run "
                "prints a campaign health report when enabled\n"
@@ -242,6 +248,12 @@ int main(int argc, char** argv) {
   }
   if (opts.link_cache >= 0) {
     cfg.campaign_link_cache = opts.link_cache != 0;
+  }
+  if (opts.batch_eval >= 0) {
+    cfg.campaign_batch_eval = opts.batch_eval != 0;
+  }
+  if (opts.fleet_scale > 0) {
+    cfg.fleet_scale = static_cast<std::size_t>(opts.fleet_scale);
   }
   if (!opts.faults.empty()) {
     cfg.campaign_faults = fault_config::preset(opts.faults);

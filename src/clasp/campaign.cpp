@@ -41,6 +41,10 @@ void campaign_runner::resolve_metrics() {
   metrics_.cursor_hours = &reg.get_gauge(fam::kCampaignCursorHours);
   metrics_.window_hours = &reg.get_gauge(fam::kCampaignWindowHours);
   metrics_.sessions = &reg.get_gauge(fam::kCampaignSessions);
+  metrics_.fleet_servers = &reg.get_gauge(fam::kFleetServers);
+  metrics_.fleet_vms = &reg.get_gauge(fam::kFleetVms);
+  metrics_.sessions_total = &reg.get_gauge(fam::kSessionsTotal);
+  metrics_.batch_groups = &reg.get_gauge(fam::kBatchGroupsPerHour);
   metrics_.pool_workers = &reg.get_gauge(fam::kPoolWorkers);
   metrics_.pool_batches = &reg.get_gauge(fam::kPoolBatches);
   metrics_.pool_tasks = &reg.get_gauge(fam::kPoolTasks);
@@ -78,17 +82,28 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
     vms_.push_back(cloud_->create_vm(config.region, config.tier));
     someta_.emplace_back(cloud_->vm(vms_.back()).type);
   }
-  sessions_by_vm_.resize(vms_.size());
-  outages_.resize(vms_.size());
-
   // Draw the fault schedule once, on the coordinator: workers only read
   // the plan (and derive per-(VM, hour) streams from it), so the
   // schedule can never depend on replay scheduling. Planned maintenance
-  // windows reuse the manual-injection machinery.
+  // windows reuse the manual-injection machinery. Plan windows land in
+  // the CSR outage arrays grouped by slot, preserving plan order within
+  // each slot (counting sort with a per-slot cursor).
   plan_ = fault_plan::build(config_.faults, stream_seed_, vms_.size(),
                             server_ids, config_.window);
+  outage_offsets_.assign(vms_.size() + 1, 0);
   for (const vm_outage& outage : plan_.outages()) {
-    outages_[outage.vm_slot].push_back(outage.window);
+    ++outage_offsets_[outage.vm_slot + 1];
+  }
+  for (std::size_t v = 0; v < vms_.size(); ++v) {
+    outage_offsets_[v + 1] += outage_offsets_[v];
+  }
+  outage_windows_.resize(plan_.outages().size());
+  {
+    std::vector<std::uint32_t> cursor(outage_offsets_.begin(),
+                                      outage_offsets_.end() - 1);
+    for (const vm_outage& outage : plan_.outages()) {
+      outage_windows_[cursor[outage.vm_slot]++] = outage.window;
+    }
   }
 
   for (std::size_t i = 0; i < server_ids.size(); ++i) {
@@ -96,7 +111,10 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
     const std::size_t vm_slot = i % vms_.size();
     sessions_.emplace_back(cloud_, view_, vms_[vm_slot], server,
                            config.test);
-    sessions_by_vm_[vm_slot].push_back(sessions_.size() - 1);
+    // Mirror the session's two flattened paths into the shared arena
+    // (download first — evaluate_hour and staging index paths 2i, 2i+1).
+    arena_.add(sessions_.back().flat_download_path());
+    arena_.add(sessions_.back().flat_upload_path());
     if (config_.link_cache) {
       // Register the union of this campaign's path links so run_hour's
       // prefill turns the hot-loop evaluations into table lookups.
@@ -129,6 +147,21 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
       status_refs_.push_back(store_->open_series("test_status", tags));
     }
   }
+  // Round-robin assignment in ascending session order makes the CSR
+  // build a closed form: vms_[v]'s k-th session is v + k * vm_count.
+  const std::size_t vm_count = vms_.size();
+  vm_session_offsets_.assign(vm_count + 1, 0);
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    ++vm_session_offsets_[i % vm_count + 1];
+  }
+  for (std::size_t v = 0; v < vm_count; ++v) {
+    vm_session_offsets_[v + 1] += vm_session_offsets_[v];
+  }
+  vm_session_index_.resize(sessions_.size());
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    vm_session_index_[vm_session_offsets_[i % vm_count] + i / vm_count] =
+        static_cast<std::uint32_t>(i);
+  }
   tallies_.resize(sessions_.size());
   if (config_.workers != 1) {
     pool_ = std::make_unique<thread_pool>(config_.workers);
@@ -140,6 +173,9 @@ std::size_t campaign_runner::deploy(const campaign_config& config,
     metrics_.window_hours->set(static_cast<double>(config_.window.count()));
     metrics_.cursor_hours->set(0.0);
     metrics_.pool_workers->set(static_cast<double>(workers()));
+    metrics_.fleet_servers->set(static_cast<double>(registry_->size()));
+    metrics_.fleet_vms->set(static_cast<double>(vms_.size()));
+    metrics_.sessions_total->set(static_cast<double>(sessions_.size()));
   }
   CLASP_LOG(info, "campaign")
       << config.label << "/" << config.region << ": " << vms_.size()
@@ -205,11 +241,19 @@ void campaign_runner::inject_vm_outage(std::size_t vm_slot,
   if (!(outage.begin_at < outage.end_at)) {
     throw invalid_argument_error("campaign_runner: empty outage window");
   }
-  outages_[vm_slot].push_back(outage);
+  // Append at the end of the slot's CSR slice (the flat-array shift is
+  // fine: injections are rare and coordinator-only).
+  outage_windows_.insert(
+      outage_windows_.begin() + outage_offsets_[vm_slot + 1], outage);
+  for (std::size_t v = vm_slot + 1; v < outage_offsets_.size(); ++v) {
+    ++outage_offsets_[v];
+  }
 }
 
 bool campaign_runner::vm_down(std::size_t vm_slot, hour_stamp at) const {
-  for (const hour_range& o : outages_[vm_slot]) {
+  const std::uint32_t end = outage_offsets_[vm_slot + 1];
+  for (std::uint32_t i = outage_offsets_[vm_slot]; i < end; ++i) {
+    const hour_range& o = outage_windows_[i];
     if (o.begin_at <= at && at < o.end_at) return true;
   }
   return false;
@@ -278,6 +322,13 @@ void campaign_runner::run_hour(hour_stamp at) {
     const obs::trace_span span(obs::phase::prefill, h);
     view_->link_cache().prefill(at, pool_.get());
   }
+  // Batched arena sweep: every session path's metrics for this hour,
+  // computed once on the coordinator (attributed to the prefill phase —
+  // both are hour-top precomputation no worker overlaps with).
+  if (config_.batch_eval) {
+    const obs::trace_span span(obs::phase::prefill, h);
+    evaluate_hour(at, pool_.get());
+  }
   staging_.resize(vms_.size());
   // Durable runs log each staged record before committing it; the flush
   // below is the hour's durability point. Workers never touch the log —
@@ -317,6 +368,43 @@ void campaign_runner::run_hour(hour_stamp at) {
   }
 }
 
+void campaign_runner::evaluate_hour(hour_stamp at, thread_pool* pool) {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
+  if (!config_.batch_eval || sessions_.empty()) return;
+  if (!arena_resolved_) {
+    // Condition-cache slots are stable once assigned (registration only
+    // appends), so one resolution after deploy's register_path calls
+    // serves the whole window.
+    arena_.resolve(view_->link_cache());
+    arena_resolved_ = true;
+  }
+  const std::size_t paths = arena_.size();
+  hour_metrics_.resize(paths);
+  if (pool == nullptr) pool = pool_.get();
+  // Fixed-size blocks: large enough to amortize pool dispatch, small
+  // enough to load-balance. Each block writes a disjoint output range and
+  // path metrics are independent, so block boundaries and scheduling
+  // cannot change any value.
+  constexpr std::size_t kBlockPaths = 256;
+  const std::size_t blocks = (paths + kBlockPaths - 1) / kBlockPaths;
+  if (pool != nullptr && blocks > 1) {
+    pool->parallel_for(blocks, [&](std::size_t b) {
+      const std::size_t begin = b * kBlockPaths;
+      view_->evaluate_batch(arena_, at, begin,
+                            std::min(paths, begin + kBlockPaths),
+                            hour_metrics_.data());
+    });
+  } else {
+    view_->evaluate_batch(arena_, at, 0, paths, hour_metrics_.data());
+  }
+  hour_metrics_hour_ = at.hours_since_epoch();
+  hour_metrics_valid_ = true;
+  batch_groups_ = blocks;
+  if (obs::enabled()) {
+    metrics_.batch_groups->set(static_cast<double>(blocks));
+  }
+}
+
 void campaign_runner::publish_hour_metrics(double hour_seconds) {
   metrics_.hours->add(1);
   metrics_.hour_seconds->observe(hour_seconds);
@@ -350,17 +438,18 @@ void campaign_runner::emit_heartbeat() const {
           : static_cast<double>(hits) / static_cast<double>(hits + misses);
   const std::int64_t done =
       cursor_.hours_since_epoch() - config_.window.begin_at.hours_since_epoch();
-  char line[256];
+  char line[320];
   int len = std::snprintf(
       line, sizeof(line),
       "%s/%s hour=%lld/%lld tests=%zu failed=%llu retried=%llu missed=%zu "
-      "cache_hit=%.1f%%",
+      "cache_hit=%.1f%% fleet=%zu/%zu sessions=%zu batch_groups=%zu",
       config_.label.c_str(), config_.region.c_str(),
       static_cast<long long>(done),
       static_cast<long long>(config_.window.count()), tests_run_,
       static_cast<unsigned long long>(metrics_.tests_failed->value()),
       static_cast<unsigned long long>(metrics_.test_retries->value()),
-      tests_missed_, 100.0 * hit_ratio);
+      tests_missed_, 100.0 * hit_ratio, registry_->size(), vms_.size(),
+      sessions_.size(), batch_groups_);
   if (wal_ != nullptr && len > 0 &&
       static_cast<std::size_t>(len) < sizeof(line)) {
     len += std::snprintf(
@@ -405,14 +494,17 @@ void campaign_runner::stage_vm_hour_into(std::size_t vm_slot, hour_stamp at,
   out.tests_missed = 0;
   out.upload_failed = false;
   const bool faults_on = plan_.enabled();
+  const std::uint32_t s_begin = vm_session_offsets_[vm_slot];
+  const std::uint32_t s_end = vm_session_offsets_[vm_slot + 1];
   if (vm_down(vm_slot, at)) {
-    out.tests_missed = std::min<std::size_t>(sessions_by_vm_[vm_slot].size(),
+    out.tests_missed = std::min<std::size_t>(s_end - s_begin,
                                              config_.tests_per_vm_hour);
-    for (const std::size_t si : sessions_by_vm_[vm_slot]) {
+    for (std::uint32_t i = s_begin; i < s_end; ++i) {
+      const std::uint32_t si = vm_session_index_[i];
       // A withdrawn server's gap is the server's, not the VM's.
       const bool withdrawn = faults_on && session_withdraw_[si].has_value() &&
                              *session_withdraw_[si] <= at;
-      out.outcomes.push_back({static_cast<std::uint32_t>(si),
+      out.outcomes.push_back({si,
                               withdrawn ? test_outcome::server_withdrawn
                                         : test_outcome::vm_down,
                               0});
@@ -431,9 +523,15 @@ void campaign_runner::stage_vm_hour_into(std::size_t vm_slot, hour_stamp at,
   // shuffle buffer is thread-local so the per-(VM, hour) copy reuses its
   // allocation; the contents are fully overwritten before use, so worker
   // scheduling cannot leak state between stages.
-  static thread_local std::vector<std::size_t> order;
-  order = sessions_by_vm_[vm_slot];
+  static thread_local std::vector<std::uint32_t> order;
+  order.assign(vm_session_index_.begin() + s_begin,
+               vm_session_index_.begin() + s_end);
   r.shuffle(order);
+  // Consume the hour's batched path metrics when evaluate_hour() computed
+  // them for exactly this hour; otherwise (batch disabled, or a direct
+  // stage_vm_hour caller) evaluate per session — bit-identical either way.
+  const bool batched = config_.batch_eval && hour_metrics_valid_ &&
+                       hour_metrics_hour_ == at.hours_since_epoch();
   const machine_type& machine = cloud_->vm(vms_[vm_slot]).type;
   double artifact_mb = 0.2;  // someta metadata baseline
   // Each attempt — including a retry of an aborted transfer — consumes
@@ -443,17 +541,25 @@ void campaign_runner::stage_vm_hour_into(std::size_t vm_slot, hour_stamp at,
   // of its slot.
   std::size_t slots = 0;
   bool starved = false;
-  for (const std::size_t si : order) {
+  for (std::size_t oi = 0; oi < order.size(); ++oi) {
+    // The shuffle makes these accesses random; warming the next
+    // session's metrics and state two iterations out overlaps the misses
+    // with this iteration's noise-model math (advisory, value-neutral).
+    if (oi + 2 < order.size()) {
+      const std::uint32_t ahead = order[oi + 2];
+      if (batched) __builtin_prefetch(&hour_metrics_[2 * ahead]);
+      __builtin_prefetch(&sessions_[ahead]);
+      __builtin_prefetch(&series_refs_[ahead]);
+    }
+    const std::uint32_t si = order[oi];
     const speed_test_session& session = sessions_[si];
     if (faults_on && session_withdraw_[si].has_value() &&
         *session_withdraw_[si] <= at) {
-      out.outcomes.push_back({static_cast<std::uint32_t>(si),
-                              test_outcome::server_withdrawn, 0});
+      out.outcomes.push_back({si, test_outcome::server_withdrawn, 0});
       continue;
     }
     if (slots >= config_.tests_per_vm_hour) {
-      out.outcomes.push_back(
-          {static_cast<std::uint32_t>(si), test_outcome::skipped_budget, 0});
+      out.outcomes.push_back({si, test_outcome::skipped_budget, 0});
       starved = true;
       continue;
     }
@@ -463,7 +569,13 @@ void campaign_runner::stage_vm_hour_into(std::size_t vm_slot, hour_stamp at,
       ++slots;
       ++attempts;
       const bool aborted = faults_on && fr.bernoulli(fail_rate);
-      const speed_test_report report = session.run(at, r);
+      // Path conditions are a pure function of (session, hour), so a
+      // retry re-measures the same conditions with fresh client noise —
+      // the batched metrics serve every attempt of the hour.
+      const speed_test_report report =
+          batched ? session.run_with_metrics(hour_metrics_[2 * si],
+                                             hour_metrics_[2 * si + 1], at, r)
+                  : session.run(at, r);
       if (aborted) {
         // Truncated transfer: the test produced no metrics, but the bytes
         // sent before the abort are still billed egress and a partial
@@ -494,8 +606,7 @@ void campaign_runner::stage_vm_hour_into(std::size_t vm_slot, hour_stamp at,
       outcome = attempts > 1 ? test_outcome::ok_after_retry : test_outcome::ok;
       break;
     }
-    out.outcomes.push_back(
-        {static_cast<std::uint32_t>(si), outcome, attempts});
+    out.outcomes.push_back({si, outcome, attempts});
   }
   if (starved && config_.faults.strict_hour_budget) {
     char msg[96];
@@ -504,15 +615,17 @@ void campaign_runner::stage_vm_hour_into(std::size_t vm_slot, hour_stamp at,
                   vm_slot, config_.tests_per_vm_hour);
     throw budget_exceeded_error(msg);
   }
-  // Artifact object name, assembled with one allocation (same bytes as
-  // the old "raw/" + label + "/" + at.to_string() + ... concatenation).
+  // Artifact object name (same bytes as the old "raw/" + label + "/" +
+  // at.to_string() + ... concatenation), assembled in a thread-local
+  // buffer whose capacity survives across hours and handed to the
+  // charge sheet's recycling put — zero allocations in steady state.
   char tail[64];
   std::size_t tail_len = at.format_to(tail, sizeof(tail));
   tail_len += static_cast<std::size_t>(
       std::snprintf(tail + tail_len, sizeof(tail) - tail_len, "/vm%zu.tar.gz",
                     vm_slot));
-  std::string object_name;
-  object_name.reserve(artifact_prefix_.size() + tail_len);
+  static thread_local std::string object_name;
+  object_name.clear();
   object_name.append(artifact_prefix_).append(tail, tail_len);
   // Upload failure is the last draw of the hour's fault stream: the
   // compressed artifacts never reach the bucket (no put, no storage
@@ -521,18 +634,35 @@ void campaign_runner::stage_vm_hour_into(std::size_t vm_slot, hour_stamp at,
     out.upload_failed = true;
     return;
   }
-  out.charges.add_put(config_.region, std::move(object_name), artifact_mb);
+  out.charges.add_put_reusing(config_.region, object_name, artifact_mb);
 }
 
 void campaign_runner::commit_vm_hour(std::size_t vm_slot,
                                      vm_hour_staging&& staged) {
   if (!deployed_) throw state_error("campaign_runner: not deployed");
-  for (const staged_point& p : staged.points) {
+  // Each staged point lands on a different series' tail — thousands of
+  // cold cache lines per hour. Prefetching a few refs ahead overlaps the
+  // misses; the distance is small enough that the lines survive in L1/L2
+  // until their write. Values and order are untouched (advisory only).
+  constexpr std::size_t kPrefetchAhead = 6;
+  const std::size_t n_points = staged.points.size();
+  for (std::size_t i = 0; i < n_points; ++i) {
+    if (i + kPrefetchAhead < n_points) {
+      store_->prefetch(staged.points[i + kPrefetchAhead].ref);
+    }
+    const staged_point& p = staged.points[i];
     store_->write(p.ref, staged.at, p.value);
   }
   // Health tallies merge here, in slot order on the coordinator, so they
   // are deterministic for any worker count — same contract as the points.
-  for (const staged_outcome& o : staged.outcomes) {
+  const std::size_t n_outcomes = staged.outcomes.size();
+  for (std::size_t i = 0; i < n_outcomes; ++i) {
+    if (i + kPrefetchAhead < n_outcomes) {
+      const staged_outcome& ahead = staged.outcomes[i + kPrefetchAhead];
+      __builtin_prefetch(&tallies_[ahead.session], 1);
+      if (!status_refs_.empty()) store_->prefetch(status_refs_[ahead.session]);
+    }
+    const staged_outcome& o = staged.outcomes[i];
     session_tally& tally = tallies_[o.session];
     switch (o.outcome) {
       case test_outcome::ok:

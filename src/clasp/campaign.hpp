@@ -69,6 +69,16 @@ struct campaign_config {
   // stores exactly what the model computes), so this knob trades memory
   // for speed and nothing else.
   bool link_cache{true};
+  // Batched link-hour evaluation: evaluate_hour() sweeps every session's
+  // two paths through one structure-of-arrays arena pass at the top of
+  // the hour, and staging consumes the precomputed per-path metrics
+  // instead of evaluating per session (and per retry attempt). Off falls
+  // back to the per-session evaluate() path; results are bit-identical
+  // either way (path conditions are a pure function of the hour, and the
+  // batch sweep performs the same floating-point operations in the same
+  // order), so this knob — like link_cache — trades memory for speed and
+  // nothing else.
+  bool batch_eval{true};
   // Deterministic fault injection (server churn, transient test
   // failures, VM preemption, upload failures). Disabled by default;
   // disabled output is byte-identical to a faults-free build, and
@@ -167,6 +177,19 @@ class campaign_runner {
   // whose maintenance window starts/ends at `at` are preempted/
   // redeployed. No-op when faults are disabled.
   void begin_hour(hour_stamp at);
+
+  // Batched evaluation of the hour's path conditions (coordinator-only,
+  // after the cache prefill and before any staging worker starts): one
+  // linear sweep over the session-path arena computes every session's
+  // download/upload path_metrics for `at`, fanned out in fixed-size
+  // blocks across `pool` (or the campaign's own pool when null; serial
+  // when neither exists — block boundaries cannot change values, the
+  // outputs are per-path). stage_vm_hour_into then reads the precomputed
+  // metrics instead of evaluating per session. No-op when
+  // config().batch_eval is false or with no sessions; staging falls back
+  // to per-session evaluation whenever the staged hour was not the last
+  // evaluated one, so direct stage_vm_hour() callers stay correct.
+  void evaluate_hour(hour_stamp at, thread_pool* pool = nullptr);
 
   // Registry to retire churned servers from (so withdrawn servers vanish
   // from later crawls and re-selections). Optional; staging never reads
@@ -320,6 +343,10 @@ class campaign_runner {
     obs::gauge* cursor_hours{nullptr};
     obs::gauge* window_hours{nullptr};
     obs::gauge* sessions{nullptr};
+    obs::gauge* fleet_servers{nullptr};
+    obs::gauge* fleet_vms{nullptr};
+    obs::gauge* sessions_total{nullptr};
+    obs::gauge* batch_groups{nullptr};
     obs::gauge* pool_workers{nullptr};
     obs::gauge* pool_batches{nullptr};
     obs::gauge* pool_tasks{nullptr};
@@ -356,8 +383,24 @@ class campaign_runner {
   std::vector<gcp_cloud::vm_id> vms_;
   std::vector<someta_recorder> someta_;
   std::vector<speed_test_session> sessions_;
-  // sessions_by_vm_[i] = indices into sessions_ assigned to vms_[i].
-  std::vector<std::vector<std::size_t>> sessions_by_vm_;
+  // CSR layout of the VM -> session assignment: vms_[v]'s sessions are
+  // vm_session_index_[vm_session_offsets_[v] .. vm_session_offsets_[v+1])
+  // in ascending session order. One offsets array plus one flat index
+  // array replaces the old vector-of-vectors, so an hour sweep over the
+  // fleet touches two contiguous allocations instead of one per VM.
+  std::vector<std::uint32_t> vm_session_offsets_;  // size vms_.size() + 1
+  std::vector<std::uint32_t> vm_session_index_;    // size sessions_.size()
+  // SoA twin of the sessions' flattened paths: path 2*i is sessions_[i]'s
+  // download path, 2*i + 1 its upload path. Built at deploy, resolved
+  // against the view's condition cache on first use (see evaluate_hour).
+  path_arena arena_;
+  bool arena_resolved_{false};
+  // Per-path metrics of the last evaluate_hour() sweep, indexed like the
+  // arena. Valid only for hour_metrics_hour_ (staging checks before use).
+  std::vector<path_metrics> hour_metrics_;
+  std::int64_t hour_metrics_hour_{0};
+  bool hour_metrics_valid_{false};
+  std::size_t batch_groups_{0};  // blocks of the last sweep (heartbeat)
   // series_refs_[i] = interned store handles for sessions_[i].
   std::vector<session_series> series_refs_;
   // test_status series per session; empty unless faults are enabled (so
@@ -377,8 +420,12 @@ class campaign_runner {
   std::vector<vm_hour_staging> staging_;
   std::size_t tests_run_{0};
   std::size_t tests_missed_{0};
-  // Outage windows per VM slot.
-  std::vector<std::vector<hour_range>> outages_;
+  // Outage windows per VM slot, CSR like the session assignment: slot v's
+  // windows are outage_windows_[outage_offsets_[v] .. outage_offsets_[v+1])
+  // in insertion order (plan windows first, then manual injections).
+  // Insertions shift the flat array — outages are rare, lookups hourly.
+  std::vector<std::uint32_t> outage_offsets_;  // size vms_.size() + 1
+  std::vector<hour_range> outage_windows_;
   bool deployed_{false};
   // --- durability state ---
   hour_stamp cursor_{hour_stamp{0}};  // next hour to run (set at deploy)

@@ -177,13 +177,15 @@ void campaign_runner::save_state(binary_writer& out) const {
     for (const vm_metadata_sample& s : rec.samples()) put_sample(out, s);
   }
   // Full outage windows (plan + manual injections): vm_down must answer
-  // identically in the resumed process.
-  out.varint(outages_.size());
-  for (const std::vector<hour_range>& windows : outages_) {
-    out.varint(windows.size());
-    for (const hour_range& w : windows) {
-      out.svarint(w.begin_at.hours_since_epoch());
-      out.svarint(w.end_at.hours_since_epoch());
+  // identically in the resumed process. Serialized per VM slice of the
+  // CSR arrays — the same wire bytes the old per-VM vectors produced.
+  out.varint(vms_.size());
+  for (std::size_t v = 0; v < vms_.size(); ++v) {
+    out.varint(outage_offsets_[v + 1] - outage_offsets_[v]);
+    for (std::uint32_t i = outage_offsets_[v]; i < outage_offsets_[v + 1];
+         ++i) {
+      out.svarint(outage_windows_[i].begin_at.hours_since_epoch());
+      out.svarint(outage_windows_[i].end_at.hours_since_epoch());
     }
   }
   cloud_->save_state(out);
@@ -214,15 +216,21 @@ void campaign_runner::load_state(binary_reader& in) {
     for (vm_metadata_sample& s : samples) s = get_sample(in);
     rec.restore_samples(std::move(samples));
   }
-  if (in.varint() != outages_.size()) {
+  if (in.varint() != vms_.size()) {
     throw state_error("checkpoint: VM count mismatch (outages)");
   }
-  for (std::vector<hour_range>& windows : outages_) {
-    windows.resize(static_cast<std::size_t>(in.varint()));
-    for (hour_range& w : windows) {
+  outage_offsets_.assign(vms_.size() + 1, 0);
+  outage_windows_.clear();
+  for (std::size_t v = 0; v < vms_.size(); ++v) {
+    const std::size_t count = static_cast<std::size_t>(in.varint());
+    for (std::size_t i = 0; i < count; ++i) {
+      hour_range w;
       w.begin_at = hour_stamp{in.svarint()};
       w.end_at = hour_stamp{in.svarint()};
+      outage_windows_.push_back(w);
     }
+    outage_offsets_[v + 1] =
+        static_cast<std::uint32_t>(outage_windows_.size());
   }
   cloud_->load_state(in);
 }

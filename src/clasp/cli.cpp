@@ -17,6 +17,7 @@ constexpr const char* kKnownFlags[] = {
     "--faults",          "--checkpoint-dir",
     "--checkpoint-every", "--resume",
     "--metrics-out",     "--heartbeat-every",
+    "--fleet-scale",     "--batch-eval",
 };
 
 std::string unknown_flag_error(const std::string& flag) {
@@ -121,6 +122,20 @@ cli_parse_result parse_cli_args(int argc, const char* const* argv,
       if (!parse_int(value, opts.checkpoint_every) ||
           opts.checkpoint_every <= 0) {
         return {false, "--checkpoint-every must be an integer >= 1"};
+      }
+    } else if (key == "--fleet-scale") {
+      if (!parse_int(value, opts.fleet_scale) || opts.fleet_scale < 1) {
+        return {false,
+                "--fleet-scale must be an integer >= 1 (synthetic fleet "
+                "multiplier; use --fleet-scale 1 for the paper-scale fleet)"};
+      }
+    } else if (key == "--batch-eval") {
+      if (value == "on" || value == "1" || value == "true") {
+        opts.batch_eval = 1;
+      } else if (value == "off" || value == "0" || value == "false") {
+        opts.batch_eval = 0;
+      } else {
+        return {false, "--batch-eval must be on or off"};
       }
     } else if (key == "--metrics-out") {
       opts.metrics_out = value;

@@ -19,6 +19,9 @@ struct cli_options {
   int days{7};
   int workers{-1};     // -1 = config default; 0 = hardware concurrency
   int link_cache{-1};  // -1 = config default; 0 = off; 1 = on
+  int batch_eval{-1};  // -1 = config default; 0 = off; 1 = on
+  // Synthetic fleet multiplier; -1 = config default. Rejects values < 1.
+  int fleet_scale{-1};
   std::string faults;  // empty = config default; else off|low|high
   std::uint64_t seed{42};
   std::string checkpoint_dir;  // empty = durability off

@@ -51,6 +51,8 @@ constexpr const char* kKnownKeys[] = {
     "differential.small_delta_ms",
     "campaign.workers",
     "campaign.link_cache",
+    "campaign.batch_eval",
+    "campaign.fleet_scale",
     "campaign.checkpoint_dir",
     "campaign.checkpoint_every_hours",
     "faults.enabled",
@@ -145,6 +147,17 @@ platform_config load_platform_config(const std::string& ini_text) {
           static_cast<unsigned>(as_count(doc, key));  // 0 = hw concurrency
     } else if (key == "campaign.link_cache") {
       cfg.campaign_link_cache = doc.get_bool(key);
+    } else if (key == "campaign.batch_eval") {
+      cfg.campaign_batch_eval = doc.get_bool(key);
+    } else if (key == "campaign.fleet_scale") {
+      const std::size_t scale = as_count(doc, key);
+      if (scale == 0) {
+        throw invalid_argument_error(
+            "config: campaign.fleet_scale must be >= 1 (synthetic fleet "
+            "multiplier; use campaign.fleet_scale = 1 for the paper-scale "
+            "fleet)");
+      }
+      cfg.fleet_scale = scale;
     } else if (key == "campaign.checkpoint_dir") {
       cfg.campaign_checkpoint_dir = doc.get(key);
     } else if (key == "campaign.checkpoint_every_hours") {

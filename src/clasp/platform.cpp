@@ -9,8 +9,28 @@
 
 namespace clasp {
 
+namespace {
+
+// Mirror platform_config::fleet_scale into the internet config (which
+// deploy_servers reads) before the substrate is generated. Member
+// initializers run in declaration order, so this must happen inside
+// config_'s initializer.
+platform_config resolve_fleet_scale(platform_config config) {
+  if (config.fleet_scale == 0) {
+    throw invalid_argument_error(
+        "platform: fleet_scale must be >= 1 (synthetic fleet multiplier; "
+        "use 1 for the paper-scale fleet)");
+  }
+  if (config.fleet_scale != 1) {
+    config.internet.fleet_scale = config.fleet_scale;
+  }
+  return config;
+}
+
+}  // namespace
+
 clasp_platform::clasp_platform(platform_config config)
-    : config_(std::move(config)),
+    : config_(resolve_fleet_scale(std::move(config))),
       net_(generate_internet(config_.internet)),
       rng_(hash_tag(config_.internet.seed, "platform")) {
   if (config_.obs_metrics) {
@@ -73,6 +93,9 @@ campaign_runner& clasp_platform::start_topology_campaign(
   for (const selected_server& s : selection.selected) {
     servers.push_back(s.server_id);
   }
+  // Selection sees only the base fleet; the campaign measures every
+  // replica of each selected server (identity at fleet_scale 1).
+  servers = registry_.with_replicas(servers);
   campaign_config cfg;
   cfg.region = region;
   cfg.tier = service_tier::premium;
@@ -80,6 +103,7 @@ campaign_runner& clasp_platform::start_topology_campaign(
   cfg.window = window;
   cfg.workers = config_.campaign_workers;
   cfg.link_cache = config_.campaign_link_cache;
+  cfg.batch_eval = config_.campaign_batch_eval;
   cfg.faults = config_.campaign_faults;
   cfg.heartbeat_every_hours = config_.obs_heartbeat_every_hours;
   if (!config_.campaign_checkpoint_dir.empty()) {
@@ -106,6 +130,7 @@ clasp_platform::start_differential_campaign(const std::string& region,
     throw state_error("clasp_platform: differential selection for " + region +
                       " found no servers");
   }
+  servers = registry_.with_replicas(servers);
 
   campaign_runner* runners[2] = {nullptr, nullptr};
   const service_tier tiers[2] = {service_tier::premium,
@@ -119,6 +144,7 @@ clasp_platform::start_differential_campaign(const std::string& region,
     cfg.window = window;
     cfg.workers = config_.campaign_workers;
     cfg.link_cache = config_.campaign_link_cache;
+    cfg.batch_eval = config_.campaign_batch_eval;
     cfg.faults = config_.campaign_faults;
     cfg.heartbeat_every_hours = config_.obs_heartbeat_every_hours;
     if (!config_.campaign_checkpoint_dir.empty()) {
@@ -177,6 +203,12 @@ void clasp_platform::run_campaigns(
     // holding the union of their registered links: prefill it once per
     // hour before any staging worker reads.
     if (want_cache) view_->link_cache().prefill(at, &pool);
+    // Batched fast path: each runner evaluates its whole session arena for
+    // this hour before staging workers read per-session metrics from it.
+    for (campaign_runner* r : runners) {
+      const hour_range& w = r->config().window;
+      if (w.begin_at <= at && at < w.end_at) r->evaluate_hour(at, &pool);
+    }
     staged.resize(tasks.size());
     pool.parallel_for(tasks.size(), [&](std::size_t i) {
       tasks[i].runner->stage_vm_hour_into(tasks[i].vm_slot, at, staged[i]);

@@ -52,6 +52,17 @@ struct platform_config {
   // deploys (campaign_config::link_cache). Off only costs speed: results
   // are bit-identical either way.
   bool campaign_link_cache{true};
+  // Batched link-hour evaluation for every campaign this platform deploys
+  // (campaign_config::batch_eval). Off only costs speed: results are
+  // bit-identical either way.
+  bool campaign_batch_eval{true};
+  // Synthetic fleet multiplier (internet_config::fleet_scale, mirrored
+  // here so the config loader and CLI have one campaign-facing knob):
+  // every campaign measures fleet_scale x the selected servers, the extra
+  // replicas sharing their base servers' host attachments. 1 is the
+  // paper-scale fleet; the platform constructor rejects 0 with guidance.
+  // Selection and the generated world are unchanged at any scale.
+  std::size_t fleet_scale{1};
   // Fault injection for every campaign this platform deploys
   // (campaign_config::faults). When enabled, churned servers are also
   // retired from the platform registry so later crawls and selections no

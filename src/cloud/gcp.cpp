@@ -64,6 +64,22 @@ void charge_sheet::add_put(std::string bucket_region, std::string object_name,
                   megabytes_stored});
 }
 
+void charge_sheet::add_put_reusing(std::string_view bucket_region,
+                                   std::string_view object_name,
+                                   double megabytes_stored) {
+  if (spare_puts_.empty()) {
+    puts.push_back({std::string(bucket_region), std::string(object_name),
+                    megabytes_stored});
+    return;
+  }
+  object_put recycled = std::move(spare_puts_.back());
+  spare_puts_.pop_back();
+  recycled.bucket_region.assign(bucket_region);
+  recycled.object_name.assign(object_name);
+  recycled.megabytes_stored = megabytes_stored;
+  puts.push_back(std::move(recycled));
+}
+
 void charge_sheet::merge(charge_sheet&& other) {
   vm_hours.insert(vm_hours.end(), other.vm_hours.begin(),
                   other.vm_hours.end());

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -101,17 +102,31 @@ struct charge_sheet {
   void add_egress(service_tier tier, megabytes volume);
   void add_put(std::string bucket_region, std::string object_name,
                double megabytes_stored);
+  // Like add_put, but recycles an entry retired by the last reset() when
+  // one is available: the retired strings' capacity is reused via
+  // assign(), so a staging sheet refilled with same-shaped names every
+  // hour performs zero heap allocations in steady state.
+  void add_put_reusing(std::string_view bucket_region,
+                       std::string_view object_name, double megabytes_stored);
   // Empty the sheet but keep the vectors' capacity (for staging buffers
-  // reused every hour; assigning `{}` would free them each time).
+  // reused every hour; assigning `{}` would free them each time). Retired
+  // puts move to a spare list so add_put_reusing can recycle their string
+  // storage instead of reallocating it.
   void reset() {
     vm_hours.clear();
     egress_premium = megabytes{0.0};
     egress_standard = megabytes{0.0};
-    puts.clear();
+    while (!puts.empty()) {
+      spare_puts_.push_back(std::move(puts.back()));
+      puts.pop_back();
+    }
   }
   // Append `other`'s entries after this sheet's (merge order defines
   // charge order).
   void merge(charge_sheet&& other);
+
+ private:
+  std::vector<object_put> spare_puts_;  // retired entries, capacity intact
 };
 
 // A cloud storage bucket collecting compressed measurement artifacts.

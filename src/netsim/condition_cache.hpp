@@ -56,6 +56,10 @@ inline constexpr std::uint64_t kCacheTallyFlushLookups = 4096;
 
 class condition_cache {
  public:
+  // Sentinel for "link has no table slot" (unregistered). Public so batch
+  // evaluators can pre-resolve link -> slot once and test against it.
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
   explicit condition_cache(const internet* net);
 
   // Add a link to the registered set (idempotent). Coordinator-only; must
@@ -84,6 +88,23 @@ class condition_cache {
     return &table_[2 * slot + (dir == link_dir::a_to_b ? 0 : 1)];
   }
 
+  // The table slot assigned to `l`, or kNoSlot when unregistered. Slots
+  // are stable once assigned (register_link only appends), so a batch
+  // evaluator can resolve its paths once and reuse the indices for the
+  // lifetime of the cache. Entry (slot, dir) lives at table 2*slot + dir.
+  std::uint32_t slot(link_index l) const {
+    return l.value < slot_of_.size() ? slot_of_[l.value] : kNoSlot;
+  }
+
+  // The dense condition table for hour `at`, or nullptr when `at` is not
+  // the prefilled epoch. The same validity test lookup() performs, hoisted
+  // out of per-hop loops: a batch sweep checks once, then indexes
+  // table[2*slot + (dir == a_to_b ? 0 : 1)] directly.
+  const link_condition* table_for(hour_stamp at) const {
+    if (!valid_ || at.hours_since_epoch() != epoch_) return nullptr;
+    return table_.data();
+  }
+
   // Batched hit/miss accounting. lookup() itself stays metric-free so the
   // per-hop cost is untouched; callers tally locally per evaluation and
   // publish once (network_view::evaluate does this per path). The publish
@@ -103,8 +124,6 @@ class condition_cache {
   }
 
  private:
-  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
-
   // Static link attributes captured at registration, so the hourly
   // prefill walks a contiguous array instead of chasing topology entries.
   struct registered_link {

@@ -196,6 +196,11 @@ class internet_builder {
     if (config_.episode_prob_lo > config_.episode_prob_hi) {
       throw invalid_argument_error("internet_config: episode prob range");
     }
+    if (config_.fleet_scale == 0) {
+      throw invalid_argument_error(
+          "internet_config: fleet_scale must be >= 1 (synthetic fleet "
+          "multiplier; 1 is the paper-scale fleet)");
+    }
   }
 
   topology& topo() { return *net_.topo; }

@@ -81,6 +81,14 @@ struct internet_config {
 
   // Speedchecker-style vantage points for the differential pre-test.
   std::size_t vantage_point_count{1200};
+
+  // Synthetic fleet multiplier: deploy_servers() appends fleet_scale - 1
+  // replica rounds of the server fleet, each replica sharing its base
+  // server's host attachment, so 10x/100x measurement loads are
+  // constructible without changing the generated world (the base fleet
+  // stays byte-identical at every scale). Must be >= 1; 1 is the
+  // paper-scale fleet.
+  std::size_t fleet_scale{1};
 };
 
 // What a dynamically attached host is; selects its NIC load profile.

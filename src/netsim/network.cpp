@@ -117,6 +117,71 @@ path_metrics network_view::evaluate(const flat_path& path,
   return m;
 }
 
+std::size_t path_arena::add(const flat_path& path) {
+  const std::size_t index = size();
+  hops_.insert(hops_.end(), path.hops.begin(), path.hops.end());
+  cond_.resize(hops_.size(), kUnresolved);
+  offsets_.push_back(static_cast<std::uint32_t>(hops_.size()));
+  base_rtt_.push_back(path.base_rtt);
+  router_cost_rtt_.push_back(path.router_cost_rtt);
+  return index;
+}
+
+void path_arena::resolve(const condition_cache& cache) {
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    const std::uint32_t slot = cache.slot(hops_[i].link);
+    cond_[i] = slot == condition_cache::kNoSlot
+                   ? kUnresolved
+                   : 2 * slot +
+                         (hops_[i].dir == link_dir::a_to_b ? 0u : 1u);
+  }
+}
+
+void network_view::evaluate_batch(const path_arena& arena, hour_stamp at,
+                                  std::size_t begin_path,
+                                  std::size_t end_path,
+                                  path_metrics* out) const {
+  const link_condition* table = cache_->table_for(at);
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  for (std::size_t p = begin_path; p < end_path; ++p) {
+    path_metrics m;
+    m.bottleneck = mbps{1e12};
+    double pass = 1.0;
+    const std::uint32_t hop_end = arena.offsets_[p + 1];
+    for (std::uint32_t i = arena.offsets_[p]; i < hop_end; ++i) {
+      const flat_hop& h = arena.hops_[i];
+      link_condition data;
+      link_condition ack;
+      const std::uint32_t c = arena.cond_[i];
+      if (table != nullptr && c != path_arena::kUnresolved) {
+        data = table[c];
+        ack = table[c ^ 1u];  // same slot, opposite direction bit
+        cache_hits += 2;
+      } else {
+        data = net_->load->condition(h.load_profile, h.link, h.dir, at,
+                                     h.capacity, h.kind);
+        ack = net_->load->condition(h.load_profile, h.link, reverse(h.dir),
+                                    at, h.capacity, h.kind);
+        cache_misses += 2;
+      }
+      m.rtt = m.rtt + h.prop_rtt + data.queue_delay + ack.queue_delay;
+      pass *= (1.0 - data.loss_rate);
+      if (data.available < m.bottleneck) {
+        m.bottleneck = data.available;
+        m.bottleneck_link = h.link;
+        m.bottleneck_util = data.utilization;
+      }
+      if (data.episode) m.episode = true;
+    }
+    m.base_rtt = arena.base_rtt_[p];
+    m.rtt = m.rtt + arena.router_cost_rtt_[p];
+    m.loss = 1.0 - pass;
+    out[p] = m;
+  }
+  cache_->note_lookups(cache_hits, cache_misses);
+}
+
 millis network_view::base_rtt(const route_path& path) const {
   millis total{0.0};
   for_each_hop(path, [&](const path_hop& h) {

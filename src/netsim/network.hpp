@@ -60,6 +60,42 @@ struct flat_path {
   millis router_cost_rtt;      // 2 * 0.08 ms * router count
 };
 
+// Structure-of-arrays twin of a set of flat_paths: every path's hops are
+// concatenated into one shared hop arena addressed by a CSR offsets array,
+// with the per-path static terms (base RTT, router cost) in parallel
+// arrays. A per-hour sweep over all paths then walks memory linearly
+// instead of chasing one std::vector per session.
+//
+// Lifetime rules: add() every path at deployment time, then resolve()
+// once against the view's condition_cache (slots are stable once
+// assigned, so resolution survives later prefills; links registered with
+// the cache *after* resolve() simply stay on the compute fallback). The
+// arena is immutable afterwards and safe to share across reader threads.
+class path_arena {
+ public:
+  // "Hop has no resolved condition-table entry" sentinel; such hops fall
+  // back to the direct load-model computation (bit-identical by contract).
+  static constexpr std::uint32_t kUnresolved = ~std::uint32_t{0};
+
+  // Append a path; returns its index. Paths are evaluated in add() order.
+  std::size_t add(const flat_path& path);
+
+  // Map each hop to its condition-table entry 2*slot + dir_bit (or
+  // kUnresolved). Coordinator-only; idempotent.
+  void resolve(const condition_cache& cache);
+
+  std::size_t size() const { return offsets_.size() - 1; }
+  std::size_t hop_count() const { return hops_.size(); }
+
+ private:
+  friend class network_view;
+  std::vector<flat_hop> hops_;          // all paths' hops, concatenated
+  std::vector<std::uint32_t> cond_;     // per hop: table index or kUnresolved
+  std::vector<std::uint32_t> offsets_{0};  // path i = [offsets_[i], offsets_[i+1])
+  std::vector<millis> base_rtt_;           // per path
+  std::vector<millis> router_cost_rtt_;    // per path
+};
+
 class network_view {
  public:
   explicit network_view(const internet* net);
@@ -75,6 +111,18 @@ class network_view {
   // array. Bit-identical to evaluate(path, at).
   flat_path flatten(const route_path& path) const;
   path_metrics evaluate(const flat_path& path, hour_stamp at) const;
+
+  // Batched evaluation: compute metrics for arena paths
+  // [begin_path, end_path) at hour `at`, writing out[p] for each absolute
+  // path index p. Each hop whose condition-table entry resolved reads the
+  // prefilled table directly (one validity check per call, hoisted out of
+  // the hop loop); unresolved hops and non-prefilled hours fall back to
+  // the load model. Bit-identical to evaluate(flat_path) per path — same
+  // floating-point operations in the same order. Disjoint [begin, end)
+  // ranges may run on different threads between prefills.
+  void evaluate_batch(const path_arena& arena, hour_stamp at,
+                      std::size_t begin_path, std::size_t end_path,
+                      path_metrics* out) const;
 
   // Propagation-only round-trip time (no load model; used for latency
   // floor assertions and 5th-percentile sanity checks).

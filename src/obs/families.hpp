@@ -26,6 +26,14 @@ inline constexpr const char* kCampaignSessions = "clasp_campaign_sessions";
 inline constexpr const char* kCampaignHourSeconds =
     "clasp_campaign_hour_seconds";
 
+// Fleet scale + batched evaluation (SoA fast path; see DESIGN.md,
+// "Memory layout & batched evaluation").
+inline constexpr const char* kFleetServers = "clasp_fleet_servers";
+inline constexpr const char* kFleetVms = "clasp_fleet_vms";
+inline constexpr const char* kSessionsTotal = "clasp_sessions_total";
+inline constexpr const char* kBatchGroupsPerHour =
+    "clasp_batch_groups_per_hour";
+
 // Thread pool (published from util::thread_pool::stats() by the campaign
 // coordinator; the pool itself stays obs-free to avoid a util->obs cycle).
 inline constexpr const char* kPoolWorkers = "clasp_pool_workers";

@@ -203,7 +203,9 @@ void register_core_families() {
         family::kPoolTasks, family::kPoolBusySeconds,
         family::kPoolLastBatchSize, family::kPoolUtilization,
         family::kCheckpointLastHour, family::kFaultsPlannedWithdrawals,
-        family::kFaultsPlannedOutages, family::kFaultsPlannedOutageHours}) {
+        family::kFaultsPlannedOutages, family::kFaultsPlannedOutageHours,
+        family::kFleetServers, family::kFleetVms, family::kSessionsTotal,
+        family::kBatchGroupsPerHour}) {
     reg.get_gauge(name);
   }
   for (const char* name :

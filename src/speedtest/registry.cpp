@@ -87,7 +87,9 @@ std::vector<std::size_t> server_registry::crawl(
     const std::string& country) const {
   std::vector<std::size_t> out;
   for (const speed_server& s : servers_) {
-    if (!s.withdrawn && s.country == country) out.push_back(s.id);
+    if (!s.withdrawn && !s.replica && s.country == country) {
+      out.push_back(s.id);
+    }
   }
   return out;
 }
@@ -96,7 +98,8 @@ std::vector<std::size_t> server_registry::in_city_as(city_id city,
                                                      asn network) const {
   std::vector<std::size_t> out;
   for (const speed_server& s : servers_) {
-    if (!s.withdrawn && s.city == city && s.network == network) {
+    if (!s.withdrawn && !s.replica && s.city == city &&
+        s.network == network) {
       out.push_back(s.id);
     }
   }
@@ -138,9 +141,32 @@ bool server_registry::retired(std::size_t id) const {
 std::size_t server_registry::distinct_ases(const std::string& country) const {
   std::unordered_set<std::uint32_t> ases;
   for (const speed_server& s : servers_) {
-    if (!s.withdrawn && s.country == country) ases.insert(s.network.value);
+    if (!s.withdrawn && !s.replica && s.country == country) {
+      ases.insert(s.network.value);
+    }
   }
   return ases.size();
+}
+
+std::vector<std::size_t> server_registry::with_replicas(
+    const std::vector<std::size_t>& ids) const {
+  if (replication_ > 1) {
+    for (const std::size_t id : ids) {
+      if (id >= base_count_) {
+        throw invalid_argument_error(
+            "server_registry: with_replicas takes base server ids");
+      }
+    }
+  }
+  std::vector<std::size_t> out;
+  out.reserve(ids.size() * replication_);
+  out = ids;
+  for (std::size_t round = 1; round < replication_; ++round) {
+    for (const std::size_t id : ids) {
+      out.push_back(round * base_count_ + id);
+    }
+  }
+  return out;
 }
 
 server_registry deploy_servers(internet& net,
@@ -290,10 +316,30 @@ server_registry deploy_servers(internet& net,
   fill(/*us=*/true, config.us_server_target);
   fill(/*us=*/false, config.global_server_target);
 
+  // 4. Synthetic fleet scaling: append fleet_scale - 1 replica rounds,
+  // each copying the base fleet in id order. Replicas share the base
+  // server's host attachment — no new topology state, no RNG draws — so
+  // the base world (ids, hosts, routes, load profiles) is byte-identical
+  // at every scale; only the measurement load multiplies.
+  registry.base_count_ = registry.servers_.size();
+  registry.replication_ = std::max<std::size_t>(net.config.fleet_scale, 1);
+  for (std::size_t round = 1; round < registry.replication_; ++round) {
+    for (std::size_t b = 0; b < registry.base_count_; ++b) {
+      speed_server s = registry.servers_[b];
+      s.id = registry.servers_.size();
+      s.replica = true;
+      registry.servers_.push_back(std::move(s));
+    }
+  }
+
   CLASP_LOG(info, "speedtest")
       << "deployed " << registry.size() << " servers ("
       << registry.crawl("US").size() << " US across "
-      << registry.distinct_ases("US") << " ASes)";
+      << registry.distinct_ases("US") << " ASes"
+      << (registry.replication_ > 1
+              ? ", fleet_scale " + std::to_string(registry.replication_)
+              : std::string())
+      << ")";
   return registry;
 }
 

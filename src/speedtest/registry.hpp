@@ -33,6 +33,11 @@ struct speed_server {
   mbps capacity{mbps::from_gbps(1.0)};
   // Withdrawn servers stay addressable by id but vanish from crawls.
   bool withdrawn{false};
+  // Synthetic fleet-scale replica (internet_config::fleet_scale > 1):
+  // shares its base server's host attachment, so it adds measurement load
+  // without changing the generated world. Replicas are excluded from
+  // crawls and selection; campaigns reach them via with_replicas().
+  bool replica{false};
 };
 
 struct server_deploy_config {
@@ -70,10 +75,25 @@ class server_registry {
   // Number of distinct ASes hosting servers in a country.
   std::size_t distinct_ases(const std::string& country) const;
 
+  // --- synthetic fleet scaling (internet_config::fleet_scale) ---
+  // Replica id layout: round r's copy of base server b has id
+  // base_count() * r + b, rounds appended after the base fleet in order.
+  // Deployment and selection never see replicas, so a scaled world's base
+  // fleet (ids, hosts, paths) is byte-identical to the 1x world.
+  std::size_t base_count() const { return base_count_; }
+  std::size_t replication() const { return replication_; }
+  // Expand a list of base server ids with their replicas (round-major:
+  // the input order first, then each round's copies in the same order).
+  // Identity at 1x. Throws invalid_argument_error for a non-base id.
+  std::vector<std::size_t> with_replicas(
+      const std::vector<std::size_t>& ids) const;
+
  private:
   friend server_registry deploy_servers(internet& net,
                                         const server_deploy_config& config);
   std::vector<speed_server> servers_;
+  std::size_t base_count_{0};     // fleet size before replication
+  std::size_t replication_{1};    // fleet_scale the fleet was built with
 };
 
 // Place the fleet into the topology (attaches hosts + access profiles).

@@ -30,13 +30,17 @@ speed_test_session::speed_test_session(const gcp_cloud* cloud,
 }
 
 speed_test_report speed_test_session::run(hour_stamp at, rng& r) const {
+  return run_with_metrics(view_->evaluate(flat_down_, at),
+                          view_->evaluate(flat_up_, at), at, r);
+}
+
+speed_test_report speed_test_session::run_with_metrics(
+    const path_metrics& down_m, const path_metrics& up_m, hour_stamp at,
+    rng& r) const {
   speed_test_report report;
   report.server_id = server_id_;
   report.at = at;
   report.tier = tier_;
-
-  const path_metrics down_m = view_->evaluate(flat_down_, at);
-  const path_metrics up_m = view_->evaluate(flat_up_, at);
 
   // Latency phase (HTTP pings on the download path).
   report.latency = run_latency_probe(down_m, config_.latency_probes, r);

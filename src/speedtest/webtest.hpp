@@ -50,8 +50,22 @@ class speed_test_session {
   // Execute one test. `r` supplies client-side measurement noise.
   speed_test_report run(hour_stamp at, rng& r) const;
 
+  // Execute one test against pre-evaluated path conditions. The batched
+  // campaign sweep evaluates every session's paths for an hour in one
+  // arena pass and feeds the results here; run() is exactly
+  // run_with_metrics(evaluate(flat_down), evaluate(flat_up), ...), so the
+  // two entry points are bit-identical for the same hour.
+  speed_test_report run_with_metrics(const path_metrics& down_m,
+                                     const path_metrics& up_m, hour_stamp at,
+                                     rng& r) const;
+
   const route_path& download_path() const { return down_; }
   const route_path& upload_path() const { return up_; }
+  // The flattened paths run() evaluates, in data direction. Exposed so a
+  // batch evaluator (path_arena) can mirror them; evaluating these at an
+  // hour reproduces run()'s inputs exactly.
+  const flat_path& flat_download_path() const { return flat_down_; }
+  const flat_path& flat_upload_path() const { return flat_up_; }
   std::size_t server_id() const { return server_id_; }
   gcp_cloud::vm_id vm_id() const { return vm_; }
 

@@ -49,6 +49,12 @@ class ts_series {
     points_.push_back({at, value});
   }
 
+  // Hint that append() is about to run: pulls the vector tail into cache.
+  // Purely advisory — correct (and cheap) on an empty series too.
+  void prefetch_tail() const {
+    __builtin_prefetch(points_.data() + points_.size(), 1);
+  }
+
   // Points with begin <= at < end. Requires time-ordered appends (the
   // store enforces this).
   std::span<const ts_point> range(hour_stamp begin, hour_stamp end) const;
@@ -94,6 +100,14 @@ class tsdb {
   void write(series_ref ref, hour_stamp at, double value) {
     if (ref >= series_.size()) throw_bad_ref();
     series_[ref].append(at, value);
+  }
+
+  // Advisory cache warm-up for a ref an imminent write() will hit. The
+  // commit loop appends to thousands of distinct series per hour, each
+  // tail a cold line; prefetching a few refs ahead hides the miss
+  // latency. A bad ref is silently ignored (no side effects).
+  void prefetch(series_ref ref) const {
+    if (ref < series_.size()) series_[ref].prefetch_tail();
   }
 
   // The series behind a ref (throws not_found_error on a bad ref).

@@ -8,9 +8,13 @@
 // the output.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <map>
+#include <new>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -19,13 +23,57 @@
 #include "obs/trace.hpp"
 #include "test_support.hpp"
 
+// --- counting allocator ---------------------------------------------------
+// Binary-wide replacement of the global allocation functions so the
+// steady-state staging test below can assert the worker path performs
+// zero heap allocations. Counting is armed only around the measured
+// section; outside it the replacement is a plain malloc shim.
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) noexcept {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::malloc(size != 0 ? size : 1);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+// --------------------------------------------------------------------------
+
 namespace clasp {
 namespace {
 
 using ::clasp::testing::small_internet_config;
 using ::clasp::testing::small_server_config;
 
-platform_config tiny_config(unsigned workers, bool link_cache = true) {
+platform_config tiny_config(unsigned workers, bool link_cache = true,
+                            bool batch_eval = true) {
   platform_config cfg;
   cfg.internet = small_internet_config();
   cfg.internet.seed = 777;
@@ -41,6 +89,7 @@ platform_config tiny_config(unsigned workers, bool link_cache = true) {
   cfg.topology_budgets = {{"us-west1", 40}};
   cfg.campaign_workers = workers;
   cfg.campaign_link_cache = link_cache;
+  cfg.campaign_batch_eval = batch_eval;
   return cfg;
 }
 
@@ -93,17 +142,18 @@ campaign_snapshot snapshot_of(clasp_platform& p, campaign_runner& c) {
   return snap;
 }
 
-// Each (workers, link_cache) platform is built once and its snapshot
-// shared across tests (platform construction dominates this suite's
-// runtime).
-const campaign_snapshot& run_once(unsigned workers, bool link_cache = true) {
-  static std::map<std::pair<unsigned, bool>, campaign_snapshot>* memo =
-      new std::map<std::pair<unsigned, bool>, campaign_snapshot>();
-  const auto key = std::make_pair(workers, link_cache);
+// Each (workers, link_cache, batch_eval) platform is built once and its
+// snapshot shared across tests (platform construction dominates this
+// suite's runtime).
+const campaign_snapshot& run_once(unsigned workers, bool link_cache = true,
+                                  bool batch_eval = true) {
+  static std::map<std::tuple<unsigned, bool, bool>, campaign_snapshot>* memo =
+      new std::map<std::tuple<unsigned, bool, bool>, campaign_snapshot>();
+  const auto key = std::make_tuple(workers, link_cache, batch_eval);
   const auto it = memo->find(key);
   if (it != memo->end()) return it->second;
 
-  clasp_platform p(tiny_config(workers, link_cache));
+  clasp_platform p(tiny_config(workers, link_cache, batch_eval));
   campaign_runner& c = p.start_topology_campaign("us-west1", two_days());
   // Exercise the outage path too: slot 0 down for four mid-window hours.
   c.inject_vm_outage(0, {two_days().begin_at + 20, two_days().begin_at + 24});
@@ -218,6 +268,71 @@ TEST(CampaignParallelTest, MetricsNeverChangeResults) {
     EXPECT_GT(static_cast<double>(hits) / static_cast<double>(hits + misses),
               0.9);
   }
+}
+
+TEST(CampaignParallelTest, BatchEvalNeverChangesResults) {
+  // The legacy per-session path is kept: the full batch on/off x cache
+  // on/off x workers 1/2/8 matrix must agree byte for byte.
+  const campaign_snapshot& reference = run_once(1, /*link_cache=*/true,
+                                                /*batch_eval=*/true);
+  ASSERT_FALSE(reference.csv.empty());
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    expect_identical(reference, run_once(workers, true, false));
+    expect_identical(reference, run_once(workers, false, false));
+    expect_identical(reference, run_once(workers, false, true));
+  }
+}
+
+TEST(CampaignParallelTest, FaultsWithBatchEvalAgree) {
+  // Retries are the risky path: a retried test in batch mode reuses the
+  // hour's precomputed path metrics, while the legacy path re-evaluates
+  // them per attempt. Both must produce the same bytes under the low
+  // fault preset (which exercises retries, churn and VM preemption).
+  campaign_snapshot snaps[2];
+  for (int b = 0; b < 2; ++b) {
+    platform_config cfg = tiny_config(1, /*link_cache=*/true,
+                                      /*batch_eval=*/b == 1);
+    cfg.campaign_faults = fault_config::preset("low");
+    clasp_platform p(cfg);
+    campaign_runner& c = p.start_topology_campaign("us-west1", two_days());
+    c.run();
+    snaps[b] = snapshot_of(p, c);
+  }
+  EXPECT_GT(snaps[0].tests_run, 0u);
+  expect_identical(snaps[0], snaps[1]);
+}
+
+TEST(CampaignParallelTest, SteadyStateStagingIsAllocationFree) {
+  // The per-VM-hour worker path (stage_vm_hour_into after warmup) must
+  // not touch the heap: every buffer it needs — staging vectors, the
+  // session-order scratch, the artifact object name, charge-sheet put
+  // records — is preallocated or recycled. Guarded by the binary-wide
+  // counting allocator above.
+  clasp_platform p(tiny_config(1));
+  campaign_runner& c = p.start_topology_campaign("us-west1", two_days());
+  const hour_stamp begin = two_days().begin_at;
+  // Warm up: full hours grow every reusable buffer to steady-state
+  // capacity (and resolve the arena + condition cache slots).
+  for (int h = 0; h < 6; ++h) c.run_hour(begin + h);
+
+  const hour_stamp at = begin + 6;
+  c.begin_hour(at);
+  p.view().link_cache().prefill(at);
+  c.evaluate_hour(at);
+  // One staging pass warms this thread's scratch and the reused slot.
+  campaign_runner::vm_hour_staging staged;
+  for (std::size_t v = 0; v < c.vm_count(); ++v) {
+    c.stage_vm_hour_into(v, at, staged);
+  }
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  for (std::size_t v = 0; v < c.vm_count(); ++v) {
+    c.stage_vm_hour_into(v, at, staged);
+  }
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "stage_vm_hour_into allocated in steady state";
 }
 
 TEST(CampaignParallelTest, PlatformFanOutMatchesSerialRun) {

@@ -333,6 +333,43 @@ TEST(CampaignResume, InterruptCheckpointsAndResumeFinishes) {
   fs::remove_all(root);
 }
 
+TEST(CampaignResume, KillMidIntervalAtTenTimesFleetScale) {
+  // The scaled fleet's CSR/arena state must round-trip the checkpoint
+  // wire format: at 10x fleet_scale, kill mid-interval (snapshot at 20
+  // plus WAL-covered hours) and finish byte-identically to an
+  // uninterrupted 10x run — resuming with different worker count, cache
+  // and batch settings than the killed run used.
+  campaign_snapshot ref;
+  {
+    platform_config cfg = tiny_config(2, true, "low");
+    cfg.fleet_scale = 10;
+    clasp_platform p(cfg);
+    campaign_runner& c = p.start_topology_campaign("us-west1", window());
+    EXPECT_TRUE(c.run());
+    ref = snapshot_of(p, c);
+  }
+  const fs::path root = test_dir();
+  {
+    platform_config cfg = tiny_config(2, true, "low", root.string());
+    cfg.fleet_scale = 10;
+    clasp_platform p(cfg);
+    campaign_runner& c = p.start_topology_campaign("us-west1", window());
+    EXPECT_GT(c.session_count(), 300u);  // the fleet really is 10x
+    EXPECT_TRUE(c.run_until(window().begin_at + 25));
+  }
+  {
+    platform_config cfg = tiny_config(1, false, "low", root.string());
+    cfg.fleet_scale = 10;
+    cfg.campaign_batch_eval = false;  // resume on the legacy path
+    clasp_platform p(cfg);
+    campaign_runner& c = p.start_topology_campaign("us-west1", window());
+    ASSERT_TRUE(c.resume(c.config().checkpoint_dir));
+    EXPECT_TRUE(c.run());
+    expect_identical(ref, snapshot_of(p, c));
+  }
+  fs::remove_all(root);
+}
+
 TEST(CampaignResume, ResumeWithoutCheckpointReturnsFalse) {
   const fs::path root = test_dir();
   expect_identical(reference("off"),

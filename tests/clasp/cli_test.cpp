@@ -38,6 +38,40 @@ TEST(CliTest, ParsesObservabilityFlags) {
   EXPECT_EQ(opts.heartbeat_every, 6);
 }
 
+TEST(CliTest, ParsesFleetScaleAndBatchEval) {
+  cli_options opts;
+  const auto r = parse(
+      {"run", "--fleet-scale", "10", "--batch-eval", "off"}, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(opts.fleet_scale, 10);
+  EXPECT_EQ(opts.batch_eval, 0);
+  // Both default to "use the config's value".
+  cli_options defaults;
+  ASSERT_TRUE(parse({"run"}, defaults).ok);
+  EXPECT_EQ(defaults.fleet_scale, -1);
+  EXPECT_EQ(defaults.batch_eval, -1);
+}
+
+TEST(CliTest, RejectsZeroFleetScaleWithGuidance) {
+  cli_options opts;
+  const auto r = parse({"run", "--fleet-scale", "0"}, opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--fleet-scale must be an integer >= 1"),
+            std::string::npos);
+  // The message explains what the knob is and the paper-scale value.
+  EXPECT_NE(r.error.find("--fleet-scale 1"), std::string::npos);
+  EXPECT_FALSE(parse({"run", "--fleet-scale", "-4"}, opts).ok);
+  EXPECT_FALSE(parse({"run", "--fleet-scale", "ten"}, opts).ok);
+  EXPECT_FALSE(parse({"run", "--batch-eval", "maybe"}, opts).ok);
+}
+
+TEST(CliTest, FleetScaleTypoGetsSuggestion) {
+  cli_options opts;
+  const auto r = parse({"run", "--fleet-scal", "10"}, opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("did you mean --fleet-scale?"), std::string::npos);
+}
+
 TEST(CliTest, RejectsUnknownCommand) {
   cli_options opts;
   const auto r = parse({"explode"}, opts);

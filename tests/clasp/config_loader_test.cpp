@@ -160,6 +160,44 @@ TEST(ConfigLoaderTest, ZeroCheckpointCadenceRejected) {
   }
 }
 
+TEST(ConfigLoaderTest, FleetScaleAndBatchEvalApply) {
+  const platform_config cfg = load_platform_config(
+      "[campaign]\n"
+      "fleet_scale = 10\n"
+      "batch_eval = false\n");
+  EXPECT_EQ(cfg.fleet_scale, 10u);
+  EXPECT_FALSE(cfg.campaign_batch_eval);
+  // Defaults: paper-scale fleet, batched evaluation on.
+  const platform_config defaults = load_platform_config("");
+  EXPECT_EQ(defaults.fleet_scale, 1u);
+  EXPECT_TRUE(defaults.campaign_batch_eval);
+}
+
+TEST(ConfigLoaderTest, ZeroFleetScaleRejected) {
+  try {
+    load_platform_config("[campaign]\nfleet_scale = 0\n");
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fleet_scale must be >= 1"), std::string::npos)
+        << what;
+    // The message explains the knob and names the paper-scale value.
+    EXPECT_NE(what.find("fleet_scale = 1"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigLoaderTest, FleetScaleTypoGetsSuggestion) {
+  try {
+    load_platform_config("[campaign]\nfleet_scal = 10\n");
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("did you mean campaign.fleet_scale?"),
+        std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ConfigLoaderTest, CheckpointKeyTyposGetSuggestions) {
   try {
     load_platform_config("[campaign]\ncheckpoint_every_hour = 12\n");
