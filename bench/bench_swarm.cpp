@@ -1,0 +1,238 @@
+// Vantage-swarm sweep: the §3.1 differential pre-test re-run on the
+// churn-driven community swarm at "off" (the paper's fixed panel), "low"
+// (background community churn) and "high" (adversarial churn + tight
+// per-probe budgets).
+//
+// The claim under test: the coverage-aware scheduler keeps the pre-test's
+// ⟨city, AS⟩ latency-class classification stable under realistic churn.
+// For every tuple classified both by the fixed panel and by a churned
+// swarm, the bench computes the ordinal class shift
+// (premium_lower / comparable / standard_lower) and gates the "low"
+// preset at a maximum shift of one class. Coverage, credit and
+// substitution aggregates go to BENCH_swarm.json so CI can assert the
+// sweep ran and re-apply the gate (tools/check_bench_swarm.py). `--fast`
+// shrinks the substrate for the CI smoke job.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "clasp/differential.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace clasp;
+using namespace clasp::bench;
+
+struct sweep_point {
+  std::string preset;
+  swarm_report swarm;
+  std::size_t tuples_measured{0};
+  std::size_t tuples_incomplete{0};
+  std::size_t candidates{0};
+  std::size_t selected{0};
+  bool platform_exhausted{false};
+  // Classification drift vs. the fixed-panel baseline, over tuples
+  // classified in both runs.
+  std::size_t compared_tuples{0};
+  std::size_t shift_histogram[3] = {0, 0, 0};  // shift 0 / 1 / 2 classes
+  std::size_t max_class_shift{0};
+  std::size_t lost_tuples{0};    // classified by "off", missing here
+  std::size_t gained_tuples{0};  // classified here, missing in "off"
+};
+
+platform_config sweep_platform_config(bool fast) {
+  platform_config cfg;
+  if (fast) {
+    // Same ~1/8-scale substrate as bench_robustness --fast: enough
+    // vantage points that every ⟨city, AS⟩ tuple has a few swarm members
+    // to substitute through, cheap enough for CI.
+    cfg.internet.seed = 777;
+    cfg.internet.regional_isp_count = 120;
+    cfg.internet.hosting_count = 80;
+    cfg.internet.business_count = 150;
+    cfg.internet.education_count = 30;
+    cfg.internet.large_isp_count = 20;
+    cfg.internet.vantage_point_count = 120;
+    cfg.servers.us_server_target = 120;
+    cfg.servers.global_server_target = 600;
+  } else {
+    cfg.internet.seed = 42;
+  }
+  return cfg;
+}
+
+using tuple_key = std::pair<city_id, asn>;
+
+std::map<tuple_key, latency_class> classify(
+    const differential_selection_result& result) {
+  std::map<tuple_key, latency_class> classes;
+  for (const diff_candidate& c : result.candidates) {
+    classes.emplace(tuple_key{c.city, c.network}, c.cls);
+  }
+  return classes;
+}
+
+void diff_classes(const std::map<tuple_key, latency_class>& baseline,
+                  sweep_point& point,
+                  const std::map<tuple_key, latency_class>& churned) {
+  for (const auto& [key, cls] : churned) {
+    const auto base = baseline.find(key);
+    if (base == baseline.end()) {
+      ++point.gained_tuples;
+      continue;
+    }
+    const std::size_t shift = static_cast<std::size_t>(
+        std::abs(static_cast<int>(cls) - static_cast<int>(base->second)));
+    ++point.compared_tuples;
+    ++point.shift_histogram[shift];
+    if (shift > point.max_class_shift) point.max_class_shift = shift;
+  }
+  for (const auto& [key, cls] : baseline) {
+    (void)cls;
+    if (churned.find(key) == churned.end()) ++point.lost_tuples;
+  }
+}
+
+void write_json(const std::vector<sweep_point>& points, bool fast,
+                std::size_t rounds) {
+  std::ofstream out("BENCH_swarm.json");
+  out << "{\n  \"bench\": \"swarm\",\n"
+      << "  \"fast\": " << (fast ? "true" : "false") << ",\n"
+      << "  \"pretest_rounds\": " << rounds << ",\n"
+      << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const sweep_point& p = points[i];
+    const swarm_report& s = p.swarm;
+    out << "    {\"preset\": \"" << p.preset << "\""
+        << ", \"probe_population\": " << s.probe_population
+        << ", \"mean_active\": " << format_double(s.mean_active, 2)
+        << ", \"min_active\": " << s.min_active
+        << ", \"joins\": " << s.joins << ", \"leaves\": " << s.leaves
+        << ", \"credits_spent\": " << s.credits_spent
+        << ", \"rate_limited\": " << s.rate_limited
+        << ", \"substitutions\": " << s.substitutions
+        << ", \"missed_rounds\": " << s.missed_rounds
+        << ", \"stale_tuples\": " << s.stale_tuples
+        << ", \"rounds_below_target\": " << s.rounds_below_target
+        << ", \"mean_coverage\": " << format_double(s.mean_coverage, 4)
+        << ", \"tuples_measured\": " << p.tuples_measured
+        << ", \"tuples_incomplete\": " << p.tuples_incomplete
+        << ", \"candidates\": " << p.candidates
+        << ", \"selected\": " << p.selected
+        << ", \"platform_exhausted\": "
+        << (p.platform_exhausted ? "true" : "false")
+        << ", \"compared_tuples\": " << p.compared_tuples
+        << ", \"shift_histogram\": [" << p.shift_histogram[0] << ", "
+        << p.shift_histogram[1] << ", " << p.shift_histogram[2] << "]"
+        << ", \"max_class_shift\": " << p.max_class_shift
+        << ", \"lost_tuples\": " << p.lost_tuples
+        << ", \"gained_tuples\": " << p.gained_tuples << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+  }
+
+  print_header("Vantage swarm — pre-test classification under churn",
+               "§3.1 tuple classes must survive community-probe churn "
+               "(±1 class at the \"low\" preset)");
+
+  // One world, one region VM; each preset re-runs the pre-test through
+  // its own private swarm (the "off" run leases the fixed panel and is
+  // byte-identical to pre-swarm builds).
+  clasp_platform platform(sweep_platform_config(fast));
+  const std::string region = differential_regions()[0];
+  const gcp_cloud::vm_id vm =
+      platform.cloud().create_vm(region, service_tier::premium);
+  const endpoint target = platform.cloud().vm_endpoint(vm);
+
+  differential_config cfg;
+  const std::size_t rounds =
+      cfg.pretest_window.count() / cfg.probe_every_hours;
+
+  std::vector<sweep_point> points;
+  std::map<tuple_key, latency_class> baseline;
+  text_table table({"swarm", "active/pop", "coverage", "missed", "stale",
+                    "subs", "credits", "measured", "cand", "sel",
+                    "shift 0/1/2", "max"});
+  for (const char* preset : {"off", "low", "high"}) {
+    differential_config run_cfg = cfg;
+    run_cfg.swarm = swarm_config::preset(preset);
+    differential_selector selector(&platform.planner(), &platform.view(),
+                                   &platform.registry());
+    rng r(42);
+    const differential_selection_result result =
+        selector.run(target, run_cfg, r);
+
+    sweep_point point;
+    point.preset = preset;
+    point.swarm = result.swarm;
+    point.tuples_measured = result.tuples_measured;
+    point.tuples_incomplete = result.tuples_incomplete;
+    point.candidates = result.candidates.size();
+    point.selected = result.selected.size();
+    point.platform_exhausted = result.platform_exhausted;
+    const auto classes = classify(result);
+    if (points.empty()) {
+      baseline = classes;
+      point.compared_tuples = classes.size();
+      point.shift_histogram[0] = classes.size();
+    } else {
+      diff_classes(baseline, point, classes);
+    }
+    points.push_back(point);
+
+    const swarm_report& s = point.swarm;
+    table.add_row(
+        {point.preset,
+         format_double(s.mean_active, 0) + "/" +
+             std::to_string(s.probe_population),
+         format_double(100.0 * s.mean_coverage, 1) + "%",
+         std::to_string(s.missed_rounds), std::to_string(s.stale_tuples),
+         std::to_string(s.substitutions), std::to_string(s.credits_spent),
+         std::to_string(point.tuples_measured),
+         std::to_string(point.candidates), std::to_string(point.selected),
+         std::to_string(point.shift_histogram[0]) + "/" +
+             std::to_string(point.shift_histogram[1]) + "/" +
+             std::to_string(point.shift_histogram[2]),
+         std::to_string(point.max_class_shift)});
+    std::fprintf(stderr,
+                 "[bench] swarm=%s: coverage %.3f, %zu candidates, "
+                 "max class shift %zu\n",
+                 preset, s.mean_coverage, point.candidates,
+                 point.max_class_shift);
+  }
+  table.print(std::cout);
+
+  write_json(points, fast, rounds);
+
+  std::printf("\nexpectation: \"low\" classification within one class of "
+              "the fixed panel; wrote BENCH_swarm.json\n");
+  const sweep_point& low = points[1];
+  if (low.compared_tuples == 0) {
+    std::fprintf(stderr, "[bench] WARNING: low-churn run classified no "
+                 "tuple in common with the fixed panel\n");
+    return 1;
+  }
+  if (low.max_class_shift > 1) {
+    std::fprintf(stderr, "[bench] WARNING: low-churn class shift %zu "
+                 "exceeds the 1-class band (%zu/%zu/%zu)\n",
+                 low.max_class_shift, low.shift_histogram[0],
+                 low.shift_histogram[1], low.shift_histogram[2]);
+    return 1;
+  }
+  return 0;
+}

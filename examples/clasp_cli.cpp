@@ -59,6 +59,7 @@ void usage() {
                "[--seed S] [--config FILE] [--workers N] "
                "[--link-cache on|off] [--batch-eval on|off] "
                "[--fleet-scale N] [--faults off|low|high] "
+               "[--swarm off|low|high] "
                "[--checkpoint-dir DIR] [--checkpoint-every HOURS] "
                "[--resume] [--metrics-out FILE] [--heartbeat-every HOURS]\n"
                "  --workers N   campaign replay threads (0 = hardware "
@@ -73,6 +74,10 @@ void usage() {
                "  --faults      deterministic fault injection preset "
                "(server churn, transient failures, VM preemption); run "
                "prints a campaign health report when enabled\n"
+               "  --swarm       churn-tolerant community probe swarm for "
+               "the differential pre-test (default off = fixed panel); "
+               "low/high set join/leave rates, per-probe credits and "
+               "hourly rate limits\n"
                "  --checkpoint-dir DIR  checkpoint the campaign under DIR "
                "as it runs; Ctrl-C then stops cleanly at the next hour\n"
                "  --checkpoint-every H  hours between checkpoints "
@@ -98,6 +103,26 @@ int cmd_select(clasp_platform& platform, const cli_options& opts) {
                 platform.registry().server(s.server_id).name.c_str(),
                 s.neighbor.value, s.far_side.to_string().c_str(),
                 s.as_path_len, s.rtt.value);
+  }
+  // With the community swarm enabled (--swarm low|high or [swarm] in the
+  // config) also run the §3.1 differential pre-test through it and show
+  // what churn did to tuple coverage.
+  if (platform.config().differential.swarm.enabled) {
+    const differential_selection_result& diff =
+        platform.select_differential(opts.region);
+    const swarm_report& s = diff.swarm;
+    std::printf(
+        "differential pre-test (swarm): %.0f/%zu probes online on average, "
+        "%.1f%% tuple coverage, %zu substitutions, %zu missed rounds, "
+        "%zu stale tuples, %zu credits spent\n",
+        s.mean_active, s.probe_population, 100.0 * s.mean_coverage,
+        s.substitutions, s.missed_rounds, s.stale_tuples, s.credits_spent);
+    std::printf(
+        "  %zu tuples measured (%zu incomplete), %zu candidates -> "
+        "%zu servers%s\n",
+        diff.tuples_measured, diff.tuples_incomplete, diff.candidates.size(),
+        diff.selected.size(),
+        diff.platform_exhausted ? " [platform exhausted]" : "");
   }
   return 0;
 }
@@ -257,6 +282,9 @@ int main(int argc, char** argv) {
   }
   if (!opts.faults.empty()) {
     cfg.campaign_faults = fault_config::preset(opts.faults);
+  }
+  if (!opts.swarm.empty()) {
+    cfg.differential.swarm = swarm_config::preset(opts.swarm);
   }
   if (!opts.checkpoint_dir.empty()) {
     cfg.campaign_checkpoint_dir = opts.checkpoint_dir;

@@ -51,6 +51,10 @@ void campaign_runner::resolve_metrics() {
   metrics_.pool_busy_seconds = &reg.get_gauge(fam::kPoolBusySeconds);
   metrics_.pool_last_batch = &reg.get_gauge(fam::kPoolLastBatchSize);
   metrics_.pool_utilization = &reg.get_gauge(fam::kPoolUtilization);
+  metrics_.swarm_active = &reg.get_gauge(fam::kSwarmActiveProbes);
+  metrics_.swarm_coverage = &reg.get_gauge(fam::kSwarmCoverageRatio);
+  metrics_.swarm_stale = &reg.get_gauge(fam::kSwarmStaleTuples);
+  metrics_.swarm_credits = &reg.get_counter(fam::kSwarmCreditsSpent);
   metrics_.hour_seconds =
       &reg.get_histogram(fam::kCampaignHourSeconds, obs::duration_buckets());
 }
@@ -438,7 +442,7 @@ void campaign_runner::emit_heartbeat() const {
           : static_cast<double>(hits) / static_cast<double>(hits + misses);
   const std::int64_t done =
       cursor_.hours_since_epoch() - config_.window.begin_at.hours_since_epoch();
-  char line[320];
+  char line[448];
   int len = std::snprintf(
       line, sizeof(line),
       "%s/%s hour=%lld/%lld tests=%zu failed=%llu retried=%llu missed=%zu "
@@ -466,8 +470,21 @@ void campaign_runner::emit_heartbeat() const {
                                last_checkpoint_hour_));
   }
   if (pool_ && len > 0 && static_cast<std::size_t>(len) < sizeof(line)) {
-    std::snprintf(line + len, sizeof(line) - static_cast<std::size_t>(len),
-                  " pool_util=%.2f", pool_->stats().utilization());
+    len += std::snprintf(
+        line + len, sizeof(line) - static_cast<std::size_t>(len),
+        " pool_util=%.2f", pool_->stats().utilization());
+  }
+  // Swarm pre-test gauges, when a swarm ran before this campaign (the
+  // gauges hold the last pre-test round's view; credits accumulate).
+  if (metrics_.swarm_credits->value() > 0 && len > 0 &&
+      static_cast<std::size_t>(len) < sizeof(line)) {
+    std::snprintf(
+        line + len, sizeof(line) - static_cast<std::size_t>(len),
+        " swarm_active=%.0f swarm_cov=%.2f swarm_stale=%.0f "
+        "swarm_credits=%llu",
+        metrics_.swarm_active->value(), metrics_.swarm_coverage->value(),
+        metrics_.swarm_stale->value(),
+        static_cast<unsigned long long>(metrics_.swarm_credits->value()));
   }
   log_message(log_level::info, "heartbeat", line);
 }

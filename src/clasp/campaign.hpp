@@ -48,6 +48,8 @@
 
 namespace clasp {
 
+class vantage_swarm;
+
 struct campaign_config {
   std::string region;
   service_tier tier{service_tier::premium};
@@ -197,6 +199,12 @@ class campaign_runner {
   void set_churn_registry(server_registry* registry) {
     churn_registry_ = registry;
   }
+
+  // Pre-test swarm whose ledgers (account month quota, per-probe credits)
+  // ride along in this campaign's checkpoints, so a resumed campaign
+  // cannot double-spend or silently reset its pre-test probe budget.
+  // Optional; the campaign itself never probes through it.
+  void set_pretest_swarm(vantage_swarm* swarm) { pretest_swarm_ = swarm; }
 
   // --- staged execution (the advanced API behind run_hour) ---
   // Everything one VM produces in one hour, accumulated off-thread and
@@ -353,6 +361,10 @@ class campaign_runner {
     obs::gauge* pool_busy_seconds{nullptr};
     obs::gauge* pool_last_batch{nullptr};
     obs::gauge* pool_utilization{nullptr};
+    obs::gauge* swarm_active{nullptr};
+    obs::gauge* swarm_coverage{nullptr};
+    obs::gauge* swarm_stale{nullptr};
+    obs::counter* swarm_credits{nullptr};
     obs::histogram* hour_seconds{nullptr};
   };
   void resolve_metrics();
@@ -412,6 +424,7 @@ class campaign_runner {
   std::vector<session_tally> tallies_;
   std::size_t upload_failures_{0};
   server_registry* churn_registry_{nullptr};
+  vantage_swarm* pretest_swarm_{nullptr};
   std::uint64_t stream_seed_{0};  // hash of (net seed, label, region)
   std::string artifact_prefix_;   // "raw/<label>/", built once at deploy
   std::unique_ptr<thread_pool> pool_;  // null when workers == 1

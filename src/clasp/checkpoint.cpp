@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "clasp/campaign.hpp"
+#include "clasp/swarm.hpp"
 #include "obs/families.hpp"
 #include "obs/trace.hpp"
 #include "util/binio.hpp"
@@ -189,6 +190,10 @@ void campaign_runner::save_state(binary_writer& out) const {
     }
   }
   cloud_->save_state(out);
+  // Pre-test swarm ledgers (v2): presence flag + both ledgers, so a
+  // resumed campaign's pre-test accounting cannot double-spend or reset.
+  out.boolean(pretest_swarm_ != nullptr);
+  if (pretest_swarm_ != nullptr) pretest_swarm_->save_state(out);
 }
 
 void campaign_runner::load_state(binary_reader& in) {
@@ -233,6 +238,15 @@ void campaign_runner::load_state(binary_reader& in) {
         static_cast<std::uint32_t>(outage_windows_.size());
   }
   cloud_->load_state(in);
+  if (in.boolean()) {
+    // Restore into the wired swarm, or parse-and-discard when this
+    // process resumes without one (the ledgers then start fresh).
+    if (pretest_swarm_ != nullptr) {
+      pretest_swarm_->load_state(in);
+    } else {
+      vantage_swarm::skip_state(in);
+    }
+  }
 }
 
 std::string campaign_runner::encode_wal_record(

@@ -39,7 +39,9 @@ namespace clasp {
 // Bump on any change to the manifest, state.bin, WAL record or TSDB
 // snapshot encoding. Old checkpoints are then rejected, not migrated: a
 // campaign replay is cheap to restart relative to silent corruption.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: state.bin carries the pre-test swarm ledgers (account month quota
+// plus per-probe credits) after the cloud state.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 // Parsed MANIFEST of one checkpoint.
 struct checkpoint_info {

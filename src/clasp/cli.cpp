@@ -18,6 +18,7 @@ constexpr const char* kKnownFlags[] = {
     "--checkpoint-every", "--resume",
     "--metrics-out",     "--heartbeat-every",
     "--fleet-scale",     "--batch-eval",
+    "--swarm",
 };
 
 std::string unknown_flag_error(const std::string& flag) {
@@ -116,6 +117,11 @@ cli_parse_result parse_cli_args(int argc, const char* const* argv,
         return {false, "--faults must be off, low or high"};
       }
       opts.faults = value;
+    } else if (key == "--swarm") {
+      if (value != "off" && value != "low" && value != "high") {
+        return {false, "--swarm must be off, low or high"};
+      }
+      opts.swarm = value;
     } else if (key == "--checkpoint-dir") {
       opts.checkpoint_dir = value;
     } else if (key == "--checkpoint-every") {

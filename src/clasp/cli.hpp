@@ -23,6 +23,8 @@ struct cli_options {
   // Synthetic fleet multiplier; -1 = config default. Rejects values < 1.
   int fleet_scale{-1};
   std::string faults;  // empty = config default; else off|low|high
+  // Pre-test vantage swarm preset; empty = config default.
+  std::string swarm;   // off|low|high
   std::uint64_t seed{42};
   std::string checkpoint_dir;  // empty = durability off
   int checkpoint_every{-1};    // -1 = config default (hours)

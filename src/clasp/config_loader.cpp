@@ -49,6 +49,16 @@ constexpr const char* kKnownKeys[] = {
     "differential.min_measurements",
     "differential.big_delta_ms",
     "differential.small_delta_ms",
+    "swarm.preset",
+    "swarm.enabled",
+    "swarm.seed",
+    "swarm.join_rate",
+    "swarm.leave_rate",
+    "swarm.credits_per_probe",
+    "swarm.rate_limit_per_hour",
+    "swarm.coverage_target",
+    "swarm.max_substitutes",
+    "swarm.retry_backoff_hours",
     "campaign.workers",
     "campaign.link_cache",
     "campaign.batch_eval",
@@ -101,6 +111,10 @@ platform_config load_platform_config(const std::string& ini_text) {
   // read, so individual rates in the file always override it.
   if (doc.contains("faults.preset")) {
     cfg.campaign_faults = fault_config::preset(doc.get("faults.preset"));
+  }
+  // Same pattern for the pre-test swarm: preset first, keys override.
+  if (doc.contains("swarm.preset")) {
+    cfg.differential.swarm = swarm_config::preset(doc.get("swarm.preset"));
   }
 
   for (const auto& [key, value] : doc.entries()) {
@@ -169,6 +183,30 @@ platform_config load_platform_config(const std::string& ini_text) {
             "disable durability)");
       }
       cfg.campaign_checkpoint_every_hours = static_cast<unsigned>(every);
+    } else if (key == "swarm.preset") {
+      // Already applied, before the key loop.
+    } else if (key == "swarm.enabled") {
+      cfg.differential.swarm.enabled = doc.get_bool(key);
+    } else if (key == "swarm.seed") {
+      cfg.differential.swarm.seed =
+          static_cast<std::uint64_t>(doc.get_int(key));
+    } else if (key == "swarm.join_rate") {
+      cfg.differential.swarm.join_rate = as_fraction(doc, key);
+    } else if (key == "swarm.leave_rate") {
+      cfg.differential.swarm.leave_rate = as_fraction(doc, key);
+    } else if (key == "swarm.credits_per_probe") {
+      cfg.differential.swarm.credits_per_probe = as_count(doc, key);
+    } else if (key == "swarm.rate_limit_per_hour") {
+      cfg.differential.swarm.rate_limit_per_hour =
+          static_cast<unsigned>(as_count(doc, key));
+    } else if (key == "swarm.coverage_target") {
+      cfg.differential.swarm.coverage_target = as_fraction(doc, key);
+    } else if (key == "swarm.max_substitutes") {
+      cfg.differential.swarm.max_substitutes =
+          static_cast<unsigned>(as_count(doc, key));
+    } else if (key == "swarm.retry_backoff_hours") {
+      cfg.differential.swarm.retry_backoff_hours =
+          static_cast<unsigned>(as_count(doc, key));
     } else if (key == "faults.preset") {
       // Already applied, before the key loop.
     } else if (key == "faults.enabled") {

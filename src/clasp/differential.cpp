@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -10,6 +11,51 @@
 #include "util/stats.hpp"
 
 namespace clasp {
+
+namespace {
+
+// Shared pre-test bookkeeping for one ⟨city, AS⟩ tuple.
+struct tuple_state {
+  city_id city;
+  asn network;
+  std::vector<std::size_t> members;  // probe indices, panel order
+  std::vector<double> premium_ms;
+  std::vector<double> standard_ms;
+  std::vector<std::uint8_t> round_done;  // per cadence round
+  tuple_coverage cov;
+};
+
+std::uint64_t key_of(city_id c, asn a) {
+  return (static_cast<std::uint64_t>(c.value) << 32) | a.value;
+}
+
+std::size_t round_count(const differential_config& config) {
+  std::size_t rounds = 0;
+  for (hour_stamp t = config.pretest_window.begin_at;
+       t < config.pretest_window.end_at; t = t + config.probe_every_hours) {
+    ++rounds;
+  }
+  return rounds;
+}
+
+// Fold one tuple's per-round completion bitmap into its coverage record.
+void finish_coverage(tuple_state& tuple) {
+  tuple.cov.probes = tuple.members.size();
+  tuple.cov.scheduled_rounds = tuple.round_done.size();
+  std::size_t stale_run = 0;
+  for (const std::uint8_t done : tuple.round_done) {
+    if (done != 0) {
+      ++tuple.cov.completed_rounds;
+      stale_run = 0;
+    } else {
+      ++tuple.cov.missed_rounds;
+      ++stale_run;
+      tuple.cov.max_stale_run = std::max(tuple.cov.max_stale_run, stale_run);
+    }
+  }
+}
+
+}  // namespace
 
 const char* to_string(latency_class c) {
   switch (c) {
@@ -32,41 +78,252 @@ differential_selector::differential_selector(const route_planner* planner,
 differential_selection_result differential_selector::run(
     const endpoint& region_vm, const differential_config& config,
     rng& r) const {
+  vantage_swarm local(planner_, view_, config.swarm, config.platform);
+  return run(region_vm, config, r, &local);
+}
+
+differential_selection_result differential_selector::run(
+    const endpoint& region_vm, const differential_config& config, rng& r,
+    vantage_swarm* swarm) const {
   differential_selection_result result;
   const internet& net = planner_->net();
-  speedchecker_service platform(planner_, view_, config.platform);
+  const bool swarm_on = swarm != nullptr && swarm->enabled();
+  const std::size_t rounds = round_count(config);
 
-  // Group vantage points by <city, AS>.
-  struct tuple_state {
-    city_id city;
-    asn network;
-    std::vector<double> premium_ms;
-    std::vector<double> standard_ms;
-  };
+  // Group vantage points by <city, AS> in panel order (the grouping is a
+  // property of the population, not of the schedule, so both substrates
+  // see identical tuples).
   std::unordered_map<std::uint64_t, tuple_state> tuples;
-  const auto key_of = [](city_id c, asn a) {
-    return (static_cast<std::uint64_t>(c.value) << 32) | a.value;
-  };
-
-  for (const host_index vp : net.vantage_points) {
-    const endpoint src = planner_->endpoint_of_host(vp);
+  for (std::size_t i = 0; i < net.vantage_points.size(); ++i) {
+    const endpoint src = planner_->endpoint_of_host(net.vantage_points[i]);
     const asn network = net.topo->as_at(src.owner).number;
-    auto& tuple = tuples
-                      .try_emplace(key_of(src.city, network),
-                                   tuple_state{src.city, network, {}, {}})
-                      .first->second;
+    auto& tuple =
+        tuples
+            .try_emplace(key_of(src.city, network),
+                         tuple_state{src.city, network, {}, {}, {}, {}, {}})
+            .first->second;
+    if (tuple.members.empty()) tuple.round_done.assign(rounds, 0);
+    tuple.members.push_back(i);
+  }
 
+  if (!swarm_on) {
+    // --- fixed panel (the paper's leased Speedchecker plan) ---
+    // A fresh account lease per pre-test, every vantage point probing
+    // every cadence slot, VP-major: byte-identical to pre-swarm builds
+    // whenever the account serves every probe. admissible() skips an
+    // exhausted account span without consuming draws, and a quota or
+    // retirement fault mid-pair drops the half-sample — either way the
+    // refusal is recorded as missed coverage instead of escaping run().
+    speedchecker_service platform(planner_, view_, config.platform);
+    for (const host_index vp : net.vantage_points) {
+      const endpoint src = planner_->endpoint_of_host(vp);
+      const asn network = net.topo->as_at(src.owner).number;
+      tuple_state& tuple = tuples.at(key_of(src.city, network));
+      std::size_t round = 0;
+      for (hour_stamp t = config.pretest_window.begin_at;
+           t < config.pretest_window.end_at;
+           t = t + config.probe_every_hours, ++round) {
+        if (!platform.admissible(t)) {
+          result.platform_exhausted = true;
+          continue;
+        }
+        try {
+          const vp_probe_result premium =
+              platform.probe(vp, region_vm, service_tier::premium, t, r);
+          const vp_probe_result standard =
+              platform.probe(vp, region_vm, service_tier::standard, t, r);
+          tuple.premium_ms.push_back(premium.rtt.value);
+          tuple.standard_ms.push_back(standard.rtt.value);
+          tuple.round_done[round] = 1;
+        } catch (const budget_exceeded_error&) {
+          result.platform_exhausted = true;
+        } catch (const state_error&) {
+          result.platform_exhausted = true;
+        }
+      }
+    }
+    result.swarm.probe_population = net.vantage_points.size();
+    result.swarm.min_active = net.vantage_points.size();
+    result.swarm.max_active = net.vantage_points.size();
+    result.swarm.mean_active = static_cast<double>(net.vantage_points.size());
+  } else {
+    // --- vantage swarm: coverage-aware round scheduling ---
+    // Hour-major: each cadence round samples every tuple once through a
+    // rotating primary probe (rotation by round index — deterministic, no
+    // extra RNG draws), falling back to up to max_substitutes same-tuple
+    // stand-ins when a probe is offline, rate-limited or out of credits,
+    // and retrying missed tuples once after retry_backoff_hours.
+    swarm->plan(config.pretest_window);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(tuples.size());
+    for (const auto& [key, tuple] : tuples) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+
+    const std::size_t spent_before = swarm->credits_spent();
+    const std::size_t limited_before = swarm->rate_limited_count();
+    std::size_t active_sum = 0;
+    std::size_t scheduled_total = 0;
+    std::size_t completed_total = 0;
+
+    // One tuple attempt at hour `t`. Returns true when both tiers were
+    // sampled (pushing the samples); `substituted` reports a stand-in.
+    const auto attempt = [&](tuple_state& tuple, hour_stamp t,
+                             std::size_t round, bool& substituted) {
+      substituted = false;
+      if (!swarm->platform_admissible(t)) {
+        result.platform_exhausted = true;
+        return false;
+      }
+      const std::size_t n = tuple.members.size();
+      const std::size_t tries = std::min<std::size_t>(
+          n, static_cast<std::size_t>(swarm->config().max_substitutes) + 1);
+      for (std::size_t k = 0; k < tries; ++k) {
+        const std::size_t probe = tuple.members[(round + k) % n];
+        try {
+          const auto premium = swarm->try_probe(
+              probe, region_vm, service_tier::premium, t, r);
+          if (!premium) continue;
+          const auto standard = swarm->try_probe(
+              probe, region_vm, service_tier::standard, t, r);
+          // A half-pair (standard refused after premium served) is
+          // dropped to keep the tier sample counts aligned; the probe
+          // still paid for the served request, as real platforms charge.
+          if (!standard) continue;
+          tuple.premium_ms.push_back(premium->rtt.value);
+          tuple.standard_ms.push_back(standard->rtt.value);
+          substituted = k > 0;
+          return true;
+        } catch (const budget_exceeded_error&) {
+          result.platform_exhausted = true;
+          return false;
+        } catch (const state_error&) {
+          result.platform_exhausted = true;
+          return false;
+        }
+      }
+      return false;
+    };
+
+    std::vector<std::uint64_t> retry_keys;
+    std::size_t round = 0;
     for (hour_stamp t = config.pretest_window.begin_at;
          t < config.pretest_window.end_at;
-         t = t + config.probe_every_hours) {
-      tuple.premium_ms.push_back(
-          platform.probe(vp, region_vm, service_tier::premium, t, r)
-              .rtt.value);
-      tuple.standard_ms.push_back(
-          platform.probe(vp, region_vm, service_tier::standard, t, r)
-              .rtt.value);
+         t = t + config.probe_every_hours, ++round) {
+      active_sum += swarm->active_probes(t);
+      if (round == 0) {
+        result.swarm.min_active = swarm->active_probes(t);
+        result.swarm.max_active = result.swarm.min_active;
+      } else {
+        result.swarm.min_active =
+            std::min(result.swarm.min_active, swarm->active_probes(t));
+        result.swarm.max_active =
+            std::max(result.swarm.max_active, swarm->active_probes(t));
+      }
+
+      retry_keys.clear();
+      std::size_t completed_this_round = 0;
+      for (const std::uint64_t key : keys) {
+        tuple_state& tuple = tuples.at(key);
+        bool substituted = false;
+        if (attempt(tuple, t, round, substituted)) {
+          tuple.round_done[round] = 1;
+          ++completed_this_round;
+          if (substituted) {
+            ++tuple.cov.substituted_rounds;
+            swarm->note_substitution();
+          }
+        } else {
+          retry_keys.push_back(key);
+        }
+      }
+
+      // Backoff retry inside the round gap: churned probes may be back,
+      // rate-limit windows have rolled over.
+      const unsigned backoff = swarm->config().retry_backoff_hours;
+      const hour_stamp retry_at = t + backoff;
+      if (backoff > 0 && backoff < config.probe_every_hours &&
+          retry_at < config.pretest_window.end_at) {
+        for (const std::uint64_t key : retry_keys) {
+          tuple_state& tuple = tuples.at(key);
+          bool substituted = false;
+          if (!attempt(tuple, retry_at, round, substituted)) continue;
+          tuple.round_done[round] = 1;
+          ++completed_this_round;
+          ++tuple.cov.retried_rounds;
+          if (substituted) {
+            ++tuple.cov.substituted_rounds;
+            swarm->note_substitution();
+          }
+        }
+      }
+      for (const std::uint64_t key : keys) {
+        if (tuples.at(key).round_done[round] == 0) {
+          swarm->note_missed_round();
+        }
+      }
+
+      scheduled_total += keys.size();
+      completed_total += completed_this_round;
+      const double round_coverage =
+          keys.empty() ? 1.0
+                       : static_cast<double>(completed_this_round) /
+                             static_cast<double>(keys.size());
+      if (round_coverage < swarm->config().coverage_target) {
+        ++result.swarm.rounds_below_target;
+      }
+      std::size_t stale = 0;
+      for (const std::uint64_t key : keys) {
+        const auto& done = tuples.at(key).round_done;
+        bool missed = false;
+        for (std::size_t ri = 0; ri <= round; ++ri) {
+          if (done[ri] == 0) {
+            missed = true;
+            break;
+          }
+        }
+        if (missed) ++stale;
+      }
+      swarm->publish_round(
+          t,
+          scheduled_total == 0 ? 1.0
+                               : static_cast<double>(completed_total) /
+                                     static_cast<double>(scheduled_total),
+          stale);
     }
+    result.swarm.probe_population = swarm->probes().size();
+    result.swarm.mean_active =
+        rounds == 0 ? 0.0
+                    : static_cast<double>(active_sum) /
+                          static_cast<double>(rounds);
+    result.swarm.joins = swarm->churn().join_count();
+    result.swarm.leaves = swarm->churn().leave_count();
+    result.swarm.credits_spent = swarm->credits_spent() - spent_before;
+    result.swarm.rate_limited = swarm->rate_limited_count() - limited_before;
   }
+
+  // Fold per-round bitmaps into coverage records and aggregates.
+  std::map<std::uint64_t, const tuple_state*> ordered;
+  double coverage_sum = 0.0;
+  for (auto& [key, tuple] : tuples) {
+    finish_coverage(tuple);
+    ordered.emplace(key, &tuple);
+  }
+  result.coverage.reserve(tuples.size());
+  for (const auto& [key, tuple] : ordered) {
+    result.coverage.push_back(tuple->cov);
+    coverage_sum += tuple->cov.coverage();
+    if (tuple->cov.missed_rounds > 0) {
+      ++result.swarm.stale_tuples;
+      result.swarm.missed_rounds += tuple->cov.missed_rounds;
+      if (std::min(tuple->premium_ms.size(), tuple->standard_ms.size()) <
+          config.min_measurements) {
+        ++result.tuples_incomplete;
+      }
+    }
+    result.swarm.substitutions += tuple->cov.substituted_rounds;
+  }
+  result.swarm.mean_coverage =
+      tuples.empty() ? 1.0 : coverage_sum / static_cast<double>(tuples.size());
 
   // Classify tuples with enough samples.
   for (auto& [key, tuple] : tuples) {
@@ -128,7 +385,11 @@ differential_selection_result differential_selector::run(
   CLASP_LOG(info, "selection")
       << "differential selection: " << result.tuples_measured
       << " tuples measured, " << result.candidates.size() << " candidates, "
-      << result.selected.size() << " servers chosen";
+      << result.selected.size() << " servers chosen"
+      << (swarm_on ? " (swarm)" : "")
+      << (result.platform_exhausted ? " [platform exhausted: "
+                                      "incomplete tuples recorded]"
+                                    : "");
   return result;
 }
 

@@ -8,11 +8,29 @@
 // clearly better) or <= 10 ms (comparable). Speed-test servers in the
 // candidates' ⟨city, AS⟩ are then chosen, heuristically maximizing
 // geographic and network coverage, ~15-17 per region.
+//
+// Two pre-test substrates are supported:
+//
+//  * fixed panel (config.swarm.enabled == false) — every vantage point
+//    probes every cadence slot, exactly the paper's leased panel. This
+//    path is byte-identical to pre-swarm builds.
+//  * vantage swarm (enabled) — a churn-driven community swarm
+//    (clasp/swarm.hpp). A coverage-aware scheduler samples each
+//    ⟨city, AS⟩ tuple once per cadence round through a rotating primary
+//    probe, substituting same-tuple stand-ins when the primary is
+//    offline, rate-limited or out of credits, retrying missed rounds
+//    after a backoff, and recording per-tuple coverage/staleness.
+//
+// Either way the pre-test degrades gracefully when the leased account
+// runs dry (monthly quota) or past its retirement date: affected tuples
+// are marked incomplete in the report — mirroring the analysis layer's
+// filter_low_completeness — instead of a throw escaping run().
 #pragma once
 
 #include <vector>
 
 #include "clasp/speedchecker.hpp"
+#include "clasp/swarm.hpp"
 #include "netsim/network.hpp"
 #include "speedtest/registry.hpp"
 
@@ -34,6 +52,8 @@ struct differential_config {
   unsigned probe_every_hours{3};
   // The leased measurement platform's terms (quota, retirement date).
   speedchecker_config platform{};
+  // The community-swarm substrate (off = the paper's fixed panel).
+  swarm_config swarm{};
 };
 
 struct diff_candidate {
@@ -55,6 +75,22 @@ struct differential_selection_result {
   };
   std::vector<chosen_server> selected;
   std::size_t tuples_measured{0};  // tuples with enough samples
+
+  // Per-⟨city, AS⟩ coverage/staleness, sorted by (city, AS). A tuple's
+  // round is completed when some probe sampled both tiers that cadence
+  // slot; missed rounds come from churn, credit/rate refusals or the
+  // account running dry.
+  std::vector<tuple_coverage> coverage;
+  // Tuples that missed rounds and ended below min_measurements — data the
+  // pre-test wanted but could not get (the selection simply proceeds
+  // without them, like filter_low_completeness drops sparse servers).
+  std::size_t tuples_incomplete{0};
+  // True when the account refused probes (quota exhausted or retired)
+  // during the window; the result is then a best-effort selection.
+  bool platform_exhausted{false};
+  // Swarm-side aggregates (membership, credits, substitutions); the
+  // coverage aggregates are filled for the fixed panel too.
+  swarm_report swarm;
 };
 
 class differential_selector {
@@ -64,10 +100,19 @@ class differential_selector {
                         const server_registry* registry);
 
   // Run the pre-test toward a region endpoint (a VM or the region PoP)
-  // from every vantage point in the generated internet.
+  // from every vantage point in the generated internet. Builds a private
+  // swarm from config.swarm (fixed panel when disabled).
   differential_selection_result run(const endpoint& region_vm,
                                     const differential_config& config,
                                     rng& r) const;
+
+  // Same, but probing through a caller-owned swarm whose ledgers persist
+  // across pre-tests (the platform passes its checkpoint-backed swarm).
+  // When `swarm` is null or disabled the pre-test runs the fixed panel
+  // on a fresh account lease — byte-identical to pre-swarm builds.
+  differential_selection_result run(const endpoint& region_vm,
+                                    const differential_config& config,
+                                    rng& r, vantage_swarm* swarm) const;
 
  private:
   const route_planner* planner_;

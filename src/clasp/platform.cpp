@@ -44,6 +44,14 @@ clasp_platform::clasp_platform(platform_config config)
   view_ = std::make_unique<network_view>(&net_);
   registry_ = deploy_servers(net_, config_.servers);
   cloud_ = std::make_unique<gcp_cloud>(&net_, planner_.get());
+  // The persistent pre-test swarm: its churn streams mix the internet
+  // seed so two platforms over different worlds churn differently, and
+  // its ledgers ride along in every campaign checkpoint (see
+  // set_pretest_swarm below). Disabled swarms are inert — the pre-test
+  // then leases a fresh fixed panel per region, the legacy behavior.
+  swarm_ = std::make_unique<vantage_swarm>(
+      planner_.get(), view_.get(), config_.differential.swarm,
+      config_.differential.platform, config_.internet.seed);
 }
 
 const topology_selection_result& clasp_platform::select_topology(
@@ -78,8 +86,8 @@ const differential_selection_result& clasp_platform::select_differential(
       cloud_->create_vm(region, service_tier::premium);
   differential_selector selector(planner_.get(), view_.get(), &registry_);
   rng r = rng_.fork("diff-select:" + region);
-  auto result =
-      selector.run(cloud_->vm_endpoint(probe_vm), config_.differential, r);
+  auto result = selector.run(cloud_->vm_endpoint(probe_vm),
+                             config_.differential, r, swarm_.get());
   cloud_->terminate_vm(probe_vm);
   return differential_results_.emplace(region, std::move(result))
       .first->second;
@@ -115,6 +123,7 @@ campaign_runner& clasp_platform::start_topology_campaign(
                                                   &registry_, &store_);
   runner->deploy(cfg, servers);
   if (cfg.faults.enabled) runner->set_churn_registry(&registry_);
+  runner->set_pretest_swarm(swarm_.get());
   campaigns_.push_back(std::move(runner));
   return *campaigns_.back();
 }
@@ -156,6 +165,7 @@ clasp_platform::start_differential_campaign(const std::string& region,
                                                     &registry_, &store_);
     runner->deploy(cfg, servers);
     if (cfg.faults.enabled) runner->set_churn_registry(&registry_);
+    runner->set_pretest_swarm(swarm_.get());
     campaigns_.push_back(std::move(runner));
     runners[i] = campaigns_.back().get();
   }

@@ -105,9 +105,18 @@ class clasp_platform {
   // --- selection (§3.1) ---
   // Runs the pilot scan + topology-based selection for a region (cached).
   const topology_selection_result& select_topology(const std::string& region);
-  // Runs the latency pre-test + differential selection (cached).
+  // Runs the latency pre-test + differential selection (cached). With
+  // config.differential.swarm enabled the pre-test probes through this
+  // platform's persistent vantage swarm (its credit ledgers accumulate
+  // across regions and ride along in campaign checkpoints); disabled, it
+  // leases a fresh fixed panel per pre-test, exactly the legacy behavior.
   const differential_selection_result& select_differential(
       const std::string& region);
+
+  // The platform's pre-test swarm (always constructed; disabled unless
+  // config.differential.swarm.enabled).
+  vantage_swarm& pretest_swarm() { return *swarm_; }
+  const vantage_swarm& pretest_swarm() const { return *swarm_; }
 
   // --- campaigns (§3.2) ---
   // Deploy and return the topology campaign for a region (servers come
@@ -161,6 +170,7 @@ class clasp_platform {
   std::unique_ptr<route_planner> planner_;
   std::unique_ptr<network_view> view_;
   std::unique_ptr<gcp_cloud> cloud_;
+  std::unique_ptr<vantage_swarm> swarm_;
   server_registry registry_;
   tsdb store_;
   rng rng_;

@@ -30,6 +30,27 @@ std::size_t speedchecker_service::used_in_month(hour_stamp at) const {
   return it == used_.end() ? 0 : it->second;
 }
 
+bool speedchecker_service::admissible(hour_stamp at) const {
+  return at < config_.retirement && used_in_month(at) < config_.monthly_quota;
+}
+
+void speedchecker_service::save_state(binary_writer& out) const {
+  out.varint(used_.size());
+  for (const auto& [month, used] : used_) {  // std::map: sorted, canonical
+    out.svarint(month);
+    out.varint(used);
+  }
+}
+
+void speedchecker_service::load_state(binary_reader& in) {
+  used_.clear();
+  const std::size_t months = static_cast<std::size_t>(in.varint());
+  for (std::size_t i = 0; i < months; ++i) {
+    const int month = static_cast<int>(in.svarint());
+    used_[month] = static_cast<std::size_t>(in.varint());
+  }
+}
+
 vp_probe_result speedchecker_service::probe(host_index vp,
                                             const endpoint& target,
                                             service_tier tier, hour_stamp at,

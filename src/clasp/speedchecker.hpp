@@ -21,6 +21,7 @@
 #include "netsim/network.hpp"
 #include "netsim/routing.hpp"
 #include "probes/traceroute.hpp"
+#include "util/binio.hpp"
 
 namespace clasp {
 
@@ -57,6 +58,22 @@ class speedchecker_service {
   // Probes already spent in the month containing `at`.
   std::size_t used_in_month(hour_stamp at) const;
   std::size_t quota() const { return config_.monthly_quota; }
+  const speedchecker_config& config() const { return config_; }
+
+  // True when probe(at) would be served: before retirement and with
+  // monthly quota left. Lets a scheduler skip an exhausted span cheaply
+  // instead of paying one thrown exception per refused probe.
+  bool admissible(hour_stamp at) const;
+
+  // Serialize / restore the month ledger (`used_`). The checkpoint layer
+  // carries this so a resumed campaign's pre-test accounting cannot
+  // double-spend or silently reset the account quota.
+  void save_state(binary_writer& out) const;
+  void load_state(binary_reader& in);
+
+  // Calendar-month ledger key (year*12 + month). Shared with the swarm's
+  // per-probe credit ledger so both accounts roll over together.
+  static int month_key(hour_stamp at);
 
  private:
   const route_planner* planner_;
@@ -65,8 +82,6 @@ class speedchecker_service {
   prober prober_;
   // (year*12 + month) -> probes used.
   std::map<int, std::size_t> used_;
-
-  static int month_key(hour_stamp at);
 };
 
 }  // namespace clasp

@@ -1,0 +1,204 @@
+// Community vantage-point swarm — the churn-tolerant pre-test substrate.
+//
+// The paper's §3.1 differential pre-test leased a fixed Speedchecker
+// panel. Community platforms in the Globalping mold run instead on a
+// large pool of volunteer probes that join and leave constantly, meter
+// every request against per-probe credit budgets and per-probe rate
+// limits, and still have to keep ⟨city, AS⟩ coverage usable. This module
+// models that substrate on top of speedchecker_service:
+//
+//  * membership — a netsim churn_plan gives every probe a deterministic
+//    per-hour online/offline timeline keyed by (seed, probe index), so
+//    the swarm's shape is a pure function of configuration (and swarm-off
+//    behaves exactly like the fixed panel: everyone always online),
+//  * credits — each probe carries its own monthly credit budget,
+//    generalizing the account-level monthly-quota map the fixed panel
+//    already enforced; an exhausted probe refuses instead of throwing,
+//  * rate limits — at most rate_limit_per_hour requests per probe-hour,
+//  * accounting — refusals are reported as typed `refusal` values so the
+//    coverage scheduler in differential.cpp can substitute a same-tuple
+//    probe or record a missed round, while account-level faults
+//    (budget_exceeded_error, post-retirement state_error) still surface
+//    to the caller, which degrades gracefully rather than aborting.
+//
+// Both ledgers (the account month map and the per-probe credit map)
+// serialize through save_state/load_state; the campaign checkpoint layer
+// carries them so a resumed campaign cannot double-spend its pre-test
+// budget (see DESIGN.md, "Vantage swarm & coverage scheduling").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "clasp/speedchecker.hpp"
+#include "netsim/faults.hpp"
+
+namespace clasp {
+
+struct swarm_config {
+  // Off by default: the pre-test then runs the legacy fixed panel and is
+  // byte-identical to builds without this module.
+  bool enabled{false};
+  // Mixed into the platform's stream seed so two swarms over one world
+  // can churn differently.
+  std::uint64_t seed{0};
+  // Per-hour membership rates (see churn_plan): an offline probe joins
+  // with join_rate, an online probe leaves with leave_rate.
+  double join_rate{0.0};
+  double leave_rate{0.0};
+  // Monthly credit budget per probe; 0 = unmetered.
+  std::size_t credits_per_probe{0};
+  // Requests per probe per hour; 0 = unlimited.
+  unsigned rate_limit_per_hour{0};
+  // The scheduler's coverage floor: rounds whose covered-tuple fraction
+  // falls below this are counted (and reported) as below-target.
+  double coverage_target{0.9};
+  // Same-tuple stand-ins tried after the round's primary probe refuses.
+  unsigned max_substitutes{3};
+  // Hours before a missed tuple round is retried within the round gap.
+  unsigned retry_backoff_hours{1};
+
+  // Named presets: "off", "low" (background community churn) and "high"
+  // (adversarial churn + tight budgets). Throws invalid_argument_error
+  // on other names.
+  static swarm_config preset(std::string_view level);
+};
+
+// Per-⟨city, AS⟩ pre-test coverage accounting. One scheduled round is one
+// pre-test cadence slot (both tiers sampled = completed); region and tier
+// are fixed by the differential run that owns the report.
+struct tuple_coverage {
+  city_id city{};
+  asn network{};
+  std::size_t probes{0};             // swarm members in the tuple
+  std::size_t scheduled_rounds{0};
+  std::size_t completed_rounds{0};
+  std::size_t retried_rounds{0};     // completed only after backoff retry
+  std::size_t substituted_rounds{0}; // completed by a non-primary probe
+  std::size_t missed_rounds{0};      // no admissible probe in the tuple
+  std::size_t max_stale_run{0};      // longest consecutive missed streak
+
+  double coverage() const {
+    return scheduled_rounds == 0
+               ? 1.0
+               : static_cast<double>(completed_rounds) /
+                     static_cast<double>(scheduled_rounds);
+  }
+};
+
+// Aggregate swarm statistics for one pre-test run.
+struct swarm_report {
+  std::size_t probe_population{0};
+  std::size_t min_active{0};
+  std::size_t max_active{0};
+  double mean_active{0.0};
+  std::size_t joins{0};
+  std::size_t leaves{0};
+  std::size_t credits_spent{0};
+  std::size_t rate_limited{0};   // refusals, not probes
+  std::size_t substitutions{0};
+  std::size_t missed_rounds{0};  // summed over tuples
+  std::size_t stale_tuples{0};   // tuples with >= 1 missed round
+  std::size_t rounds_below_target{0};
+  double mean_coverage{1.0};
+};
+
+class vantage_swarm {
+ public:
+  // `stream_seed` decorrelates swarms of different platforms (the
+  // platform passes its internet seed); the churn streams hash it
+  // together with config.seed.
+  vantage_swarm(const route_planner* planner, const network_view* view,
+                swarm_config config = {},
+                speedchecker_config platform = {},
+                std::uint64_t stream_seed = 0);
+
+  bool enabled() const { return config_.enabled; }
+  const swarm_config& config() const { return config_; }
+  // The probe population (the platform's vantage points, in order; probe
+  // indices below index into this).
+  const std::vector<host_index>& probes() const;
+  // The leased account underneath (quota + retirement still apply).
+  speedchecker_service& platform() { return platform_; }
+  const speedchecker_service& platform() const { return platform_; }
+
+  // Build (or rebuild, for a different window) the membership timeline.
+  // Idempotent per window; swarm-off plans are empty (always online).
+  void plan(hour_range window);
+
+  bool online(std::size_t probe_index, hour_stamp at) const;
+  std::size_t active_probes(hour_stamp at) const;
+  const churn_plan& churn() const { return churn_; }
+
+  // Why try_probe refused without consuming anything.
+  enum class refusal : std::uint8_t {
+    none = 0,
+    offline = 1,         // probe not in the swarm this hour
+    out_of_credits = 2,  // probe's monthly credit budget exhausted
+    rate_limited = 3,    // probe's hourly request cap reached
+  };
+
+  // Ping `target` from the probe, enforcing swarm membership, per-probe
+  // credits and the hourly rate limit on top of the account's quota and
+  // retirement. Swarm-level refusals return nullopt (reason in *why) and
+  // consume nothing — account-level faults (budget_exceeded_error,
+  // state_error) still throw, exactly as the fixed panel does. Draws from
+  // `r` only on success, so refusal handling never perturbs the
+  // measurement stream.
+  std::optional<vp_probe_result> try_probe(std::size_t probe_index,
+                                           const endpoint& target,
+                                           service_tier tier, hour_stamp at,
+                                           rng& r, refusal* why = nullptr);
+
+  // True when the account itself would serve a probe at `at` (quota left,
+  // before retirement) — the scheduler's cheap skip-ahead check.
+  bool platform_admissible(hour_stamp at) const {
+    return platform_.admissible(at);
+  }
+
+  // Credits spent across all probes since construction/load.
+  std::size_t credits_spent() const { return credits_spent_; }
+  std::size_t rate_limited_count() const { return rate_limited_; }
+  // Credits the probe has left in the month containing `at`
+  // (SIZE_MAX when unmetered).
+  std::size_t credits_remaining(std::size_t probe_index, hour_stamp at) const;
+
+  // Scheduler-side accounting hooks: keep the obs counters/gauges for
+  // substitutions, missed rounds and coverage in one place (family names
+  // in obs/families.hpp). No-ops without obs.
+  void note_substitution();
+  void note_missed_round();
+  void publish_round(hour_stamp at, double mean_coverage,
+                     std::size_t stale_tuples) const;
+
+  // Serialize / restore both ledgers (account months + per-probe monthly
+  // credits). Wire format is length-prefixed sorted maps; skip_state
+  // consumes one serialized blob without applying it (resume with no
+  // swarm wired).
+  void save_state(binary_writer& out) const;
+  void load_state(binary_reader& in);
+  static void skip_state(binary_reader& in);
+
+ private:
+  swarm_config config_;
+  speedchecker_service platform_;
+  std::uint64_t churn_seed_{0};
+  churn_plan churn_;
+  bool planned_{false};
+  // month_key -> per-probe credits used this month.
+  std::map<int, std::vector<std::uint32_t>> credits_used_;
+  // Hourly rate-limit window (transient; deliberately not serialized —
+  // checkpoints happen on hour boundaries).
+  std::int64_t rate_hour_{std::numeric_limits<std::int64_t>::min()};
+  std::vector<std::uint32_t> rate_used_;
+  std::size_t credits_spent_{0};
+  std::size_t rate_limited_{0};
+};
+
+const char* to_string(vantage_swarm::refusal r);
+
+}  // namespace clasp

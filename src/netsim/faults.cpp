@@ -139,6 +139,80 @@ bool fault_plan::withdrawn_by(std::size_t server_id, hour_stamp at) const {
   return hour.has_value() && *hour <= at;
 }
 
+churn_plan churn_plan::build(std::uint64_t seed, std::string_view kind,
+                             std::size_t entity_count, hour_range window,
+                             double join_rate, double leave_rate) {
+  if (join_rate < 0.0 || join_rate > 1.0 || leave_rate < 0.0 ||
+      leave_rate > 1.0) {
+    throw invalid_argument_error("churn_plan: rates must be in [0, 1]");
+  }
+  if (window.count() <= 0) {
+    throw invalid_argument_error("churn_plan: empty window");
+  }
+  churn_plan plan;
+  plan.enabled_ = true;
+  plan.entities_ = entity_count;
+  plan.window_ = window;
+  plan.offsets_.assign(1, 0);
+  plan.offsets_.reserve(entity_count + 1);
+  const std::uint64_t kind_seed = hash_tag(seed, kind);
+  // Stationary online probability of the two-state hourly chain; with no
+  // leaving, everyone is online from the start.
+  const double stationary =
+      (join_rate + leave_rate) > 0.0
+          ? join_rate / (join_rate + leave_rate)
+          : 1.0;
+  char tag[32];
+  for (std::size_t e = 0; e < entity_count; ++e) {
+    const int len = std::snprintf(tag, sizeof(tag), "entity:%zu", e);
+    rng r(hash_tag(kind_seed,
+                   std::string_view(tag, static_cast<std::size_t>(len))));
+    bool on = r.bernoulli(stationary);
+    hour_stamp open = window.begin_at;  // start of the current online span
+    for (hour_stamp at = window.begin_at + 1; at < window.end_at; ++at) {
+      const double flip = on ? leave_rate : join_rate;
+      if (!r.bernoulli(flip)) continue;
+      if (on) {
+        plan.intervals_.push_back({open, at});
+        ++plan.leaves_;
+      } else {
+        open = at;
+        ++plan.joins_;
+      }
+      on = !on;
+    }
+    if (on) plan.intervals_.push_back({open, window.end_at});
+    plan.offsets_.push_back(static_cast<std::uint32_t>(plan.intervals_.size()));
+  }
+  return plan;
+}
+
+bool churn_plan::online(std::size_t entity, hour_stamp at) const {
+  if (!enabled_) return true;
+  if (entity >= entities_) {
+    throw invalid_argument_error("churn_plan: entity out of range");
+  }
+  const std::uint32_t lo = offsets_[entity];
+  const std::uint32_t hi = offsets_[entity + 1];
+  // Last interval whose begin is <= at; intervals are disjoint ascending.
+  const auto first = intervals_.begin() + lo;
+  const auto last = intervals_.begin() + hi;
+  const auto it = std::upper_bound(
+      first, last, at,
+      [](hour_stamp t, const hour_range& iv) { return t < iv.begin_at; });
+  if (it == first) return false;
+  return at < std::prev(it)->end_at;
+}
+
+std::size_t churn_plan::online_count(hour_stamp at) const {
+  if (!enabled_) return entities_;
+  std::size_t n = 0;
+  for (std::size_t e = 0; e < entities_; ++e) {
+    if (online(e, at)) ++n;
+  }
+  return n;
+}
+
 rng fault_plan::vm_fault_stream(std::size_t vm_slot, hour_stamp at) const {
   char tag[48];
   const int len =

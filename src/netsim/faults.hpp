@@ -131,4 +131,55 @@ class fault_plan {
   std::vector<vm_outage> outages_;
 };
 
+// Deterministic per-entity online/offline churn timeline — the membership
+// half of a community probe swarm (Globalping-style platforms see probes
+// join and leave constantly). Like fault_plan, every entity owns one
+// dedicated counter-based stream keyed by (seed, kind, entity), so the
+// timeline is a pure function of (seed, kind, entity_count, window,
+// rates): independent of scheduling, of every other entity, and of how
+// often callers query it. A default-constructed (disabled) plan reports
+// every entity online forever, so churn-off consumers behave exactly as
+// if this class did not exist.
+class churn_plan {
+ public:
+  churn_plan() = default;  // disabled: every entity is always online
+
+  // Draw the timelines. `kind` namespaces the streams (e.g. "swarm") so
+  // two plans from one seed stay decorrelated. An entity's state evolves
+  // hourly: offline entities come online with probability join_rate per
+  // hour, online entities leave with probability leave_rate per hour, and
+  // the initial state is drawn from the chain's stationary distribution
+  // (always online when leave_rate is 0). Throws invalid_argument_error
+  // when a rate is outside [0, 1] or the window is empty.
+  static churn_plan build(std::uint64_t seed, std::string_view kind,
+                          std::size_t entity_count, hour_range window,
+                          double join_rate, double leave_rate);
+
+  bool enabled() const { return enabled_; }
+  std::size_t entity_count() const { return entities_; }
+  hour_range window() const { return window_; }
+
+  // True when the entity is online at `at`. Always true when disabled;
+  // hours outside the built window report the nearest edge interval.
+  bool online(std::size_t entity, hour_stamp at) const;
+  // Entities online at `at` (entity_count when disabled).
+  std::size_t online_count(hour_stamp at) const;
+
+  // Total offline->online / online->offline transitions strictly inside
+  // the window (the initial state is neither).
+  std::size_t join_count() const { return joins_; }
+  std::size_t leave_count() const { return leaves_; }
+
+ private:
+  bool enabled_{false};
+  std::size_t entities_{0};
+  hour_range window_{};
+  // CSR: entity e's online intervals are
+  // intervals_[offsets_[e] .. offsets_[e+1]), ascending and disjoint.
+  std::vector<std::uint32_t> offsets_{0};
+  std::vector<hour_range> intervals_;
+  std::size_t joins_{0};
+  std::size_t leaves_{0};
+};
+
 }  // namespace clasp

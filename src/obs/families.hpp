@@ -92,4 +92,21 @@ inline constexpr const char* kFaultsVmDownHours =
 inline constexpr const char* kFaultsSkippedTests =
     "clasp_faults_skipped_tests_total";
 
+// Vantage swarm (src/clasp/swarm.cpp): community pre-test probe
+// membership, coverage and credit spend. Gauges hold the latest pre-test
+// round's view; counters accumulate across pre-tests.
+inline constexpr const char* kSwarmProbes = "clasp_swarm_probes";
+inline constexpr const char* kSwarmActiveProbes = "clasp_swarm_active_probes";
+inline constexpr const char* kSwarmCoverageRatio =
+    "clasp_swarm_coverage_ratio";
+inline constexpr const char* kSwarmStaleTuples = "clasp_swarm_stale_tuples";
+inline constexpr const char* kSwarmCreditsSpent =
+    "clasp_swarm_credits_spent_total";
+inline constexpr const char* kSwarmSubstitutions =
+    "clasp_swarm_substitutions_total";
+inline constexpr const char* kSwarmMissedRounds =
+    "clasp_swarm_missed_rounds_total";
+inline constexpr const char* kSwarmRateLimited =
+    "clasp_swarm_rate_limited_total";
+
 }  // namespace clasp::obs::family

@@ -194,7 +194,9 @@ void register_core_families() {
         family::kCheckpointPublishes, family::kCheckpointGcRemoved,
         family::kCheckpointResumes, family::kFaultsPreempts,
         family::kFaultsRedeploys, family::kFaultsWithdrawals,
-        family::kFaultsVmDownHours, family::kFaultsSkippedTests}) {
+        family::kFaultsVmDownHours, family::kFaultsSkippedTests,
+        family::kSwarmCreditsSpent, family::kSwarmSubstitutions,
+        family::kSwarmMissedRounds, family::kSwarmRateLimited}) {
     reg.get_counter(name);
   }
   for (const char* name :
@@ -205,7 +207,9 @@ void register_core_families() {
         family::kCheckpointLastHour, family::kFaultsPlannedWithdrawals,
         family::kFaultsPlannedOutages, family::kFaultsPlannedOutageHours,
         family::kFleetServers, family::kFleetVms, family::kSessionsTotal,
-        family::kBatchGroupsPerHour}) {
+        family::kBatchGroupsPerHour, family::kSwarmProbes,
+        family::kSwarmActiveProbes, family::kSwarmCoverageRatio,
+        family::kSwarmStaleTuples}) {
     reg.get_gauge(name);
   }
   for (const char* name :

@@ -72,6 +72,27 @@ TEST(CliTest, FleetScaleTypoGetsSuggestion) {
   EXPECT_NE(r.error.find("did you mean --fleet-scale?"), std::string::npos);
 }
 
+TEST(CliTest, ParsesSwarmPreset) {
+  cli_options opts;
+  const auto r = parse({"select", "--swarm", "low"}, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(opts.swarm, "low");
+  // Default: empty = use the config's swarm settings.
+  cli_options defaults;
+  ASSERT_TRUE(parse({"select"}, defaults).ok);
+  EXPECT_TRUE(defaults.swarm.empty());
+
+  const auto bad = parse({"select", "--swarm", "extreme"}, opts);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("--swarm must be off, low or high"),
+            std::string::npos);
+
+  cli_options typo;
+  const auto suggest = parse({"select", "--swrm", "low"}, typo);
+  EXPECT_FALSE(suggest.ok);
+  EXPECT_NE(suggest.error.find("did you mean --swarm?"), std::string::npos);
+}
+
 TEST(CliTest, RejectsUnknownCommand) {
   cli_options opts;
   const auto r = parse({"explode"}, opts);
@@ -116,6 +137,7 @@ TEST(CliTest, ValidatesValueRanges) {
   EXPECT_FALSE(parse({"run", "--workers", "-1"}, opts).ok);
   EXPECT_FALSE(parse({"run", "--link-cache", "maybe"}, opts).ok);
   EXPECT_FALSE(parse({"run", "--faults", "medium"}, opts).ok);
+  EXPECT_FALSE(parse({"run", "--swarm", "medium"}, opts).ok);
   EXPECT_FALSE(parse({"run", "--checkpoint-every", "0"}, opts).ok);
   EXPECT_FALSE(parse({"run", "--heartbeat-every", "0"}, opts).ok);
 }

@@ -133,6 +133,76 @@ TEST(ConfigLoaderTest, FaultPresetSeedsRatesAndKeysOverride) {
                invalid_argument_error);
 }
 
+TEST(ConfigLoaderTest, SwarmKeysApply) {
+  const platform_config cfg = load_platform_config(
+      "[swarm]\n"
+      "enabled = true\n"
+      "seed = 17\n"
+      "join_rate = 0.2\n"
+      "leave_rate = 0.05\n"
+      "credits_per_probe = 250\n"
+      "rate_limit_per_hour = 4\n"
+      "coverage_target = 0.85\n"
+      "max_substitutes = 5\n"
+      "retry_backoff_hours = 2\n");
+  const swarm_config& swarm = cfg.differential.swarm;
+  EXPECT_TRUE(swarm.enabled);
+  EXPECT_EQ(swarm.seed, 17u);
+  EXPECT_DOUBLE_EQ(swarm.join_rate, 0.2);
+  EXPECT_DOUBLE_EQ(swarm.leave_rate, 0.05);
+  EXPECT_EQ(swarm.credits_per_probe, 250u);
+  EXPECT_EQ(swarm.rate_limit_per_hour, 4u);
+  EXPECT_DOUBLE_EQ(swarm.coverage_target, 0.85);
+  EXPECT_EQ(swarm.max_substitutes, 5u);
+  EXPECT_EQ(swarm.retry_backoff_hours, 2u);
+  // Defaults: swarm off, the legacy fixed panel.
+  EXPECT_FALSE(load_platform_config("").differential.swarm.enabled);
+}
+
+TEST(ConfigLoaderTest, SwarmPresetSeedsConfigAndKeysOverride) {
+  const platform_config preset =
+      load_platform_config("[swarm]\npreset = low\n");
+  const swarm_config low = swarm_config::preset("low");
+  EXPECT_TRUE(preset.differential.swarm.enabled);
+  EXPECT_DOUBLE_EQ(preset.differential.swarm.join_rate, low.join_rate);
+  EXPECT_EQ(preset.differential.swarm.credits_per_probe,
+            low.credits_per_probe);
+
+  // An individual key overrides the preset regardless of file order.
+  const platform_config mixed = load_platform_config(
+      "[swarm]\n"
+      "credits_per_probe = 9999\n"
+      "preset = low\n");
+  EXPECT_EQ(mixed.differential.swarm.credits_per_probe, 9999u);
+  EXPECT_DOUBLE_EQ(mixed.differential.swarm.leave_rate, low.leave_rate);
+
+  EXPECT_THROW(load_platform_config("[swarm]\npreset = extreme\n"),
+               invalid_argument_error);
+  EXPECT_THROW(load_platform_config("[swarm]\njoin_rate = 1.5\n"),
+               invalid_argument_error);
+}
+
+TEST(ConfigLoaderTest, SwarmKeyTyposGetSuggestions) {
+  try {
+    load_platform_config("[swarm]\ncredits_per_prob = 100\n");
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find("did you mean swarm.credits_per_probe?"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    load_platform_config("[swarm]\ncoverage_targt = 0.8\n");
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("did you mean swarm.coverage_target?"),
+        std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ConfigLoaderTest, CheckpointKeysApply) {
   const platform_config cfg = load_platform_config(
       "[campaign]\n"

@@ -99,9 +99,51 @@ TEST_F(SpeedcheckerTest, TiersProduceDifferentPaths) {
   EXPECT_GT(differing, probed / 10);
 }
 
-TEST_F(SpeedcheckerTest, DifferentialSelectorRespectsQuota) {
-  // A pre-test that needs more probes than the plan allows must fail
-  // loudly rather than silently truncate the tuple samples.
+TEST_F(SpeedcheckerTest, AdmissibleTracksQuotaAndRetirement) {
+  speedchecker_config cfg;
+  cfg.monthly_quota = 2;
+  speedchecker_service svc(&planner_, &view_, cfg);
+  rng r(6);
+  const hour_stamp july = hour_stamp::from_civil({2020, 7, 10}, 0);
+  EXPECT_TRUE(svc.admissible(july));
+  svc.probe(svc.vantage_points()[0], target_, service_tier::premium, july, r);
+  EXPECT_TRUE(svc.admissible(july + 1));
+  svc.probe(svc.vantage_points()[0], target_, service_tier::premium, july + 1,
+            r);
+  EXPECT_FALSE(svc.admissible(july + 2));  // quota spent
+  // Quota resets with the month; retirement is terminal.
+  EXPECT_TRUE(svc.admissible(hour_stamp::from_civil({2020, 8, 1}, 0)));
+  EXPECT_TRUE(svc.admissible(hour_stamp::from_civil({2021, 5, 31}, 23)));
+  EXPECT_FALSE(svc.admissible(hour_stamp::from_civil({2021, 6, 1}, 0)));
+}
+
+TEST_F(SpeedcheckerTest, MonthLedgerSurvivesSerialization) {
+  speedchecker_service svc(&planner_, &view_);
+  rng r(7);
+  const hour_stamp july = hour_stamp::from_civil({2020, 7, 10}, 0);
+  const hour_stamp august = hour_stamp::from_civil({2020, 8, 2}, 0);
+  for (int i = 0; i < 3; ++i) {
+    svc.probe(svc.vantage_points()[0], target_, service_tier::premium,
+              july + i, r);
+  }
+  svc.probe(svc.vantage_points()[0], target_, service_tier::premium, august,
+            r);
+  binary_writer out;
+  svc.save_state(out);
+
+  speedchecker_service restored(&planner_, &view_);
+  binary_reader in(out.bytes());
+  restored.load_state(in);
+  EXPECT_EQ(restored.used_in_month(july), 3u);
+  EXPECT_EQ(restored.used_in_month(august), 1u);
+  EXPECT_EQ(restored.used_in_month(hour_stamp::from_civil({2020, 9, 1}, 0)),
+            0u);
+}
+
+TEST_F(SpeedcheckerTest, DifferentialSelectorDegradesOnQuota) {
+  // A pre-test that needs more probes than the plan allows no longer
+  // aborts: it records the exhaustion and marks short tuples incomplete
+  // so the caller can substitute or re-lease instead of losing the run.
   auto& p = ::clasp::testing::small_platform();
   differential_selector selector(&p.planner(), &p.view(), &p.registry());
   differential_config cfg;
@@ -109,8 +151,16 @@ TEST_F(SpeedcheckerTest, DifferentialSelectorRespectsQuota) {
   rng r(5);
   const gcp_cloud::vm_id vm =
       p.cloud().create_vm("europe-west1", service_tier::premium);
-  EXPECT_THROW(selector.run(p.cloud().vm_endpoint(vm), cfg, r),
-               budget_exceeded_error);
+  differential_selection_result result;
+  ASSERT_NO_THROW(result = selector.run(p.cloud().vm_endpoint(vm), cfg, r));
+  EXPECT_TRUE(result.platform_exhausted);
+  EXPECT_GT(result.tuples_incomplete, 0u);
+  EXPECT_FALSE(result.coverage.empty());
+  // Every tuple records what it missed instead of the run aborting.
+  std::size_t missed = 0;
+  for (const auto& c : result.coverage) missed += c.missed_rounds;
+  EXPECT_GT(missed, 0u);
+  EXPECT_GT(result.swarm.stale_tuples, 0u);
 }
 
 }  // namespace

@@ -127,6 +127,89 @@ TEST(FaultsTest, FaultStreamIsCounterBased) {
   EXPECT_NE(a.uniform(), d.uniform());
 }
 
+TEST(ChurnPlanTest, DisabledPlanKeepsEveryoneOnline) {
+  const churn_plan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_TRUE(plan.online(7, week().begin_at + 3));
+  EXPECT_EQ(plan.online_count(week().begin_at), 0u);  // no entities built
+  EXPECT_EQ(plan.join_count(), 0u);
+  EXPECT_EQ(plan.leave_count(), 0u);
+}
+
+TEST(ChurnPlanTest, TimelinesAreDeterministicPerSeedAndKind) {
+  const churn_plan a = churn_plan::build(42, "swarm", 60, week(), 0.2, 0.1);
+  const churn_plan b = churn_plan::build(42, "swarm", 60, week(), 0.2, 0.1);
+  for (std::size_t e = 0; e < 60; ++e) {
+    for (hour_stamp t = week().begin_at; t < week().end_at; t = t + 1) {
+      EXPECT_EQ(a.online(e, t), b.online(e, t));
+    }
+  }
+  EXPECT_EQ(a.join_count(), b.join_count());
+  EXPECT_EQ(a.leave_count(), b.leave_count());
+  // A different seed or stream kind decorrelates the timelines.
+  const churn_plan c = churn_plan::build(43, "swarm", 60, week(), 0.2, 0.1);
+  const churn_plan d = churn_plan::build(42, "other", 60, week(), 0.2, 0.1);
+  std::size_t differs_c = 0, differs_d = 0;
+  for (std::size_t e = 0; e < 60; ++e) {
+    for (hour_stamp t = week().begin_at; t < week().end_at; t = t + 1) {
+      differs_c += a.online(e, t) != c.online(e, t);
+      differs_d += a.online(e, t) != d.online(e, t);
+    }
+  }
+  EXPECT_GT(differs_c, 0u);
+  EXPECT_GT(differs_d, 0u);
+}
+
+TEST(ChurnPlanTest, RatesShapeTheStationaryPopulation) {
+  // join/(join+leave) = 0.8: roughly 80% of entities online at any hour.
+  const churn_plan plan =
+      churn_plan::build(7, "swarm", 400, week(), 0.4, 0.1);
+  EXPECT_TRUE(plan.enabled());
+  for (hour_stamp t = week().begin_at; t < week().end_at; t = t + 24) {
+    const std::size_t online = plan.online_count(t);
+    EXPECT_GT(online, 400u * 6 / 10);
+    EXPECT_LT(online, 400u * 95 / 100);
+  }
+  EXPECT_GT(plan.join_count(), 0u);
+  EXPECT_GT(plan.leave_count(), 0u);
+  // Degenerate chains pin the population to the edges.
+  const churn_plan all_on =
+      churn_plan::build(7, "swarm", 50, week(), 1.0, 0.0);
+  const churn_plan all_off =
+      churn_plan::build(7, "swarm", 50, week(), 0.0, 1.0);
+  for (hour_stamp t = week().begin_at; t < week().end_at; t = t + 13) {
+    EXPECT_EQ(all_on.online_count(t), 50u);
+    EXPECT_EQ(all_off.online_count(t), 0u);
+  }
+}
+
+TEST(ChurnPlanTest, TransitionCountsMatchTheTimeline) {
+  const churn_plan plan =
+      churn_plan::build(11, "swarm", 30, week(), 0.3, 0.2);
+  std::size_t joins = 0, leaves = 0;
+  for (std::size_t e = 0; e < 30; ++e) {
+    bool prev = plan.online(e, week().begin_at);
+    for (hour_stamp t = week().begin_at + 1; t < week().end_at; t = t + 1) {
+      const bool now = plan.online(e, t);
+      joins += !prev && now;
+      leaves += prev && !now;
+      prev = now;
+    }
+  }
+  EXPECT_EQ(plan.join_count(), joins);
+  EXPECT_EQ(plan.leave_count(), leaves);
+}
+
+TEST(ChurnPlanTest, BadRatesAndEmptyWindowThrow) {
+  EXPECT_THROW(churn_plan::build(1, "swarm", 5, week(), -0.1, 0.5),
+               invalid_argument_error);
+  EXPECT_THROW(churn_plan::build(1, "swarm", 5, week(), 0.5, 1.5),
+               invalid_argument_error);
+  EXPECT_THROW(churn_plan::build(1, "swarm", 5,
+                                 {week().begin_at, week().begin_at}, 0.5, 0.5),
+               invalid_argument_error);
+}
+
 TEST(FaultsTest, OutcomeNames) {
   EXPECT_STREQ(to_string(test_outcome::ok), "ok");
   EXPECT_STREQ(to_string(test_outcome::ok_after_retry), "ok_after_retry");

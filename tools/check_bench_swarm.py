@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""CI gate for BENCH_swarm.json.
+
+Asserts the churn sweep ran all three presets (off / low / high) and that
+the low-churn pre-test kept every common ⟨city, AS⟩ tuple within one
+latency class of the fixed-panel baseline — the swarm scheduler's
+correctness contract.
+
+Usage: check_bench_swarm.py BENCH_swarm.json
+"""
+
+import json
+import sys
+
+MAX_LOW_CLASS_SHIFT = 1
+
+
+def fail(msg):
+    print(f"bench gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_swarm.json")
+    with open(sys.argv[1]) as f:
+        bench = json.load(f)
+
+    # 1. All three presets ran, in sweep order.
+    sweep = {p.get("preset"): p for p in bench.get("sweep", [])}
+    for preset in ("off", "low", "high"):
+        if preset not in sweep:
+            fail(f"missing '{preset}' preset in 'sweep'")
+
+    # 2. The fixed-panel baseline actually classified tuples, and the
+    #    churned runs produced an overlap to compare against.
+    off = sweep["off"]
+    if off.get("candidates", 0) <= 0:
+        fail("fixed-panel run classified no candidate tuples")
+    low = sweep["low"]
+    compared = low.get("compared_tuples", 0)
+    if compared <= 0:
+        fail("low-churn run shares no classified tuple with the fixed panel")
+
+    # 3. The ±1-class gate at "low": churn may drop sparse tuples, but a
+    #    tuple classified by both runs must not flip between
+    #    premium_lower and standard_lower.
+    shift = low.get("max_class_shift")
+    if shift is None:
+        fail("missing 'max_class_shift' in the low-churn entry")
+    if shift > MAX_LOW_CLASS_SHIFT:
+        hist = low.get("shift_histogram")
+        fail(
+            f"low-churn max class shift {shift} > {MAX_LOW_CLASS_SHIFT} "
+            f"(shift histogram {hist})"
+        )
+
+    # 4. Churn was actually on: the swarm presets must show membership
+    #    dynamics the fixed panel cannot have.
+    for preset in ("low", "high"):
+        p = sweep[preset]
+        if p.get("joins", 0) + p.get("leaves", 0) <= 0:
+            fail(f"'{preset}' run shows no membership churn")
+        if p.get("credits_spent", 0) <= 0:
+            fail(f"'{preset}' run spent no probe credits")
+
+    print(
+        f"bench gate: OK: low max_class_shift={shift} "
+        f"(limit {MAX_LOW_CLASS_SHIFT}), compared={compared}, "
+        f"low coverage={low.get('mean_coverage')}, "
+        f"high coverage={sweep['high'].get('mean_coverage')}"
+    )
+
+
+if __name__ == "__main__":
+    main()
