@@ -1,0 +1,271 @@
+// Distributed replay bench: what sharding one campaign across worker
+// processes costs, and what a failover costs.
+//
+// Three questions, each answered with numbers in BENCH_dist.json:
+//
+//   1. Identity — the distributed output (TSDB CSV, billing, test
+//      counts) must hash identically to the single-process run at every
+//      shard count, with and without a mid-run worker kill. This is the
+//      contract everything else leans on; the bench hard-fails on a
+//      mismatch.
+//   2. Merge overhead — end-to-end wall-clock at shards {1, 2, 4} vs
+//      the single-process baseline. The sim compresses a 3600-second
+//      hour into microseconds, so per-barrier IPC is magnified exactly
+//      like checkpoint I/O in bench_robustness; the deployed figure
+//      (coordinator work per barrier over the real-time hour it covers)
+//      is what the <10% budget means for a real campaign, and the raw
+//      sim ratio is reported alongside for full-scale runs.
+//   3. Failover recovery — a worker SIGKILLed mid-window must cost the
+//      coordinator exactly the in-flight barrier hour (recovery_hours),
+//      never a checkpoint interval.
+//
+// `--fast` shrinks the substrate and window for the CI chaos job.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "dist/coordinator.hpp"
+#include "util/binio.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace clasp;
+using namespace clasp::bench;
+
+platform_config bench_config(bool fast) {
+  platform_config cfg;
+  if (fast) {
+    cfg.internet.seed = 777;
+    cfg.internet.regional_isp_count = 120;
+    cfg.internet.hosting_count = 80;
+    cfg.internet.business_count = 150;
+    cfg.internet.education_count = 30;
+    cfg.internet.large_isp_count = 20;
+    cfg.internet.vantage_point_count = 120;
+    cfg.servers.us_server_target = 120;
+    cfg.servers.global_server_target = 600;
+    cfg.topology_budgets = {{"us-west1", 40}};
+    // The fast fleet is ~3 VMs; double it so four shards each own a
+    // real slot range.
+    cfg.fleet_scale = 2;
+  } else {
+    cfg.internet.seed = 42;
+  }
+  cfg.campaign_faults = fault_config::preset("low");
+  return cfg;
+}
+
+const char* kMetrics[] = {"download_mbps", "upload_mbps", "latency_ms",
+                          "download_loss", "upload_loss", "gt_episode",
+                          "test_status"};
+
+// One hash over everything the campaign produced: every TSDB point and
+// tag via the CSV export, plus billing totals and test counts.
+std::uint32_t output_hash(clasp_platform& platform, campaign_runner& c) {
+  std::ostringstream all;
+  for (const char* metric : kMetrics) platform.store().export_csv(all, metric);
+  const cost_report costs = platform.cloud().costs();
+  all << costs.vm_usd << '|' << costs.egress_usd << '|' << costs.storage_usd
+      << '|' << c.tests_run() << '|' << c.tests_missed();
+  return crc32(all.str());
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct dist_run {
+  std::size_t shards{0};
+  double seconds{0.0};
+  double merge_overhead_pct{0.0};     // sim wall-clock, time-compressed
+  double deployed_overhead_pct{0.0};  // coordinator cost vs real-time hours
+  bool output_identical{false};
+  dist::dist_report report;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+  }
+
+  const hour_stamp t0 = hour_stamp::from_civil({2020, 5, 1}, 0);
+  const hour_range window{t0, t0 + (fast ? 48 : 120)};
+
+  print_header("Distributed replay — merge overhead & identity",
+               "sharded output must hash identically and cost little");
+
+  // Single-process baseline: best of two passes (the distributed runs
+  // get the same treatment, so scheduler noise cancels out of the
+  // overhead ratio instead of inflating it).
+  double baseline_seconds = 0.0;
+  std::uint32_t baseline_hash = 0;
+  std::size_t vm_count = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    clasp_platform platform(bench_config(fast));
+    campaign_runner& campaign =
+        platform.start_topology_campaign("us-west1", window);
+    const auto start = std::chrono::steady_clock::now();
+    campaign.run();
+    const double s = seconds_since(start);
+    if (pass == 0 || s < baseline_seconds) baseline_seconds = s;
+    baseline_hash = output_hash(platform, campaign);
+    vm_count = campaign.vm_count();
+  }
+  std::fprintf(stderr, "[bench] baseline: %zu VMs, %.3fs, hash %08x\n",
+               vm_count, baseline_seconds, baseline_hash);
+
+  std::vector<dist_run> runs;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    dist_run run;
+    run.shards = shards;
+    for (int pass = 0; pass < 2; ++pass) {
+      clasp_platform platform(bench_config(fast));
+      campaign_runner& campaign =
+          platform.start_topology_campaign("us-west1", window);
+      dist::dist_config dc;
+      dc.shards = shards;
+      dist::shard_coordinator coordinator(campaign, dc);
+      const auto start = std::chrono::steady_clock::now();
+      coordinator.run();
+      const double s = seconds_since(start);
+      if (pass == 0 || s < run.seconds) run.seconds = s;
+      run.output_identical = output_hash(platform, campaign) == baseline_hash;
+      run.report = coordinator.report();
+    }
+    run.merge_overhead_pct =
+        100.0 * (run.seconds - baseline_seconds) / baseline_seconds;
+    // Coordinator-side cost per barrier, over the 3600 real-time
+    // seconds one deployed barrier hour spans.
+    const double extra = std::max(0.0, run.seconds - baseline_seconds);
+    run.deployed_overhead_pct =
+        100.0 * (extra / static_cast<double>(window.count())) / 3600.0;
+    runs.push_back(run);
+  }
+
+  text_table table({"shards", "seconds", "sim overhead", "deployed",
+                    "identical", "heartbeats"});
+  table.add_row({"1 (in-proc)", format_double(baseline_seconds, 3), "-", "-",
+                 "baseline", "-"});
+  for (const dist_run& r : runs) {
+    table.add_row({std::to_string(r.shards), format_double(r.seconds, 3),
+                   format_double(r.merge_overhead_pct, 1) + "%",
+                   format_double(r.deployed_overhead_pct, 6) + "%",
+                   r.output_identical ? "yes" : "NO",
+                   std::to_string(r.report.heartbeats)});
+  }
+  table.print(std::cout);
+
+  print_header("Distributed replay — failover recovery",
+               "a SIGKILLed worker costs one barrier hour, not an interval");
+
+  // Kill one worker for real halfway through the window; recovery must
+  // be the in-flight barrier only, and the output must not move.
+  const unsigned checkpoint_every_hours = 24;
+  dist_run failover_run;
+  failover_run.shards = 2;
+  {
+    clasp_platform platform(bench_config(fast));
+    campaign_runner& campaign =
+        platform.start_topology_campaign("us-west1", window);
+    dist::dist_config dc;
+    dc.shards = 2;
+    const std::int64_t kill_hour =
+        (window.begin_at + window.count() / 2).hours_since_epoch();
+    bool killed = false;
+    dc.on_barrier_for_testing = [&killed, kill_hour](
+                                    dist::shard_coordinator& co,
+                                    hour_stamp at) {
+      if (!killed && at.hours_since_epoch() == kill_hour) {
+        killed = true;
+        co.kill_worker(0);
+      }
+    };
+    dist::shard_coordinator coordinator(campaign, dc);
+    const auto start = std::chrono::steady_clock::now();
+    coordinator.run();
+    failover_run.seconds = seconds_since(start);
+    failover_run.output_identical =
+        output_hash(platform, campaign) == baseline_hash;
+    failover_run.report = coordinator.report();
+  }
+  std::printf("failover leg: %.3fs, %zu failover(s), %zu respawn(s), "
+              "recovery %zu hour(s) vs checkpoint interval %u; output "
+              "identical: %s\n",
+              failover_run.seconds, failover_run.report.failovers,
+              failover_run.report.respawns, failover_run.report.recovery_hours,
+              checkpoint_every_hours,
+              failover_run.output_identical ? "yes" : "NO");
+
+  std::ofstream out("BENCH_dist.json");
+  out << "{\n  \"bench\": \"dist\",\n"
+      << "  \"fast\": " << (fast ? "true" : "false") << ",\n"
+      << "  \"window_hours\": " << window.count() << ",\n"
+      << "  \"vm_count\": " << vm_count << ",\n"
+      << "  \"baseline_seconds\": " << format_double(baseline_seconds, 4)
+      << ",\n  \"output_crc32\": " << baseline_hash << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const dist_run& r = runs[i];
+    out << "    {\"shards\": " << r.shards
+        << ", \"seconds\": " << format_double(r.seconds, 4)
+        << ", \"merge_overhead_pct\": "
+        << format_double(r.merge_overhead_pct, 2)
+        << ", \"deployed_overhead_pct\": "
+        << format_double(r.deployed_overhead_pct, 6)
+        << ", \"output_identical\": "
+        << (r.output_identical ? "true" : "false")
+        << ", \"groups_merged\": " << r.report.groups_merged
+        << ", \"records_merged\": " << r.report.records_merged
+        << ", \"heartbeats\": " << r.report.heartbeats << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"failover\": {\"shards\": " << failover_run.shards
+      << ", \"seconds\": " << format_double(failover_run.seconds, 4)
+      << ", \"failovers\": " << failover_run.report.failovers
+      << ", \"respawns\": " << failover_run.report.respawns
+      << ", \"failover_recovery_hours\": "
+      << failover_run.report.recovery_hours
+      << ", \"checkpoint_every_hours\": " << checkpoint_every_hours
+      << ", \"output_identical\": "
+      << (failover_run.output_identical ? "true" : "false") << "}\n}\n";
+  out.close();
+
+  std::printf("\nwrote BENCH_dist.json\n");
+
+  bool ok = true;
+  for (const dist_run& r : runs) {
+    if (!r.output_identical) {
+      std::fprintf(stderr, "[bench] WARNING: %zu-shard output diverged from "
+                   "the single-process run\n", r.shards);
+      ok = false;
+    }
+  }
+  if (!failover_run.output_identical) {
+    std::fprintf(stderr,
+                 "[bench] WARNING: output moved after a worker SIGKILL\n");
+    ok = false;
+  }
+  if (failover_run.report.failovers == 0) {
+    std::fprintf(stderr, "[bench] WARNING: the failover leg never failed "
+                 "over\n");
+    ok = false;
+  }
+  if (failover_run.report.recovery_hours > checkpoint_every_hours) {
+    std::fprintf(stderr, "[bench] WARNING: recovery took %zu hours, more "
+                 "than the %u-hour checkpoint interval\n",
+                 failover_run.report.recovery_hours, checkpoint_every_hours);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

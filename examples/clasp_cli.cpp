@@ -32,6 +32,7 @@
 #include "clasp/config_loader.hpp"
 #include "clasp/platform.hpp"
 #include "clasp/report.hpp"
+#include "dist/coordinator.hpp"
 #include "obs/export.hpp"
 #include "util/log.hpp"
 
@@ -39,16 +40,19 @@ namespace {
 
 using namespace clasp;
 
-// The campaign a SIGINT should interrupt. request_interrupt only stores a
-// relaxed atomic flag, so calling it from the handler is safe.
+// The campaign a SIGINT/SIGTERM should interrupt. request_interrupt only
+// stores a relaxed atomic flag, so calling it from the handler is safe.
+// SIGTERM gets the same graceful treatment as Ctrl-C: a batch scheduler
+// or `kill` stops the run at the next hour boundary after a final
+// checkpoint, instead of tearing it down mid-hour.
 std::atomic<campaign_runner*> g_active_campaign{nullptr};
 
-extern "C" void handle_sigint(int) {
+extern "C" void handle_stop_signal(int sig) {
   if (campaign_runner* campaign = g_active_campaign.load()) {
     campaign->request_interrupt();
   } else {
-    std::signal(SIGINT, SIG_DFL);
-    std::raise(SIGINT);
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
   }
 }
 
@@ -61,7 +65,8 @@ void usage() {
                "[--fleet-scale N] [--faults off|low|high] "
                "[--swarm off|low|high] "
                "[--checkpoint-dir DIR] [--checkpoint-every HOURS] "
-               "[--resume] [--metrics-out FILE] [--heartbeat-every HOURS]\n"
+               "[--resume] [--shards N] [--metrics-out FILE] "
+               "[--heartbeat-every HOURS]\n"
                "  --workers N   campaign replay threads (0 = hardware "
                "concurrency); results are identical for any N\n"
                "  --link-cache  hour-epoch link-condition cache (default "
@@ -85,6 +90,10 @@ void usage() {
                "  --resume      continue a killed run from DIR's latest "
                "checkpoint; output is byte-identical to an uninterrupted "
                "run\n"
+               "  --shards N    distributed replay across N forked worker "
+               "processes with heartbeats and shard failover; a killed "
+               "worker is respawned and output stays byte-identical to "
+               "--shards 1\n"
                "  --metrics-out FILE    write Prometheus metrics to FILE "
                "(and JSON to FILE.json) when the command finishes\n"
                "  --heartbeat-every H   log one progress line every H "
@@ -163,11 +172,35 @@ int cmd_run(clasp_platform& platform, const cli_options& opts) {
                     campaign.config().checkpoint_dir.c_str());
       }
     }
-    // Ctrl-C now means "checkpoint and stop at the next hour boundary".
+    // Ctrl-C and SIGTERM now mean "checkpoint and stop at the next hour
+    // boundary".
     g_active_campaign.store(&campaign);
-    std::signal(SIGINT, handle_sigint);
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
   }
-  const bool completed = campaign.run();
+  bool completed;
+  const std::size_t shards = platform.config().campaign_shards;
+  if (shards > 1) {
+    // Distributed replay: fork a worker per shard under a coordinator.
+    // Killing any worker (kill -9 <pid>; pids are logged at spawn with
+    // CLASP_LOG=info) triggers failover, and the output stays
+    // byte-identical to --shards 1.
+    dist::dist_config dc;
+    dc.shards = shards;
+    dist::shard_coordinator coordinator(campaign, dc);
+    std::printf("distributed replay: %zu worker shards over %zu VMs\n",
+                coordinator.shards(), campaign.vm_count());
+    completed = coordinator.run();
+    const dist::dist_report& r = coordinator.report();
+    if (r.failovers > 0 || r.resends > 0 || r.timeouts > 0) {
+      std::printf(
+          "dist recovery: %zu failovers (%zu respawns), %zu resends, "
+          "%zu CRC rejects, %zu timeouts\n",
+          r.failovers, r.respawns, r.resends, r.crc_rejects, r.timeouts);
+    }
+  } else {
+    completed = campaign.run();
+  }
   g_active_campaign.store(nullptr);
   if (!completed) {
     std::printf("interrupted at %s; rerun with --resume to continue\n",
@@ -292,6 +325,9 @@ int main(int argc, char** argv) {
   if (opts.checkpoint_every > 0) {
     cfg.campaign_checkpoint_every_hours =
         static_cast<unsigned>(opts.checkpoint_every);
+  }
+  if (opts.shards > 0) {
+    cfg.campaign_shards = static_cast<std::size_t>(opts.shards);
   }
   if (!opts.metrics_out.empty()) cfg.obs_metrics = true;
   if (opts.heartbeat_every > 0) {

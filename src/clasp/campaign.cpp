@@ -55,6 +55,8 @@ void campaign_runner::resolve_metrics() {
   metrics_.swarm_coverage = &reg.get_gauge(fam::kSwarmCoverageRatio);
   metrics_.swarm_stale = &reg.get_gauge(fam::kSwarmStaleTuples);
   metrics_.swarm_credits = &reg.get_counter(fam::kSwarmCreditsSpent);
+  metrics_.dist_workers = &reg.get_gauge(fam::kDistWorkers);
+  metrics_.dist_failovers = &reg.get_counter(fam::kDistFailovers);
   metrics_.hour_seconds =
       &reg.get_histogram(fam::kCampaignHourSeconds, obs::duration_buckets());
 }
@@ -409,6 +411,85 @@ void campaign_runner::evaluate_hour(hour_stamp at, thread_pool* pool) {
   }
 }
 
+void campaign_runner::stage_shard_hour(hour_stamp at, std::size_t slot_begin,
+                                       std::size_t slot_end,
+                                       std::vector<vm_hour_staging>& out) {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
+  if (slot_begin >= slot_end || slot_end > vms_.size()) {
+    throw invalid_argument_error("campaign_runner: bad shard slot range");
+  }
+  const std::int64_t h = at.hours_since_epoch();
+  // Everything below runs on the calling thread. A dist worker is
+  // typically a fork() of a process whose pool threads did not survive,
+  // so this path must never dispatch to pool_ (prefill and the batch
+  // sweep take an explicit null pool; block count 1 keeps the sweep one
+  // serial pass, which cannot change any value — see evaluate_hour).
+  if (config_.link_cache) {
+    const obs::trace_span span(obs::phase::prefill, h);
+    view_->link_cache().prefill(at, nullptr);
+  }
+  if (config_.batch_eval && !sessions_.empty()) {
+    const obs::trace_span span(obs::phase::prefill, h);
+    if (!arena_resolved_) {
+      arena_.resolve(view_->link_cache());
+      arena_resolved_ = true;
+    }
+    hour_metrics_.resize(arena_.size());
+    view_->evaluate_batch(arena_, at, 0, arena_.size(),
+                          hour_metrics_.data());
+    hour_metrics_hour_ = h;
+    hour_metrics_valid_ = true;
+    batch_groups_ = 1;
+  }
+  out.resize(slot_end - slot_begin);
+  const obs::trace_span span(obs::phase::stage, h);
+  for (std::size_t v = slot_begin; v < slot_end; ++v) {
+    stage_vm_hour_into(v, at, out[v - slot_begin]);
+  }
+}
+
+void campaign_runner::commit_hour_group(hour_stamp at,
+                                        std::vector<vm_hour_staging>&& group) {
+  if (!deployed_) throw state_error("campaign_runner: not deployed");
+  if (at != cursor_) {
+    throw state_error("campaign_runner: hour group does not match cursor");
+  }
+  if (group.size() != vms_.size()) {
+    throw invalid_argument_error(
+        "campaign_runner: hour group must hold one record per VM slot");
+  }
+  for (const vm_hour_staging& staged : group) {
+    if (staged.at != at) {
+      throw invalid_argument_error(
+          "campaign_runner: hour group record staged for a different hour");
+    }
+  }
+  const bool obs_on = obs::enabled();
+  const auto hour_begin =
+      obs_on ? std::chrono::steady_clock::now()
+             : std::chrono::steady_clock::time_point{};
+  const std::int64_t h = at.hours_since_epoch();
+  {
+    const obs::trace_span span(obs::phase::begin_hour, h);
+    begin_hour(at);
+  }
+  // Same commit phase as run_hour: WAL in slot order at the barrier, then
+  // slot-order merges — the durable bytes and the store bytes cannot
+  // depend on which process staged the records.
+  const obs::trace_span span(obs::phase::commit, h);
+  for (std::size_t v = 0; v < vms_.size(); ++v) {
+    if (wal_) wal_->append(encode_wal_record(v, group[v]));
+    commit_vm_hour(v, std::move(group[v]));
+  }
+  if (wal_) wal_->flush();
+  cursor_ = at + 1;
+  if (obs_on) {
+    publish_hour_metrics(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - hour_begin)
+                             .count());
+  }
+}
+
 void campaign_runner::publish_hour_metrics(double hour_seconds) {
   metrics_.hours->add(1);
   metrics_.hour_seconds->observe(hour_seconds);
@@ -473,6 +554,16 @@ void campaign_runner::emit_heartbeat() const {
     len += std::snprintf(
         line + len, sizeof(line) - static_cast<std::size_t>(len),
         " pool_util=%.2f", pool_->stats().utilization());
+  }
+  // Distributed replay: the coordinator keeps the worker gauge current,
+  // so a sharded run's heartbeat shows the shard fleet and its failovers.
+  if (metrics_.dist_workers->value() > 0 && len > 0 &&
+      static_cast<std::size_t>(len) < sizeof(line)) {
+    len += std::snprintf(
+        line + len, sizeof(line) - static_cast<std::size_t>(len),
+        " dist_workers=%.0f dist_failovers=%llu",
+        metrics_.dist_workers->value(),
+        static_cast<unsigned long long>(metrics_.dist_failovers->value()));
   }
   // Swarm pre-test gauges, when a swarm ran before this campaign (the
   // gauges hold the last pre-test round's view; credits accumulate).

@@ -243,6 +243,48 @@ class campaign_runner {
   // Merge one staged VM-hour: TSDB appends, someta samples, billing.
   // Coordinator thread only; call in ascending vm_slot order.
   void commit_vm_hour(std::size_t vm_slot, vm_hour_staging&& staged);
+
+  // --- distributed replay support (src/dist/) ---
+  // Stage one hour of the VM slots [slot_begin, slot_end) into `out`
+  // (resized to the slot count), entirely on the calling thread: serial
+  // cache prefill, serial batched evaluation, serial staging. Never
+  // touches the worker pool, so it is safe in a fork()ed worker process
+  // whose pool threads did not survive the fork. Byte-identical to the
+  // same slots staged by run_hour.
+  void stage_shard_hour(hour_stamp at, std::size_t slot_begin,
+                        std::size_t slot_end,
+                        std::vector<vm_hour_staging>& out);
+  // Commit one complete hour group staged elsewhere (shard workers):
+  // coordinator hour events, then WAL-log + commit every slot in
+  // ascending order, then advance the cursor — exactly the bytes
+  // run_hour's commit phase produces. `group` must hold vm_count()
+  // records, slot v at index v, all staged for `at` == cursor().
+  void commit_hour_group(hour_stamp at, std::vector<vm_hour_staging>&& group);
+  // WAL/shard record codec, also the dist wire format for one staged
+  // (VM, hour): the coordinator decodes exactly what a worker encoded.
+  // decode throws invalid_argument_error on a malformed payload and
+  // returns the record's vm_slot.
+  std::string encode_wal_record(std::size_t vm_slot,
+                                const vm_hour_staging& staged) const;
+  std::size_t decode_wal_record(std::string_view payload,
+                                vm_hour_staging& out) const;
+  // The campaign identity hash (seed, label, region, window, fleet
+  // shape, fault schedule). Shard workers present it in their hello so a
+  // coordinator never merges records from a differently-configured
+  // world; also what checkpoint resume verifies.
+  std::uint64_t fingerprint() const;
+
+  // State peeks for the shard coordinator, which mirrors run_until's
+  // durability cadence (first-hour WAL anchor, final storage bill)
+  // without reaching into private members.
+  bool wal_open() const { return wal_ != nullptr; }
+  bool storage_billed() const { return storage_billed_; }
+  bool interrupt_requested() const {
+    return interrupt_.load(std::memory_order_relaxed);
+  }
+  void clear_interrupt() {
+    interrupt_.store(false, std::memory_order_relaxed);
+  }
   // Storage billed monthly on the accumulated bucket volume (run() calls
   // this after the window; hour-stepped drivers call it themselves).
   void charge_monthly_storage();
@@ -365,6 +407,8 @@ class campaign_runner {
     obs::gauge* swarm_coverage{nullptr};
     obs::gauge* swarm_stale{nullptr};
     obs::counter* swarm_credits{nullptr};
+    obs::gauge* dist_workers{nullptr};
+    obs::counter* dist_failovers{nullptr};
     obs::histogram* hour_seconds{nullptr};
   };
   void resolve_metrics();
@@ -374,18 +418,9 @@ class campaign_runner {
   void publish_hour_metrics(double hour_seconds);
   void emit_heartbeat() const;
 
-  // Durability internals (checkpoint.cpp). fingerprint() hashes the
-  // campaign identity (seed, label, region, window, fleet shape, fault
-  // config) so resume rejects a checkpoint from a different campaign.
-  std::uint64_t fingerprint() const;
+  // Durability internals (checkpoint.cpp).
   void save_state(binary_writer& out) const;
   void load_state(binary_reader& in);
-  std::string encode_wal_record(std::size_t vm_slot,
-                                const vm_hour_staging& staged) const;
-  // Decode a WAL record into (vm_slot, staging); throws
-  // invalid_argument_error on a malformed payload.
-  std::size_t decode_wal_record(std::string_view payload,
-                                vm_hour_staging& out) const;
 
   gcp_cloud* cloud_;
   const network_view* view_;

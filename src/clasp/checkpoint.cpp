@@ -34,12 +34,29 @@ std::string checkpoint_name(hour_stamp cursor) {
   return "ckpt-" + std::to_string(cursor.hours_since_epoch());
 }
 
+// Countdown armed by set_checkpoint_write_failures_for_testing. The
+// container runs tests as root, so chmod-based fault injection cannot
+// make a write fail; this hook simulates ENOSPC at the write site.
+int g_write_failures_for_testing = 0;
+
+bool inject_write_failure() {
+  if (g_write_failures_for_testing <= 0) return false;
+  --g_write_failures_for_testing;
+  return true;
+}
+
 // payload + u32 crc32 trailer. A plain write: atomicity comes from the
-// directory rename that publishes the whole checkpoint at once.
+// directory rename that publishes the whole checkpoint at once. Failures
+// here (ENOSPC, short write, unwritable staging dir) are storage_error:
+// the caller aborts the publish and the old checkpoint stays CURRENT.
 void write_crc_file(const fs::path& path, std::string_view payload) {
+  if (inject_write_failure()) {
+    throw storage_error("checkpoint: injected write failure on " +
+                        path.string());
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    throw not_found_error("checkpoint: cannot write " + path.string());
+    throw storage_error("checkpoint: cannot write " + path.string());
   }
   binary_writer trailer;
   trailer.u32(crc32(payload));
@@ -47,7 +64,9 @@ void write_crc_file(const fs::path& path, std::string_view payload) {
   out.write(trailer.bytes().data(),
             static_cast<std::streamsize>(trailer.bytes().size()));
   out.flush();
-  if (!out) throw state_error("checkpoint: write failed " + path.string());
+  if (!out) {
+    throw storage_error("checkpoint: short write on " + path.string());
+  }
 }
 
 std::string read_crc_file(const fs::path& path) {
@@ -88,6 +107,10 @@ vm_metadata_sample get_sample(binary_reader& in) {
 }
 
 }  // namespace
+
+void set_checkpoint_write_failures_for_testing(int count) {
+  g_write_failures_for_testing = count;
+}
 
 std::optional<std::string> current_checkpoint(const std::string& dir) {
   std::ifstream in(fs::path(dir) / "CURRENT");
@@ -357,37 +380,62 @@ void campaign_runner::checkpoint(const std::string& dir) {
   const fs::path staging = root / (name + ".staging");
   std::error_code ec;
   fs::remove_all(staging, ec);
-  fs::create_directories(staging);
-  store_->snapshot_to((staging / "tsdb.snap").string());
-  binary_writer state;
-  save_state(state);
-  write_crc_file(staging / "state.bin", state.bytes());
-  binary_writer manifest;
-  manifest.u32(kManifestMagic);
-  manifest.u32(kCheckpointVersion);
-  manifest.u64(fingerprint());
-  manifest.svarint(cursor_.hours_since_epoch());
-  write_crc_file(staging / "MANIFEST", manifest.bytes());
-  // Publish: the staged directory becomes visible in one rename, then the
-  // CURRENT pointer flips in another. Re-checkpointing at the same hour
-  // (resume after replay) replaces the directory.
-  const fs::path published = root / name;
-  fs::remove_all(published, ec);
-  fs::rename(staging, published);
-  {
-    std::ofstream cur(root / "CURRENT.tmp", std::ios::trunc);
-    cur << name << '\n';
-    cur.flush();
-    if (!cur) {
-      throw state_error("checkpoint: cannot write CURRENT in " + dir);
+  try {
+    fs::create_directories(staging);
+    store_->snapshot_to((staging / "tsdb.snap").string());
+    binary_writer state;
+    save_state(state);
+    write_crc_file(staging / "state.bin", state.bytes());
+    binary_writer manifest;
+    manifest.u32(kManifestMagic);
+    manifest.u32(kCheckpointVersion);
+    manifest.u64(fingerprint());
+    manifest.svarint(cursor_.hours_since_epoch());
+    write_crc_file(staging / "MANIFEST", manifest.bytes());
+    // Publish: the staged directory becomes visible in one rename, then
+    // the CURRENT pointer flips in another. Re-checkpointing at the same
+    // hour (resume after replay) replaces the directory.
+    const fs::path published = root / name;
+    fs::remove_all(published, ec);
+    fs::rename(staging, published);
+    {
+      std::ofstream cur(root / "CURRENT.tmp", std::ios::trunc);
+      cur << name << '\n';
+      cur.flush();
+      if (!cur) {
+        throw storage_error("checkpoint: cannot write CURRENT in " + dir);
+      }
     }
+    fs::rename(root / "CURRENT.tmp", root / "CURRENT");
+  } catch (const std::exception& e) {
+    // Storage failed underneath the publish (ENOSPC, short write, a
+    // rename the filesystem refused). Nothing durable changed: CURRENT
+    // still names the previous checkpoint and in-memory replay state is
+    // untouched. The partial staging directory is quarantined — not
+    // deleted — so the operator can inspect what the disk accepted, and
+    // its name can never be mistaken for a published checkpoint.
+    if (fs::exists(staging)) {
+      const fs::path quarantine = root / (name + ".quarantine");
+      fs::remove_all(quarantine, ec);
+      fs::rename(staging, quarantine, ec);
+      if (ec) fs::remove_all(staging, ec);
+    }
+    fs::remove(root / "CURRENT.tmp", ec);
+    CLASP_LOG(warn, "campaign")
+        << config_.label << "/" << config_.region << ": checkpoint " << name
+        << " aborted, previous checkpoint remains CURRENT: " << e.what();
+    throw storage_error("checkpoint: publish of " + name +
+                        " failed, previous checkpoint left valid: " +
+                        e.what());
   }
-  fs::rename(root / "CURRENT.tmp", root / "CURRENT");
   // GC: older checkpoints and stale staging dirs. CURRENT already points
-  // at the new one, so a crash mid-GC costs only disk space.
+  // at the new one, so a crash mid-GC costs only disk space. Quarantined
+  // publish failures are evidence, not garbage — they survive GC until
+  // an operator removes them.
   for (const fs::directory_entry& entry : fs::directory_iterator(root)) {
     const std::string base = entry.path().filename().string();
     if (base == name || !starts_with(base, "ckpt-")) continue;
+    if (base.ends_with(".quarantine")) continue;
     fs::remove_all(entry.path(), ec);
     ++gc_removed;
   }
@@ -454,6 +502,16 @@ bool campaign_runner::resume(const std::string& dir) {
   // a partial group or torn tail is dropped and that hour re-runs.
   const wal_scan_result scan =
       scan_wal((fs::path(dir) / "wal.log").string());
+  if (scan.corrupt) {
+    // A fully-present frame failed its CRC (or carried an absurd length).
+    // Crash-tearing cannot produce that — something rewrote durable
+    // bytes — so silently truncating and re-running would mask real
+    // damage. Refuse the log; the operator decides (restore, discard).
+    throw corruption_error(
+        "campaign_runner: WAL interior corruption in " +
+        (fs::path(dir) / "wal.log").string() +
+        " (CRC mismatch on a complete frame); refusing to resume");
+  }
   std::size_t i = 0;
   std::size_t replayed = 0;
   vm_hour_staging peek;

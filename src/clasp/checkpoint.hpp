@@ -60,4 +60,10 @@ std::optional<std::string> current_checkpoint(const std::string& dir);
 // on a corrupt or version-mismatched manifest.
 checkpoint_info read_checkpoint_info(const std::string& checkpoint_path);
 
+// Test hook: make the next `count` checkpoint file writes fail as if the
+// disk were full (ENOSPC / short write). Lets tests drive the publish
+// failure path — partial staging dir quarantined, storage_error thrown,
+// old CURRENT left valid — without actually filling a filesystem.
+void set_checkpoint_write_failures_for_testing(int count);
+
 }  // namespace clasp

@@ -18,7 +18,7 @@ constexpr const char* kKnownFlags[] = {
     "--checkpoint-every", "--resume",
     "--metrics-out",     "--heartbeat-every",
     "--fleet-scale",     "--batch-eval",
-    "--swarm",
+    "--swarm",           "--shards",
 };
 
 std::string unknown_flag_error(const std::string& flag) {
@@ -142,6 +142,12 @@ cli_parse_result parse_cli_args(int argc, const char* const* argv,
         opts.batch_eval = 0;
       } else {
         return {false, "--batch-eval must be on or off"};
+      }
+    } else if (key == "--shards") {
+      if (!parse_int(value, opts.shards) || opts.shards < 1) {
+        return {false,
+                "--shards must be an integer >= 1 (worker processes for "
+                "distributed replay; use --shards 1 for in-process replay)"};
       }
     } else if (key == "--metrics-out") {
       opts.metrics_out = value;

@@ -29,6 +29,9 @@ struct cli_options {
   std::string checkpoint_dir;  // empty = durability off
   int checkpoint_every{-1};    // -1 = config default (hours)
   bool resume{false};
+  // Worker processes for distributed replay; -1 = config default,
+  // 1 = in-process. Output is byte-identical at any value.
+  int shards{-1};
   // Observability: write Prometheus text to FILE (and JSON to FILE.json)
   // after the command finishes. Implies obs metrics on.
   std::string metrics_out;

@@ -65,6 +65,7 @@ constexpr const char* kKnownKeys[] = {
     "campaign.fleet_scale",
     "campaign.checkpoint_dir",
     "campaign.checkpoint_every_hours",
+    "campaign.shards",
     "faults.enabled",
     "faults.preset",
     "faults.seed",
@@ -183,6 +184,15 @@ platform_config load_platform_config(const std::string& ini_text) {
             "disable durability)");
       }
       cfg.campaign_checkpoint_every_hours = static_cast<unsigned>(every);
+    } else if (key == "campaign.shards") {
+      const std::size_t shards = as_count(doc, key);
+      if (shards == 0) {
+        throw invalid_argument_error(
+            "config: campaign.shards must be >= 1 (worker processes for "
+            "distributed replay; use campaign.shards = 1 for in-process "
+            "replay)");
+      }
+      cfg.campaign_shards = shards;
     } else if (key == "swarm.preset") {
       // Already applied, before the key loop.
     } else if (key == "swarm.enabled") {

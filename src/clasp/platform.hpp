@@ -75,6 +75,12 @@ struct platform_config {
   // resume. Empty disables durability (see campaign_config).
   std::string campaign_checkpoint_dir;
   unsigned campaign_checkpoint_every_hours{24};
+  // Distributed replay (src/dist/): shard every campaign this platform
+  // runs across this many worker processes. 1 = in-process replay (the
+  // default); N > 1 forks N workers under a shard coordinator. Output
+  // is byte-identical at any shard count — sharding only buys wall
+  // clock and failure isolation.
+  std::size_t campaign_shards{1};
   // Observability (src/obs/). When obs_metrics is true the platform
   // enables the process-wide registry and pre-creates every core metric
   // family, so an exposition after any run covers the full taxonomy.

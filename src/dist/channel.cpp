@@ -1,0 +1,172 @@
+#include "dist/channel.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <fstream>
+#include <iterator>
+
+#include "util/binio.hpp"
+#include "util/error.hpp"
+
+namespace clasp::dist {
+
+namespace {
+
+// A group frame carries one hour of one shard's WAL records — a few
+// kilobytes per VM. Anything near this bound is a corrupted length
+// field, not a real message.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 26;
+
+std::string frame_header(std::string_view payload, std::uint32_t crc) {
+  binary_writer header;
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u32(crc);
+  return header.take();
+}
+
+}  // namespace
+
+fd_channel::fd_channel(int fd) : fd_(fd) {}
+
+fd_channel::~fd_channel() { close(); }
+
+void fd_channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void fd_channel::send_raw(std::string_view bytes) {
+  if (fd_ < 0) throw state_error("dist channel: send on closed channel");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE here (the
+    // coordinator's failover trigger), never as a process-killing
+    // SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw state_error("dist channel: peer gone during send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void fd_channel::send(std::string_view payload) {
+  send_raw(frame_header(payload, crc32(payload)) + std::string(payload));
+}
+
+void fd_channel::send_bad_crc(std::string_view payload) {
+  send_raw(frame_header(payload, crc32(payload) ^ 0xDEADBEEFu) +
+           std::string(payload));
+}
+
+void fd_channel::send_torn(std::string_view payload) {
+  const std::string full =
+      frame_header(payload, crc32(payload)) + std::string(payload);
+  send_raw(std::string_view(full).substr(0, full.size() / 2 + 4));
+}
+
+recv_status fd_channel::parse_frame(std::string& out) {
+  if (buf_.size() < 8) return recv_status::timeout;
+  binary_reader header(std::string_view(buf_).substr(0, 8));
+  const std::uint32_t len = header.u32();
+  const std::uint32_t expect_crc = header.u32();
+  if (len > kMaxFrameBytes) return recv_status::closed;
+  if (buf_.size() < 8 + static_cast<std::size_t>(len)) {
+    return recv_status::timeout;
+  }
+  const std::string_view payload = std::string_view(buf_).substr(8, len);
+  const bool ok = crc32(payload) == expect_crc;
+  if (ok) out.assign(payload);
+  buf_.erase(0, 8 + static_cast<std::size_t>(len));
+  return ok ? recv_status::ok : recv_status::corrupt;
+}
+
+recv_status fd_channel::recv(std::string& out, int timeout_ms) {
+  if (fd_ < 0) return recv_status::closed;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const recv_status parsed = parse_frame(out);
+    if (parsed != recv_status::timeout) return parsed;
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      wait_ms = static_cast<int>(std::max<std::int64_t>(0, left.count()));
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return recv_status::closed;
+    }
+    if (ready == 0) return recv_status::timeout;
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return recv_status::closed;
+    }
+    if (n == 0) {
+      // EOF: the peer died. Buffered bytes that never completed a frame
+      // are a torn stream — indistinguishable from a crash mid-write.
+      return recv_status::closed;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+file_channel::file_channel(std::string recv_path, std::string send_path)
+    : recv_path_(std::move(recv_path)), send_path_(std::move(send_path)) {}
+
+void file_channel::append(std::string_view bytes) {
+  std::ofstream out(send_path_, std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) throw state_error("dist channel: cannot append " + send_path_);
+}
+
+void file_channel::send(std::string_view payload) {
+  append(frame_header(payload, crc32(payload)) + std::string(payload));
+}
+
+void file_channel::send_bad_crc(std::string_view payload) {
+  append(frame_header(payload, crc32(payload) ^ 0xDEADBEEFu) +
+         std::string(payload));
+}
+
+void file_channel::send_torn(std::string_view payload) {
+  const std::string full =
+      frame_header(payload, crc32(payload)) + std::string(payload);
+  append(std::string_view(full).substr(0, full.size() / 2 + 4));
+}
+
+recv_status file_channel::recv(std::string& out, int /*timeout_ms*/) {
+  std::ifstream in(recv_path_, std::ios::binary);
+  if (!in) return recv_status::timeout;  // nothing written yet
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (content.size() < cursor_ + 8) return recv_status::timeout;
+  binary_reader header(std::string_view(content).substr(cursor_, 8));
+  const std::uint32_t len = header.u32();
+  const std::uint32_t expect_crc = header.u32();
+  if (len > kMaxFrameBytes) return recv_status::closed;
+  if (content.size() < cursor_ + 8 + len) return recv_status::timeout;
+  const std::string_view payload =
+      std::string_view(content).substr(cursor_ + 8, len);
+  cursor_ += 8 + len;
+  if (crc32(payload) != expect_crc) return recv_status::corrupt;
+  out.assign(payload);
+  return recv_status::ok;
+}
+
+}  // namespace clasp::dist

@@ -109,4 +109,23 @@ inline constexpr const char* kSwarmMissedRounds =
 inline constexpr const char* kSwarmRateLimited =
     "clasp_swarm_rate_limited_total";
 
+// Distributed replay (src/dist/): coordinator-side view of the shard
+// fleet. Gauges track the live topology; counters accumulate protocol
+// traffic and every robustness action (timeouts, CRC rejects, resends,
+// failovers) so a chaos run is fully visible in one exposition.
+inline constexpr const char* kDistWorkers = "clasp_dist_workers";
+inline constexpr const char* kDistBarrierHour = "clasp_dist_barrier_hour";
+inline constexpr const char* kDistGroupsMerged =
+    "clasp_dist_groups_merged_total";
+inline constexpr const char* kDistRecords = "clasp_dist_records_total";
+inline constexpr const char* kDistHeartbeats = "clasp_dist_heartbeats_total";
+inline constexpr const char* kDistTimeouts = "clasp_dist_timeouts_total";
+inline constexpr const char* kDistResends = "clasp_dist_resends_total";
+inline constexpr const char* kDistCrcRejects =
+    "clasp_dist_crc_rejects_total";
+inline constexpr const char* kDistFailovers = "clasp_dist_failovers_total";
+inline constexpr const char* kDistRespawns = "clasp_dist_respawns_total";
+inline constexpr const char* kDistBarrierSeconds =
+    "clasp_dist_barrier_seconds";
+
 }  // namespace clasp::obs::family

@@ -196,7 +196,11 @@ void register_core_families() {
         family::kFaultsRedeploys, family::kFaultsWithdrawals,
         family::kFaultsVmDownHours, family::kFaultsSkippedTests,
         family::kSwarmCreditsSpent, family::kSwarmSubstitutions,
-        family::kSwarmMissedRounds, family::kSwarmRateLimited}) {
+        family::kSwarmMissedRounds, family::kSwarmRateLimited,
+        family::kDistGroupsMerged, family::kDistRecords,
+        family::kDistHeartbeats, family::kDistTimeouts, family::kDistResends,
+        family::kDistCrcRejects, family::kDistFailovers,
+        family::kDistRespawns}) {
     reg.get_counter(name);
   }
   for (const char* name :
@@ -209,12 +213,13 @@ void register_core_families() {
         family::kFleetServers, family::kFleetVms, family::kSessionsTotal,
         family::kBatchGroupsPerHour, family::kSwarmProbes,
         family::kSwarmActiveProbes, family::kSwarmCoverageRatio,
-        family::kSwarmStaleTuples}) {
+        family::kSwarmStaleTuples, family::kDistWorkers,
+        family::kDistBarrierHour}) {
     reg.get_gauge(name);
   }
   for (const char* name :
        {family::kCampaignHourSeconds, family::kTsdbSnapshotSeconds,
-        family::kCheckpointPublishSeconds}) {
+        family::kCheckpointPublishSeconds, family::kDistBarrierSeconds}) {
     reg.get_histogram(name, duration_buckets());
   }
 }

@@ -76,10 +76,22 @@ wal_scan_result scan_wal(const std::string& path) {
     binary_reader header(std::string_view(content).substr(pos, 8));
     const std::uint32_t len = header.u32();
     const std::uint32_t expect_crc = header.u32();
-    if (len > kMaxRecordBytes || pos + 8 + len > content.size()) break;
+    if (len > kMaxRecordBytes) {
+      // The full length field is on disk and nonsensical: corruption, not
+      // a tear (a torn write can only shorten the file).
+      result.corrupt = true;
+      break;
+    }
+    if (pos + 8 + len > content.size()) break;  // torn mid-frame
     const std::string_view payload =
         std::string_view(content).substr(pos + 8, len);
-    if (crc32(payload) != expect_crc) break;
+    if (crc32(payload) != expect_crc) {
+      // Every payload byte is present yet the CRC disagrees: interior
+      // corruption. The valid prefix is still reported, but the caller
+      // must not treat this as an ordinary torn tail.
+      result.corrupt = true;
+      break;
+    }
     result.records.emplace_back(payload);
     pos += 8 + len;
     result.record_end.push_back(pos);

@@ -53,16 +53,26 @@ class wal_writer {
   std::uint64_t bytes_written_{0};
 };
 
-// Result of walking a log front to back.
+// Result of walking a log front to back. Two distinct stop reasons:
+//  * torn tail — the file ends before the last frame completes. This is
+//    what a crash produces; recovery truncates it and re-runs the hour.
+//  * interior corruption — a frame is fully present (header readable,
+//    every payload byte on disk) but its CRC does not match, or its
+//    length field is absurd. Tearing cannot produce this; something
+//    rewrote durable bytes. Recovery must NOT silently truncate — the
+//    resume path refuses the log with a typed corruption_error.
 struct wal_scan_result {
   std::vector<std::string> records;       // payloads of every valid record
   std::vector<std::uint64_t> record_end;  // file offset just past record i
   std::uint64_t valid_bytes{0};           // prefix that passed CRC framing
   bool torn_tail{false};                  // bytes past valid_bytes exist
+  bool corrupt{false};                    // stop was a CRC/length mismatch
+                                          // on a fully-present frame
 };
 
 // Scan a log, stopping at the first torn or corrupt frame. A missing
-// file scans as empty (no records, not an error).
+// file scans as empty (no records, not an error). Never throws on bad
+// bytes — the caller inspects torn_tail/corrupt and decides.
 wal_scan_result scan_wal(const std::string& path);
 
 // Truncate the log to `valid_bytes` (recovery drops a torn tail or an

@@ -42,4 +42,23 @@ class budget_exceeded_error : public error {
   explicit budget_exceeded_error(const std::string& what) : error(what) {}
 };
 
+// The storage substrate failed underneath us (ENOSPC, short write, an
+// unwritable directory). The operation was aborted without damaging
+// previously durable state — e.g. a failed checkpoint publish leaves the
+// old CURRENT checkpoint valid.
+class storage_error : public error {
+ public:
+  explicit storage_error(const std::string& what) : error(what) {}
+};
+
+// Durable bytes failed an integrity check in a place crash-tearing cannot
+// explain (a CRC mismatch in the interior of a WAL, a corrupt frame on a
+// shard channel). Unlike a torn tail this is never silently dropped: the
+// reader refuses the data and the caller decides (re-request, restore
+// from a checkpoint, fail loudly).
+class corruption_error : public error {
+ public:
+  explicit corruption_error(const std::string& what) : error(what) {}
+};
+
 }  // namespace clasp

@@ -427,5 +427,67 @@ TEST(CampaignResume, CorruptCheckpointIsRejected) {
   fs::remove_all(root);
 }
 
+TEST(CampaignResume, CheckpointPublishFailureQuarantinesAndKeepsCurrent) {
+  // ENOSPC (simulated) mid-publish: the failed checkpoint must not
+  // damage durable state — the old CURRENT stays valid, the partial
+  // staging directory is quarantined, and the error is typed.
+  const fs::path root = test_dir();
+  std::string dir;
+  {
+    clasp_platform p(tiny_config(2, true, "low", root.string()));
+    campaign_runner& c = p.start_topology_campaign("us-west1", window());
+    ASSERT_TRUE(c.run_until(window().begin_at + 20));
+    dir = c.config().checkpoint_dir;
+    const auto before = current_checkpoint(dir);
+    ASSERT_TRUE(before.has_value());
+    set_checkpoint_write_failures_for_testing(1);
+    EXPECT_THROW(c.run_until(window().begin_at + 30), storage_error);
+    set_checkpoint_write_failures_for_testing(0);
+    const auto after = current_checkpoint(dir);
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(*before, *after);
+    EXPECT_EQ(read_checkpoint_info(*after).cursor_hours,
+              (window().begin_at + 20).hours_since_epoch());
+    bool quarantined = false;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const std::string base = entry.path().filename().string();
+      EXPECT_FALSE(base.ends_with(".staging")) << base;
+      if (base.ends_with(".quarantine")) quarantined = true;
+    }
+    EXPECT_TRUE(quarantined);
+  }
+  // The surviving checkpoint (plus the WAL hours committed before the
+  // failed publish) resumes and finishes byte-identically.
+  expect_identical(reference("low"),
+                   resume_and_finish(root.string(), 2, true, "low"));
+  fs::remove_all(root);
+}
+
+TEST(CampaignResume, CorruptWalInteriorRefusesResume) {
+  // A CRC mismatch on a fully-present frame is rewrite damage, not a
+  // crash tear: resume must refuse the log with a typed error instead
+  // of silently truncating and re-running.
+  const fs::path root = test_dir();
+  const std::string dir = run_and_kill(root.string(), 2, true, "low", 25);
+  const std::string wal_path = dir + "/wal.log";
+  const wal_scan_result scan = scan_wal(wal_path);
+  ASSERT_GT(scan.records.size(), 2u);
+  {
+    // Flip one byte two bytes into the second record's payload; every
+    // byte of the frame is still on disk.
+    std::fstream f(wal_path, std::ios::in | std::ios::out | std::ios::binary);
+    const std::streamoff at =
+        static_cast<std::streamoff>(scan.record_end[0] + 8 + 2);
+    f.seekg(at);
+    const char byte = static_cast<char>(f.get());
+    f.seekp(at);
+    f.put(static_cast<char>(byte ^ 0x01));
+  }
+  clasp_platform p(tiny_config(2, true, "low", root.string()));
+  campaign_runner& c = p.start_topology_campaign("us-west1", window());
+  EXPECT_THROW(c.resume(c.config().checkpoint_dir), corruption_error);
+  fs::remove_all(root);
+}
+
 }  // namespace
 }  // namespace clasp

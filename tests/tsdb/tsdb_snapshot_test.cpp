@@ -281,6 +281,46 @@ TEST_F(WalTest, CorruptPayloadStopsScanAtLastValidRecord) {
   ASSERT_EQ(after.records.size(), 1u);
   EXPECT_EQ(after.records[0], "good");
   EXPECT_TRUE(after.torn_tail);
+  // Every byte of the frame is on disk yet the CRC fails: interior
+  // corruption, not a crash tear. The scan says so, distinctly.
+  EXPECT_TRUE(after.corrupt);
+}
+
+TEST_F(WalTest, TornTailIsNotFlaggedCorrupt) {
+  {
+    wal_writer wal(path_, /*truncate=*/true);
+    wal.append("complete");
+    wal.append("will be torn");
+    wal.flush();
+  }
+  const wal_scan_result full = scan_wal(path_);
+  fs::resize_file(path_, full.record_end[1] - 3);
+  const wal_scan_result torn = scan_wal(path_);
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_FALSE(torn.corrupt);  // tearing only shortens, never rewrites
+}
+
+TEST_F(WalTest, AbsurdLengthFieldIsCorruptNotTorn) {
+  {
+    wal_writer wal(path_, /*truncate=*/true);
+    wal.append("good");
+    wal.append("length about to be trashed");
+    wal.flush();
+  }
+  const wal_scan_result before = scan_wal(path_);
+  ASSERT_EQ(before.records.size(), 2u);
+  // Stamp an impossible length into the second record's header. The
+  // bytes are all present — a tear cannot have produced this.
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(before.record_end[0]));
+    const char absurd[4] = {'\xff', '\xff', '\xff', '\x7f'};
+    f.write(absurd, 4);
+  }
+  const wal_scan_result after = scan_wal(path_);
+  ASSERT_EQ(after.records.size(), 1u);
+  EXPECT_TRUE(after.corrupt);
+  EXPECT_EQ(after.valid_bytes, before.record_end[0]);
 }
 
 TEST_F(WalTest, TsdbCommitRecordRoundTrip) {

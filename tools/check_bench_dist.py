@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""CI gate for BENCH_dist.json.
+
+Asserts the distributed-replay bench ran the full shard axis and that the
+subsystem's three contracts held:
+
+  1. Identity — every shard count, and the SIGKILL failover leg, hashed
+     identically to the single-process run.
+  2. Failover recovery — exactly the in-flight barrier hour, never more
+     than a checkpoint interval, with at least one real failover.
+  3. Merge overhead — the coordinator's deployed cost (per-barrier work
+     over the real-time hour it covers) stays under 10%. The raw sim
+     wall-clock ratio is only gated on full-scale runs: the simulator
+     compresses a 3600-second hour into microseconds, so at --fast scale
+     per-barrier IPC is magnified against a microseconds-long baseline
+     and the ratio measures the time compression, not the coordinator.
+
+Usage: check_bench_dist.py BENCH_dist.json
+"""
+
+import json
+import sys
+
+DEPLOYED_OVERHEAD_LIMIT_PCT = 10.0
+SIM_OVERHEAD_LIMIT_PCT = 10.0  # full-scale runs only
+
+
+def fail(msg):
+    print(f"bench gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_dist.json")
+    with open(sys.argv[1]) as f:
+        bench = json.load(f)
+
+    fast = bench.get("fast", False)
+    runs = bench.get("runs", [])
+    by_shards = {r.get("shards"): r for r in runs}
+
+    # 1. The shard axis ran.
+    for shards in (1, 2, 4):
+        if shards not in by_shards:
+            fail(f"missing {shards}-shard run in 'runs'")
+
+    # 2. Identity at every shard count.
+    for shards, run in sorted(by_shards.items()):
+        if not run.get("output_identical"):
+            fail(f"{shards}-shard output diverged from the single-process run")
+        if run.get("groups_merged", 0) < shards:
+            fail(f"{shards}-shard run merged {run.get('groups_merged')} "
+                 "groups — the workers never shipped anything")
+
+    # 3. The failover leg: a real kill, bounded recovery, identical output.
+    failover = bench.get("failover")
+    if not failover:
+        fail("missing 'failover' leg")
+    if failover.get("failovers", 0) < 1:
+        fail("the failover leg recorded no failovers — the kill never landed")
+    if not failover.get("output_identical"):
+        fail("output moved after a worker SIGKILL + failover")
+    recovery = failover.get("failover_recovery_hours")
+    interval = failover.get("checkpoint_every_hours")
+    if recovery is None or interval is None:
+        fail("failover leg is missing recovery/checkpoint fields")
+    if recovery > interval:
+        fail(f"failover recovery took {recovery} hours, more than the "
+             f"{interval}-hour checkpoint interval")
+
+    # 4. Merge overhead. Deployed cost is the asserted budget; the sim
+    #    wall-clock ratio only means something at full scale.
+    best = min(
+        (r for r in runs if r.get("shards", 0) >= 1),
+        key=lambda r: r.get("merge_overhead_pct", float("inf")),
+    )
+    deployed = best.get("deployed_overhead_pct")
+    if deployed is None:
+        fail("runs are missing 'deployed_overhead_pct'")
+    if deployed >= DEPLOYED_OVERHEAD_LIMIT_PCT:
+        fail(f"deployed merge overhead {deployed:.6f}% exceeds the "
+             f"{DEPLOYED_OVERHEAD_LIMIT_PCT}% budget")
+    if not fast and best.get("merge_overhead_pct", 0.0) >= SIM_OVERHEAD_LIMIT_PCT:
+        fail(f"full-scale merge overhead {best['merge_overhead_pct']:.2f}% "
+             f"exceeds {SIM_OVERHEAD_LIMIT_PCT}% at the best shard count")
+
+    print(
+        "bench gate: OK: shards {1,2,4} byte-identical, "
+        f"failover recovery {recovery}h <= {interval}h interval, "
+        f"deployed merge overhead {deployed:.6f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()
