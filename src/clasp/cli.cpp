@@ -19,6 +19,8 @@ constexpr const char* kKnownFlags[] = {
     "--metrics-out",     "--heartbeat-every",
     "--fleet-scale",     "--batch-eval",
     "--swarm",           "--shards",
+    "--socket",          "--tenant",
+    "--id",              "--durable",
 };
 
 std::string unknown_flag_error(const std::string& flag) {
@@ -57,7 +59,10 @@ cli_parse_result parse_cli_args(int argc, const char* const* argv,
   opts.command = argv[1];
   if (opts.command != "select" && opts.command != "pilot" &&
       opts.command != "run" && opts.command != "cost" &&
-      opts.command != "report") {
+      opts.command != "report" && opts.command != "serve" &&
+      opts.command != "submit" && opts.command != "status" &&
+      opts.command != "pause" && opts.command != "resume" &&
+      opts.command != "cancel" && opts.command != "shutdown") {
     return {false, "unknown command '" + opts.command + "'"};
   }
   for (int i = 2; i < argc; ++i) {
@@ -149,6 +154,29 @@ cli_parse_result parse_cli_args(int argc, const char* const* argv,
                 "--shards must be an integer >= 1 (worker processes for "
                 "distributed replay; use --shards 1 for in-process replay)"};
       }
+    } else if (key == "--socket") {
+      opts.socket = value;
+    } else if (key == "--tenant") {
+      if (value.empty()) return {false, "--tenant must not be empty"};
+      opts.tenant = value;
+    } else if (key == "--id") {
+      try {
+        std::size_t consumed = 0;
+        opts.id = std::stoull(value, &consumed);
+        if (consumed != value.size() || opts.id == 0) {
+          return {false, "--id must be a campaign id >= 1"};
+        }
+      } catch (const std::exception&) {
+        return {false, "--id must be a campaign id >= 1"};
+      }
+    } else if (key == "--durable") {
+      if (value == "on" || value == "1" || value == "true") {
+        opts.durable = 1;
+      } else if (value == "off" || value == "0" || value == "false") {
+        opts.durable = 0;
+      } else {
+        return {false, "--durable must be on or off"};
+      }
     } else if (key == "--metrics-out") {
       opts.metrics_out = value;
     } else if (key == "--heartbeat-every") {
@@ -160,6 +188,14 @@ cli_parse_result parse_cli_args(int argc, const char* const* argv,
   }
   if (opts.resume && opts.checkpoint_dir.empty()) {
     return {false, "--resume requires --checkpoint-dir"};
+  }
+  if (opts.command == "submit" && opts.tenant.empty()) {
+    return {false, "submit requires --tenant"};
+  }
+  if ((opts.command == "pause" || opts.command == "resume" ||
+       opts.command == "cancel") &&
+      opts.id == 0) {
+    return {false, opts.command + " requires --id"};
   }
   return {true, ""};
 }

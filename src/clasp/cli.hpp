@@ -37,6 +37,16 @@ struct cli_options {
   std::string metrics_out;
   // Heartbeat cadence in simulated hours; -1 = off. Implies obs on.
   int heartbeat_every{-1};
+  // --- campaign service verbs (serve/submit/status/pause/resume/cancel/
+  // shutdown) ---
+  // Control socket; empty = the config's service.socket.
+  std::string socket;
+  // Tenant name for submit (required there).
+  std::string tenant;
+  // Campaign id for status/pause/resume/cancel; 0 = all (status only).
+  std::uint64_t id{0};
+  // Durability of a submitted campaign; -1 = default (on), 0 = off, 1 = on.
+  int durable{-1};
 };
 
 struct cli_parse_result {

@@ -80,6 +80,16 @@ constexpr const char* kKnownKeys[] = {
     "obs.metrics",
     "obs.heartbeat_every_hours",
     "obs.span_ring_capacity",
+    "service.socket",
+    "service.state_dir",
+    "service.results_dir",
+    "service.quantum_hours",
+    "service.worker_budget",
+    "service.max_admitted",
+    "service.tenant_max_admitted",
+    "service.tenant_max_active",
+    "service.max_resident",
+    "service.heartbeat_every_quanta",
 };
 
 [[noreturn]] void throw_unknown_key(const std::string& key) {
@@ -249,6 +259,60 @@ platform_config load_platform_config(const std::string& ini_text) {
           static_cast<unsigned>(as_count(doc, key));
     } else if (key == "obs.span_ring_capacity") {
       cfg.obs_span_ring_capacity = as_count(doc, key);
+    } else if (key == "service.socket") {
+      cfg.service.socket = doc.get(key);
+    } else if (key == "service.state_dir") {
+      cfg.service.state_dir = doc.get(key);
+    } else if (key == "service.results_dir") {
+      cfg.service.results_dir = doc.get(key);
+    } else if (key == "service.quantum_hours") {
+      const std::size_t quantum = as_count(doc, key);
+      if (quantum == 0) {
+        throw invalid_argument_error(
+            "config: service.quantum_hours must be >= 1 (scheduler time "
+            "slice in simulated hours)");
+      }
+      cfg.service.quantum_hours = static_cast<unsigned>(quantum);
+    } else if (key == "service.worker_budget") {
+      const std::size_t budget = as_count(doc, key);
+      if (budget == 0) {
+        throw invalid_argument_error(
+            "config: service.worker_budget must be >= 1 (shared worker "
+            "units across admitted campaigns)");
+      }
+      cfg.service.worker_budget = static_cast<unsigned>(budget);
+    } else if (key == "service.max_admitted") {
+      const std::size_t cap = as_count(doc, key);
+      if (cap == 0) {
+        throw invalid_argument_error(
+            "config: service.max_admitted must be >= 1");
+      }
+      cfg.service.max_admitted = cap;
+    } else if (key == "service.tenant_max_admitted") {
+      const std::size_t cap = as_count(doc, key);
+      if (cap == 0) {
+        throw invalid_argument_error(
+            "config: service.tenant_max_admitted must be >= 1");
+      }
+      cfg.service.tenant_max_admitted = cap;
+    } else if (key == "service.tenant_max_active") {
+      const std::size_t cap = as_count(doc, key);
+      if (cap == 0) {
+        throw invalid_argument_error(
+            "config: service.tenant_max_active must be >= 1");
+      }
+      cfg.service.tenant_max_active = cap;
+    } else if (key == "service.max_resident") {
+      const std::size_t cap = as_count(doc, key);
+      if (cap == 0) {
+        throw invalid_argument_error(
+            "config: service.max_resident must be >= 1 (sessions kept in "
+            "memory; durable ones are evicted beyond this)");
+      }
+      cfg.service.max_resident = cap;
+    } else if (key == "service.heartbeat_every_quanta") {
+      cfg.service.heartbeat_every_quanta =
+          static_cast<unsigned>(as_count(doc, key));
     } else if (starts_with(key, "budgets.")) {
       const std::string region = key.substr(std::string("budgets.").size());
       region_by_name(region);  // validates the region name

@@ -115,8 +115,7 @@ campaign_runner& clasp_platform::start_topology_campaign(
   cfg.faults = config_.campaign_faults;
   cfg.heartbeat_every_hours = config_.obs_heartbeat_every_hours;
   if (!config_.campaign_checkpoint_dir.empty()) {
-    cfg.checkpoint_dir =
-        config_.campaign_checkpoint_dir + "/" + cfg.label + "-" + region;
+    cfg.checkpoint_dir = claim_checkpoint_subdir(cfg.label, region);
     cfg.checkpoint_every_hours = config_.campaign_checkpoint_every_hours;
   }
   auto runner = std::make_unique<campaign_runner>(cloud_.get(), view_.get(),
@@ -126,6 +125,23 @@ campaign_runner& clasp_platform::start_topology_campaign(
   runner->set_pretest_swarm(swarm_.get());
   campaigns_.push_back(std::move(runner));
   return *campaigns_.back();
+}
+
+std::string clasp_platform::claim_checkpoint_subdir(const std::string& label,
+                                                    const std::string& region) {
+  std::string dir = config_.campaign_checkpoint_dir;
+  if (!config_.campaign_namespace.empty()) {
+    dir += "/" + config_.campaign_namespace;
+  }
+  dir += "/" + label + "-" + region;
+  if (!claimed_checkpoint_dirs_.insert(dir).second) {
+    throw state_error(
+        "clasp_platform: checkpoint dir " + dir +
+        " is already claimed by another campaign — two campaigns sharing a "
+        "subdirectory would interleave WAL records; use a distinct "
+        "campaign_namespace (or label/region) per campaign");
+  }
+  return dir;
 }
 
 std::pair<campaign_runner*, campaign_runner*>
@@ -157,8 +173,7 @@ clasp_platform::start_differential_campaign(const std::string& region,
     cfg.faults = config_.campaign_faults;
     cfg.heartbeat_every_hours = config_.obs_heartbeat_every_hours;
     if (!config_.campaign_checkpoint_dir.empty()) {
-      cfg.checkpoint_dir =
-          config_.campaign_checkpoint_dir + "/" + cfg.label + "-" + region;
+      cfg.checkpoint_dir = claim_checkpoint_subdir(cfg.label, region);
       cfg.checkpoint_every_hours = config_.campaign_checkpoint_every_hours;
     }
     auto runner = std::make_unique<campaign_runner>(cloud_.get(), view_.get(),

@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,32 @@
 #include "tsdb/tsdb.hpp"
 
 namespace clasp {
+
+// Campaign service daemon settings (src/svc/, `clasp_cli serve`). Lives
+// on platform_config so the INI loader and CLI overlay reach it through
+// the one config object the whole stack shares; a batch run ignores it.
+struct service_settings {
+  // Control socket the daemon listens on and the CLI verbs dial.
+  std::string socket{"clasp-svc.sock"};
+  // Daemon state root: <state_dir>/registry.bin (durable queue) and
+  // <state_dir>/ckpt/<tenant>-<id>/ (per-campaign checkpoints).
+  std::string state_dir{"clasp-svc"};
+  // Where finished campaigns' CSVs land (<tenant>-<id>.csv); empty
+  // keeps results only in each session's store (tests read them there).
+  std::string results_dir;
+  // Scheduler time slice in simulated hours; must be >= 1.
+  unsigned quantum_hours{6};
+  // Admission: shared worker-unit budget and campaign-count quotas.
+  unsigned worker_budget{8};
+  std::size_t max_admitted{4};
+  std::size_t tenant_max_admitted{2};
+  std::size_t tenant_max_active{16};
+  // Sessions kept in memory; beyond this the least-recently-run durable
+  // session is checkpointed and evicted.
+  std::size_t max_resident{4};
+  // Heartbeat cadence in scheduler quanta (obs line + gauges); 0 = off.
+  unsigned heartbeat_every_quanta{0};
+};
 
 struct platform_config {
   internet_config internet{};
@@ -69,11 +96,19 @@ struct platform_config {
   // longer see them.
   fault_config campaign_faults{};
   // Durability for every campaign this platform deploys. When non-empty,
-  // each campaign checkpoints under <dir>/<label>-<region> (so several
-  // campaigns can share one root) every campaign_checkpoint_every_hours
-  // simulated hours, and a killed run resumes via campaign_runner::
-  // resume. Empty disables durability (see campaign_config).
+  // each campaign checkpoints under <dir>[/<namespace>]/<label>-<region>
+  // (so several campaigns can share one root) every
+  // campaign_checkpoint_every_hours simulated hours, and a killed run
+  // resumes via campaign_runner::resume. Empty disables durability (see
+  // campaign_config). The platform refuses to hand the same subdirectory
+  // to two campaigns (state_error): two writers would silently
+  // interleave WAL records and corrupt both.
   std::string campaign_checkpoint_dir;
+  // Extra path segment between the root and <label>-<region>. The
+  // campaign service sets it per (tenant, campaign id) so tenants
+  // submitting the same region never share checkpoint state; batch runs
+  // leave it empty and get the historical layout.
+  std::string campaign_namespace;
   unsigned campaign_checkpoint_every_hours{24};
   // Distributed replay (src/dist/): shard every campaign this platform
   // runs across this many worker processes. 1 = in-process replay (the
@@ -91,6 +126,9 @@ struct platform_config {
   unsigned obs_heartbeat_every_hours{0};
   // Trace-span ring capacity; 0 keeps the default (256 spans).
   std::size_t obs_span_ring_capacity{0};
+  // Campaign service daemon knobs ([service] in the INI); ignored by
+  // batch runs.
+  service_settings service{};
 };
 
 class clasp_platform {
@@ -171,7 +209,14 @@ class clasp_platform {
       const std::string& region, double threshold = 0.5);
 
  private:
+  // The checkpoint subdirectory for a campaign, claimed exactly once:
+  // a second campaign resolving to the same path is a state_error, not
+  // a silent interleave. Empty when durability is off.
+  std::string claim_checkpoint_subdir(const std::string& label,
+                                      const std::string& region);
+
   platform_config config_;
+  std::set<std::string> claimed_checkpoint_dirs_;
   internet net_;
   std::unique_ptr<route_planner> planner_;
   std::unique_ptr<network_view> view_;

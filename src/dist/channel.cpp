@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -123,6 +124,71 @@ recv_status fd_channel::recv(std::string& out, int timeout_ms) {
     }
     buf_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+namespace {
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw state_error("dist channel: socket path too long: " + path);
+  }
+  path.copy(addr.sun_path, path.size());
+  return addr;
+}
+
+}  // namespace
+
+unix_listener::unix_listener(std::string path, int backlog)
+    : path_(std::move(path)) {
+  const sockaddr_un addr = unix_address(path_);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw state_error("dist channel: cannot create unix socket");
+  ::unlink(path_.c_str());  // a stale file from a dead daemon blocks bind
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd_, backlog) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw state_error("dist channel: cannot listen on " + path_);
+  }
+}
+
+unix_listener::~unix_listener() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+std::unique_ptr<fd_channel> unix_listener::accept(int timeout_ms) {
+  if (fd_ < 0) throw state_error("dist channel: listener is closed");
+  for (;;) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw state_error("dist channel: poll failed on " + path_);
+    }
+    if (ready == 0) return nullptr;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      throw state_error("dist channel: accept failed on " + path_);
+    }
+    return std::make_unique<fd_channel>(client);
+  }
+}
+
+std::unique_ptr<fd_channel> connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw state_error("dist channel: cannot create unix socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    throw state_error("dist channel: no service listening at " + path);
+  }
+  return std::make_unique<fd_channel>(fd);
 }
 
 file_channel::file_channel(std::string recv_path, std::string send_path)

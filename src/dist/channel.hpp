@@ -15,10 +15,14 @@
 // Two implementations: fd_channel wraps one end of a stream socketpair
 // and is what fork()ed workers use; file_channel replays frames through
 // ordinary files so protocol tests can exercise framing, corruption and
-// torn tails without processes.
+// torn tails without processes. unix_listener/connect_unix put the same
+// framing on a named unix-domain socket — the campaign service's control
+// plane rides on it, so control messages inherit the CRC discipline and
+// corruption taxonomy for free.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -80,6 +84,35 @@ class fd_channel final : public byte_channel {
   int fd_;
   std::string buf_;  // received, not yet parsed
 };
+
+// Listening unix-domain stream socket. The constructor unlinks any stale
+// socket file, binds and listens; the destructor closes and unlinks.
+// accept() hands each connection back as an fd_channel sharing the frame
+// discipline above.
+class unix_listener {
+ public:
+  // Throws state_error when the path cannot be bound (too long, no
+  // directory, permissions).
+  explicit unix_listener(std::string path, int backlog = 8);
+  ~unix_listener();
+  unix_listener(const unix_listener&) = delete;
+  unix_listener& operator=(const unix_listener&) = delete;
+
+  // Wait up to timeout_ms (0 polls, < 0 blocks) for a connection;
+  // nullptr on timeout. Throws state_error when the listener is broken.
+  std::unique_ptr<fd_channel> accept(int timeout_ms);
+
+  const std::string& path() const { return path_; }
+  int fd() const { return fd_; }
+
+ private:
+  std::string path_;
+  int fd_{-1};
+};
+
+// Client side: connect to a unix_listener's socket. Throws state_error
+// when nothing listens at `path`.
+std::unique_ptr<fd_channel> connect_unix(const std::string& path);
 
 // File-backed half-duplex pair for tests: send appends frames to one
 // file, recv reads them from another (wire two of these back to back to

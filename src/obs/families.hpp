@@ -128,4 +128,35 @@ inline constexpr const char* kDistRespawns = "clasp_dist_respawns_total";
 inline constexpr const char* kDistBarrierSeconds =
     "clasp_dist_barrier_seconds";
 
+// Campaign service daemon (src/svc/). Gauges mirror the registry's state
+// counts plus the scheduler's residency; counters accumulate lifecycle
+// events, quanta and control traffic. Per-campaign progress additionally
+// appears as label-embedded gauge names,
+//   clasp_svc_campaign_cursor_hours{tenant="...",campaign="N"},
+// which the registry treats as ordinary names and the Prometheus
+// exposition renders literally.
+inline constexpr const char* kSvcQueued = "clasp_svc_queued";
+inline constexpr const char* kSvcAdmitted = "clasp_svc_admitted";
+inline constexpr const char* kSvcRunning = "clasp_svc_running";
+inline constexpr const char* kSvcPaused = "clasp_svc_paused";
+inline constexpr const char* kSvcResident = "clasp_svc_resident";
+inline constexpr const char* kSvcReservedUnits = "clasp_svc_reserved_units";
+inline constexpr const char* kSvcWorkerBudget = "clasp_svc_worker_budget";
+inline constexpr const char* kSvcSubmissions = "clasp_svc_submissions_total";
+inline constexpr const char* kSvcCompletions = "clasp_svc_completions_total";
+inline constexpr const char* kSvcFailures = "clasp_svc_failures_total";
+inline constexpr const char* kSvcCancellations =
+    "clasp_svc_cancellations_total";
+inline constexpr const char* kSvcPreemptions = "clasp_svc_preemptions_total";
+inline constexpr const char* kSvcEvictions = "clasp_svc_evictions_total";
+inline constexpr const char* kSvcQuanta = "clasp_svc_quanta_total";
+inline constexpr const char* kSvcColdStarts = "clasp_svc_cold_starts_total";
+inline constexpr const char* kSvcWarmResumes =
+    "clasp_svc_warm_resumes_total";
+inline constexpr const char* kSvcControlRequests =
+    "clasp_svc_control_requests_total";
+inline constexpr const char* kSvcDrains = "clasp_svc_drains_total";
+inline constexpr const char* kSvcCampaignCursorHours =
+    "clasp_svc_campaign_cursor_hours";
+
 }  // namespace clasp::obs::family

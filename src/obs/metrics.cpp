@@ -200,7 +200,12 @@ void register_core_families() {
         family::kDistGroupsMerged, family::kDistRecords,
         family::kDistHeartbeats, family::kDistTimeouts, family::kDistResends,
         family::kDistCrcRejects, family::kDistFailovers,
-        family::kDistRespawns}) {
+        family::kDistRespawns, family::kSvcSubmissions,
+        family::kSvcCompletions, family::kSvcFailures,
+        family::kSvcCancellations, family::kSvcPreemptions,
+        family::kSvcEvictions, family::kSvcQuanta, family::kSvcColdStarts,
+        family::kSvcWarmResumes, family::kSvcControlRequests,
+        family::kSvcDrains}) {
     reg.get_counter(name);
   }
   for (const char* name :
@@ -214,7 +219,9 @@ void register_core_families() {
         family::kBatchGroupsPerHour, family::kSwarmProbes,
         family::kSwarmActiveProbes, family::kSwarmCoverageRatio,
         family::kSwarmStaleTuples, family::kDistWorkers,
-        family::kDistBarrierHour}) {
+        family::kDistBarrierHour, family::kSvcQueued, family::kSvcAdmitted,
+        family::kSvcRunning, family::kSvcPaused, family::kSvcResident,
+        family::kSvcReservedUnits, family::kSvcWorkerBudget}) {
     reg.get_gauge(name);
   }
   for (const char* name :

@@ -1,0 +1,107 @@
+#include "svc/admission.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace clasp::svc {
+
+namespace {
+
+bool holds_budget(campaign_state state) {
+  return state == campaign_state::admitted ||
+         state == campaign_state::running;
+}
+
+}  // namespace
+
+admission_controller::admission_controller(admission_policy policy)
+    : policy_(policy) {
+  if (policy_.worker_budget == 0) {
+    throw invalid_argument_error("svc: worker_budget must be >= 1");
+  }
+  if (policy_.max_admitted == 0 || policy_.tenant_max_admitted == 0 ||
+      policy_.tenant_max_active == 0) {
+    throw invalid_argument_error("svc: admission quotas must be >= 1");
+  }
+}
+
+unsigned admission_controller::units(const campaign_spec& spec,
+                                     const platform_config& base) {
+  unsigned workers =
+      spec.workers >= 0 ? static_cast<unsigned>(spec.workers)
+                        : base.campaign_workers;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned shards =
+      spec.shards >= 1 ? static_cast<unsigned>(spec.shards)
+                       : static_cast<unsigned>(base.campaign_shards);
+  return std::max(1u, std::max(workers, shards));
+}
+
+unsigned admission_controller::reserved_units(
+    const campaign_registry& reg, const platform_config& base) const {
+  unsigned reserved = 0;
+  for (const auto& [id, rec] : reg.records()) {
+    if (holds_budget(rec.state)) reserved += units(rec.spec, base);
+  }
+  return reserved;
+}
+
+void admission_controller::check_submit(const campaign_registry& reg,
+                                        const std::string& tenant,
+                                        const campaign_spec& spec,
+                                        const platform_config& base) const {
+  const unsigned u = units(spec, base);
+  if (u > policy_.worker_budget) {
+    throw budget_exceeded_error(
+        "svc: spec needs " + std::to_string(u) + " worker units but the "
+        "service budget is " + std::to_string(policy_.worker_budget) +
+        " — it could never be admitted");
+  }
+  if (reg.active_count(tenant) >= policy_.tenant_max_active) {
+    throw budget_exceeded_error(
+        "svc: tenant " + tenant + " is at its active-campaign quota (" +
+        std::to_string(policy_.tenant_max_active) +
+        "); cancel or wait for one to finish");
+  }
+}
+
+std::vector<std::uint64_t> admission_controller::admit(
+    campaign_registry& reg, const platform_config& base) const {
+  // Queued records in submit order.
+  std::vector<const campaign_record*> queue;
+  unsigned reserved = 0;
+  std::size_t admitted_total = 0;
+  std::map<std::string, std::size_t> admitted_by_tenant;
+  for (const auto& [id, rec] : reg.records()) {
+    if (rec.state == campaign_state::queued) {
+      queue.push_back(&rec);
+    } else if (holds_budget(rec.state)) {
+      reserved += units(rec.spec, base);
+      admitted_total += 1;
+      admitted_by_tenant[rec.tenant] += 1;
+    }
+  }
+  std::sort(queue.begin(), queue.end(),
+            [](const campaign_record* a, const campaign_record* b) {
+              return a->submit_seq < b->submit_seq;
+            });
+  std::vector<std::uint64_t> admitted;
+  for (const campaign_record* rec : queue) {
+    const unsigned u = units(rec->spec, base);
+    if (reserved + u > policy_.worker_budget) continue;  // backfill later ones
+    if (admitted_total >= policy_.max_admitted) break;
+    if (admitted_by_tenant[rec->tenant] >= policy_.tenant_max_admitted) {
+      continue;
+    }
+    reg.transition(rec->id, campaign_state::admitted);
+    reserved += u;
+    admitted_total += 1;
+    admitted_by_tenant[rec->tenant] += 1;
+    admitted.push_back(rec->id);
+  }
+  return admitted;
+}
+
+}  // namespace clasp::svc

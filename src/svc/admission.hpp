@@ -1,0 +1,63 @@
+// Admission control: a shared worker budget plus per-tenant quotas.
+//
+// A campaign's cost unit is the larger of its replay threads and its
+// shard processes — the peak concurrent workers its quanta occupy.
+// Budget is held while a campaign is admitted or running; queued and
+// paused campaigns hold nothing (a paused campaign costs only its
+// checkpoint). Admission is FIFO by submit order with opportunistic
+// backfill: a queued campaign that does not fit right now is skipped,
+// not a head-of-line block, and reconsidered every round. A spec whose
+// units alone exceed the budget is refused at submit time with a typed
+// budget_exceeded_error — it could never run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/registry.hpp"
+
+namespace clasp::svc {
+
+struct admission_policy {
+  // Sum of admitted+running campaigns' units may not exceed this.
+  unsigned worker_budget{8};
+  // Campaigns concurrently admitted+running, service-wide and per tenant.
+  std::size_t max_admitted{4};
+  std::size_t tenant_max_admitted{2};
+  // Active (queued/admitted/running/paused) campaigns one tenant may
+  // have; the submit-time quota.
+  std::size_t tenant_max_active{16};
+};
+
+class admission_controller {
+ public:
+  explicit admission_controller(admission_policy policy);
+
+  // Worker units a spec occupies while scheduled, resolved against the
+  // service base config (spec -1 defaults, workers 0 = hw concurrency).
+  static unsigned units(const campaign_spec& spec,
+                        const platform_config& base);
+
+  // Units currently held (admitted + running records).
+  unsigned reserved_units(const campaign_registry& reg,
+                          const platform_config& base) const;
+
+  // Submit-time gate: throws budget_exceeded_error when the tenant is at
+  // its active quota or the spec could never fit the worker budget.
+  void check_submit(const campaign_registry& reg, const std::string& tenant,
+                    const campaign_spec& spec,
+                    const platform_config& base) const;
+
+  // Admit queued campaigns in submit order while budget and quotas
+  // allow; returns the ids admitted this round (already transitioned).
+  std::vector<std::uint64_t> admit(campaign_registry& reg,
+                                   const platform_config& base) const;
+
+  const admission_policy& policy() const { return policy_; }
+
+ private:
+  admission_policy policy_;
+};
+
+}  // namespace clasp::svc

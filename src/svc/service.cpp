@@ -1,0 +1,417 @@
+#include "svc/service.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "dist/channel.hpp"
+#include "obs/families.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace clasp::svc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+admission_policy policy_from(const service_settings& s) {
+  admission_policy p;
+  p.worker_budget = s.worker_budget;
+  p.max_admitted = s.max_admitted;
+  p.tenant_max_admitted = s.tenant_max_admitted;
+  p.tenant_max_active = s.tenant_max_active;
+  return p;
+}
+
+scheduler_settings scheduler_from(const platform_config& base) {
+  scheduler_settings s;
+  s.base = base;
+  s.checkpoint_root = base.service.state_dir + "/ckpt";
+  s.quantum_hours = base.service.quantum_hours;
+  s.max_resident = base.service.max_resident;
+  return s;
+}
+
+obs::counter& svc_counter(const char* name) {
+  return obs::metrics_registry::instance().get_counter(name);
+}
+
+}  // namespace
+
+campaign_service::campaign_service(platform_config base)
+    : base_(std::move(base)),
+      settings_(base_.service),
+      admission_(policy_from(settings_)),
+      scheduler_(scheduler_from(base_)) {
+  if (base_.obs_metrics) {
+    obs::set_enabled(true);
+    obs::register_core_families();
+  }
+  if (auto loaded = campaign_registry::load(registry_path())) {
+    registry_ = std::move(*loaded);
+    registry_.reset_transients();
+    CLASP_LOG(info, "svc")
+        << "reloaded registry: " << registry_.records().size()
+        << " campaigns, " << registry_.count(campaign_state::queued)
+        << " queued for (re)admission";
+  }
+}
+
+std::string campaign_service::registry_path() const {
+  return settings_.state_dir + "/registry.bin";
+}
+
+std::string campaign_service::results_path(std::uint64_t id) const {
+  const campaign_record& rec = registry_.record(id);
+  return settings_.results_dir + "/" + rec.tenant + "-" + std::to_string(id) +
+         ".csv";
+}
+
+std::uint64_t campaign_service::submit(const std::string& tenant,
+                                       campaign_spec spec) {
+  validate_spec(spec);
+  admission_.check_submit(registry_, tenant, spec, base_);
+  const campaign_record& rec = registry_.submit(tenant, std::move(spec));
+  persist();
+  svc_counter(obs::family::kSvcSubmissions).add();
+  CLASP_LOG(info, "svc") << "submitted campaign " << rec.id << " (" << tenant
+                         << ", " << rec.spec.region << ", " << rec.spec.days
+                         << "d, seed " << rec.spec.seed << ")";
+  return rec.id;
+}
+
+void campaign_service::pause_campaign(std::uint64_t id) {
+  registry_.transition(id, campaign_state::paused);
+  campaign_record& rec = registry_.record(id);
+  if (campaign_session* session = scheduler_.find(id)) {
+    rec.cursor_hours = session->runner().cursor().hours_since_epoch();
+  }
+  // Durable sessions checkpoint and leave memory; non-durable ones stay
+  // pinned resident (dropping them would lose their progress).
+  scheduler_.release(id, /*checkpoint_first=*/true);
+  persist();
+  CLASP_LOG(info, "svc") << "paused campaign " << id << " at hour "
+                         << rec.cursor_hours;
+}
+
+void campaign_service::resume_campaign(std::uint64_t id) {
+  registry_.transition(id, campaign_state::queued);
+  persist();
+  CLASP_LOG(info, "svc") << "campaign " << id << " re-queued for admission";
+}
+
+void campaign_service::cancel_campaign(std::uint64_t id) {
+  registry_.transition(id, campaign_state::cancelled);
+  scheduler_.release(id, /*checkpoint_first=*/false);
+  persist();
+  svc_counter(obs::family::kSvcCancellations).add();
+  CLASP_LOG(info, "svc") << "cancelled campaign " << id;
+}
+
+control_reply campaign_service::handle(const control_request& req) {
+  svc_counter(obs::family::kSvcControlRequests).add();
+  control_reply reply;
+  try {
+    switch (req.op) {
+      case control_op::submit:
+        reply.id = submit(req.tenant, req.spec);
+        break;
+      case control_op::status:
+        break;
+      case control_op::pause:
+        pause_campaign(req.id);
+        break;
+      case control_op::resume:
+        resume_campaign(req.id);
+        break;
+      case control_op::cancel:
+        cancel_campaign(req.id);
+        break;
+      case control_op::shutdown:
+        break;  // serve() exits its loop on the ok reply
+    }
+    if (req.op == control_op::status) {
+      if (req.id != 0) {
+        reply.campaigns.push_back(status_of(req.id));
+      } else {
+        for (const std::uint64_t id : registry_.ids()) {
+          reply.campaigns.push_back(status_of(id));
+        }
+      }
+    }
+    reply.ok = true;
+  } catch (const error& e) {
+    reply.ok = false;
+    reply.error = e.what();
+  }
+  reply.service = status_summary();
+  return reply;
+}
+
+service_status campaign_service::status_summary() const {
+  service_status s;
+  s.queued = registry_.count(campaign_state::queued);
+  s.admitted = registry_.count(campaign_state::admitted);
+  s.running = registry_.count(campaign_state::running);
+  s.paused = registry_.count(campaign_state::paused);
+  s.done = registry_.count(campaign_state::done);
+  s.failed = registry_.count(campaign_state::failed);
+  s.cancelled = registry_.count(campaign_state::cancelled);
+  s.worker_budget = admission_.policy().worker_budget;
+  s.reserved_units = admission_.reserved_units(registry_, base_);
+  s.resident = scheduler_.resident();
+  const campaign_scheduler::sched_stats& st = scheduler_.stats();
+  s.quanta = st.quanta;
+  s.preemptions = st.preemptions;
+  s.evictions = st.evictions;
+  s.cold_starts = st.cold_starts;
+  s.warm_resumes = st.warm_resumes;
+  return s;
+}
+
+campaign_status campaign_service::status_of(std::uint64_t id) const {
+  const campaign_record& rec = registry_.record(id);
+  const hour_range window = spec_window(rec.spec);
+  campaign_status s;
+  s.id = rec.id;
+  s.tenant = rec.tenant;
+  s.state = to_string(rec.state);
+  s.region = rec.spec.region;
+  s.days = rec.spec.days;
+  s.seed = rec.spec.seed;
+  s.workers = rec.spec.workers;
+  s.shards = rec.spec.shards;
+  s.durable = rec.spec.durable;
+  s.cursor_hours = rec.cursor_hours;
+  s.begin_hours = window.begin_at.hours_since_epoch();
+  s.end_hours = window.end_at.hours_since_epoch();
+  s.preemptions = rec.preemptions;
+  s.error = rec.error;
+  return s;
+}
+
+std::uint64_t campaign_service::pick_next_runnable() {
+  // Round-robin by submit order over the admitted+running set: the
+  // lowest submit_seq strictly after the last scheduled one, wrapping to
+  // the lowest overall. Every admitted campaign therefore gets a quantum
+  // before any gets two.
+  const campaign_record* next = nullptr;
+  const campaign_record* first = nullptr;
+  for (const auto& [id, rec] : registry_.records()) {
+    if (rec.state != campaign_state::admitted &&
+        rec.state != campaign_state::running) {
+      continue;
+    }
+    if (first == nullptr || rec.submit_seq < first->submit_seq) first = &rec;
+    if (rec.submit_seq > last_scheduled_seq_ &&
+        (next == nullptr || rec.submit_seq < next->submit_seq)) {
+      next = &rec;
+    }
+  }
+  if (next == nullptr) next = first;
+  return next == nullptr ? 0 : next->id;
+}
+
+void campaign_service::run_one_quantum(std::uint64_t id) {
+  campaign_record& rec = registry_.record(id);
+  last_scheduled_seq_ = rec.submit_seq;
+  if (rec.state == campaign_state::admitted) {
+    registry_.transition(id, campaign_state::running);
+  }
+  try {
+    campaign_session& session = scheduler_.acquire(rec);
+    const campaign_session::quantum_result result =
+        scheduler_.run_quantum(session);
+    rec.cursor_hours = session.runner().cursor().hours_since_epoch();
+    if (result.finished) {
+      harvest(id, session);
+    } else if (!result.interrupted) {
+      // Quantum expired with window left: the campaign yields its slot.
+      rec.preemptions += 1;
+      scheduler_.note_preemption();
+      svc_counter(obs::family::kSvcPreemptions).add();
+    }
+    // Interrupted (drain): leave the record running — the registry
+    // snapshot demotes it to queued on reload and resume is free.
+  } catch (const error& e) {
+    registry_.fail(id, e.what());
+    scheduler_.release(id, /*checkpoint_first=*/false);
+    svc_counter(obs::family::kSvcFailures).add();
+    CLASP_LOG(warn, "svc") << "campaign " << id << " failed: " << e.what();
+  }
+}
+
+void campaign_service::harvest(std::uint64_t id, campaign_session& session) {
+  if (!settings_.results_dir.empty()) {
+    fs::create_directories(settings_.results_dir);
+    const std::string path = results_path(id);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    session.export_csv(out);
+    out.flush();
+    if (!out) throw storage_error("svc: cannot write results to " + path);
+  }
+  registry_.transition(id, campaign_state::done);
+  scheduler_.release(id, /*checkpoint_first=*/false);
+  svc_counter(obs::family::kSvcCompletions).add();
+  CLASP_LOG(info, "svc") << "campaign " << id << " done";
+}
+
+bool campaign_service::tick() {
+  const std::vector<std::uint64_t> admitted =
+      admission_.admit(registry_, base_);
+  if (!admitted.empty()) {
+    CLASP_LOG(info, "svc") << "admitted " << admitted.size()
+                           << " campaign(s); reserved "
+                           << admission_.reserved_units(registry_, base_)
+                           << "/" << admission_.policy().worker_budget
+                           << " worker units";
+  }
+  const std::uint64_t id = pick_next_runnable();
+  if (id == 0) {
+    publish_metrics();
+    return false;
+  }
+  run_one_quantum(id);
+  svc_counter(obs::family::kSvcQuanta).add();
+  // Only a state-machine edge (admit, done, fail) needs to reach disk;
+  // a quantum that merely advanced a cursor is recovered from the
+  // campaign's own checkpoint after a crash, so skip the write.
+  if (registry_.dirty()) persist();
+  publish_metrics();
+  heartbeat();
+  return true;
+}
+
+void campaign_service::run_to_idle() {
+  while (registry_.count(campaign_state::queued) +
+             registry_.count(campaign_state::admitted) +
+             registry_.count(campaign_state::running) >
+         0) {
+    if (!tick()) break;
+    if (drain_requested()) break;
+  }
+}
+
+int campaign_service::serve() {
+  dist::unix_listener listener(settings_.socket);
+  CLASP_LOG(info, "svc") << "serving on " << settings_.socket << " (budget "
+                         << settings_.worker_budget << " worker units, "
+                         << "quantum " << settings_.quantum_hours << "h)";
+  bool shutdown = false;
+  while (!shutdown) {
+    if (drain_requested()) {
+      drain();
+      return 130;
+    }
+    const bool busy = registry_.count(campaign_state::queued) +
+                          registry_.count(campaign_state::admitted) +
+                          registry_.count(campaign_state::running) >
+                      0;
+    // Busy: poll the socket between quanta. Idle: sleep on accept so an
+    // empty daemon costs nothing.
+    std::unique_ptr<dist::fd_channel> channel;
+    try {
+      channel = listener.accept(busy ? 0 : 50);
+    } catch (const error&) {
+      if (drain_requested()) {  // EINTR path raced the drain flag
+        drain();
+        return 130;
+      }
+      throw;
+    }
+    if (channel) {
+      std::string payload;
+      if (channel->recv(payload, 1000) == dist::recv_status::ok) {
+        control_reply reply;
+        bool decoded = false;
+        control_request req;
+        try {
+          req = decode_request(payload);
+          decoded = true;
+        } catch (const error& e) {
+          reply.ok = false;
+          reply.error = e.what();
+          reply.service = status_summary();
+        }
+        if (decoded) {
+          reply = handle(req);
+          if (req.op == control_op::shutdown && reply.ok) shutdown = true;
+        }
+        try {
+          channel->send(encode_reply(reply));
+        } catch (const error&) {
+          // Client hung up before the reply; its problem, not ours.
+        }
+      }
+      continue;  // drain control traffic before the next quantum
+    }
+    tick();
+  }
+  drain();
+  CLASP_LOG(info, "svc") << "shutdown: drained and persisted";
+  return 0;
+}
+
+void campaign_service::request_drain() {
+  drain_.store(true, std::memory_order_relaxed);
+  // Async-signal-safe: two atomic ops, no allocation, no locks.
+  if (campaign_runner* active =
+          scheduler_.active_runner().load(std::memory_order_acquire)) {
+    active->request_interrupt();
+  }
+}
+
+void campaign_service::drain() {
+  scheduler_.checkpoint_all();
+  persist();
+  svc_counter(obs::family::kSvcDrains).add();
+  CLASP_LOG(info, "svc") << "drained: " << scheduler_.resident()
+                         << " resident session(s) checkpointed, registry "
+                         << "persisted to " << registry_path();
+}
+
+void campaign_service::persist() const { registry_.save(registry_path()); }
+
+void campaign_service::publish_metrics() {
+  if (!base_.obs_metrics) return;
+  obs::metrics_registry& reg = obs::metrics_registry::instance();
+  const service_status s = status_summary();
+  reg.get_gauge(obs::family::kSvcQueued).set(static_cast<double>(s.queued));
+  reg.get_gauge(obs::family::kSvcAdmitted)
+      .set(static_cast<double>(s.admitted));
+  reg.get_gauge(obs::family::kSvcRunning).set(static_cast<double>(s.running));
+  reg.get_gauge(obs::family::kSvcPaused).set(static_cast<double>(s.paused));
+  reg.get_gauge(obs::family::kSvcResident)
+      .set(static_cast<double>(s.resident));
+  reg.get_gauge(obs::family::kSvcReservedUnits)
+      .set(static_cast<double>(s.reserved_units));
+  reg.get_gauge(obs::family::kSvcWorkerBudget)
+      .set(static_cast<double>(s.worker_budget));
+  for (const auto& [id, rec] : registry_.records()) {
+    if (!state_active(rec.state)) continue;
+    // Label-embedded family name; the exposition renders it literally.
+    const std::string name = std::string(obs::family::kSvcCampaignCursorHours) +
+                             "{tenant=\"" + rec.tenant + "\",campaign=\"" +
+                             std::to_string(id) + "\"}";
+    reg.get_gauge(name).set(static_cast<double>(rec.cursor_hours));
+  }
+}
+
+void campaign_service::heartbeat() const {
+  if (settings_.heartbeat_every_quanta == 0) return;
+  const campaign_scheduler::sched_stats& st = scheduler_.stats();
+  if (st.quanta % settings_.heartbeat_every_quanta != 0) return;
+  CLASP_LOG(info, "svc") << "heartbeat: queued "
+                         << registry_.count(campaign_state::queued)
+                         << ", admitted "
+                         << registry_.count(campaign_state::admitted)
+                         << ", running "
+                         << registry_.count(campaign_state::running)
+                         << ", resident " << scheduler_.resident()
+                         << ", quanta " << st.quanta << ", preemptions "
+                         << st.preemptions << ", evictions " << st.evictions;
+}
+
+}  // namespace clasp::svc

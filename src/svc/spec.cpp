@@ -1,0 +1,120 @@
+#include "svc/spec.hpp"
+
+#include "util/binio.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clasp::svc {
+
+namespace {
+
+// Bump on any change to the encoded spec layout. Old registries are then
+// rejected, not migrated — a queue is cheap to resubmit relative to a
+// silently misdecoded campaign.
+constexpr std::uint8_t kSpecVersion = 1;
+
+}  // namespace
+
+void validate_spec(const campaign_spec& spec) {
+  region_by_name(spec.region);  // throws on an unknown region
+  if (spec.days < 1 || spec.days > 153) {
+    throw invalid_argument_error(
+        "svc: spec days must be in [1, 153] (the paper campaign is 153)");
+  }
+  if (spec.workers < -1) {
+    throw invalid_argument_error("svc: spec workers must be >= -1");
+  }
+  if (spec.shards == 0 || spec.shards < -1) {
+    throw invalid_argument_error(
+        "svc: spec shards must be -1 (base default) or >= 1");
+  }
+  if (spec.fleet_scale == 0 || spec.fleet_scale < -1) {
+    throw invalid_argument_error(
+        "svc: spec fleet_scale must be -1 (base default) or >= 1");
+  }
+  if (!spec.faults.empty() && spec.faults != "off" && spec.faults != "low" &&
+      spec.faults != "high") {
+    throw invalid_argument_error(
+        "svc: spec faults must be empty (base default), off, low or high");
+  }
+}
+
+std::string encode_spec(const campaign_spec& spec) {
+  binary_writer out;
+  out.u8(kSpecVersion);
+  out.str(spec.region);
+  out.svarint(spec.days);
+  out.u64(spec.seed);
+  out.svarint(spec.workers);
+  out.svarint(spec.shards);
+  out.svarint(spec.fleet_scale);
+  out.str(spec.faults);
+  out.boolean(spec.durable);
+  return std::string(out.bytes());
+}
+
+campaign_spec decode_spec(std::string_view payload) {
+  binary_reader in(payload);
+  campaign_spec spec;
+  const std::uint8_t version = in.u8();
+  if (version != kSpecVersion) {
+    throw invalid_argument_error("svc: spec version " +
+                                 std::to_string(version) + " unsupported");
+  }
+  spec.region = in.str();
+  spec.days = static_cast<int>(in.svarint());
+  spec.seed = in.u64();
+  spec.workers = static_cast<int>(in.svarint());
+  spec.shards = static_cast<int>(in.svarint());
+  spec.fleet_scale = static_cast<int>(in.svarint());
+  spec.faults = in.str();
+  spec.durable = in.boolean();
+  if (!in.done()) {
+    throw invalid_argument_error("svc: trailing bytes in spec");
+  }
+  validate_spec(spec);
+  return spec;
+}
+
+std::uint64_t spec_fingerprint(const campaign_spec& spec) {
+  // durable is operational, not identity: the same campaign run durable
+  // or not produces the same bytes, so it stays out of the hash.
+  std::uint64_t h = hash_tag(spec.seed, "svc-spec");
+  h = hash_tag(h, spec.region);
+  h = hash_tag(h, std::to_string(spec.days));
+  h = hash_tag(h, spec.faults);
+  h = hash_tag(h, std::to_string(spec.fleet_scale < 1 ? -1
+                                                      : spec.fleet_scale));
+  return h;
+}
+
+hour_range spec_window(const campaign_spec& spec) {
+  const hour_stamp begin = hour_stamp::from_civil({2020, 5, 1}, 0);
+  return {begin, begin + spec.days * 24};
+}
+
+platform_config resolve_platform_config(const campaign_spec& spec,
+                                        const platform_config& base) {
+  platform_config cfg = base;
+  cfg.internet.seed = spec.seed;
+  if (spec.workers >= 0) {
+    cfg.campaign_workers = static_cast<unsigned>(spec.workers);
+  }
+  if (spec.shards >= 1) {
+    cfg.campaign_shards = static_cast<std::size_t>(spec.shards);
+  }
+  if (spec.fleet_scale >= 1) {
+    cfg.fleet_scale = static_cast<std::size_t>(spec.fleet_scale);
+  }
+  if (!spec.faults.empty()) {
+    cfg.campaign_faults = fault_config::preset(spec.faults);
+  }
+  // Durability and isolation belong to the session layer: it claims a
+  // per-(tenant, id) namespace under the service checkpoint root, so a
+  // leaked base checkpoint dir can never interleave two campaigns.
+  cfg.campaign_checkpoint_dir.clear();
+  cfg.campaign_namespace.clear();
+  return cfg;
+}
+
+}  // namespace clasp::svc

@@ -1,0 +1,77 @@
+// Campaign specs: what a tenant submits to the campaign service.
+//
+// A spec names one topology campaign — region, window length, seed and
+// the replay knobs a batch `clasp_cli run` exposes — without binding it
+// to a platform instance. The service resolves a spec against its own
+// base platform_config (the daemon's world template) when the campaign
+// is scheduled, so a spec's output is byte-identical to a batch run
+// with the same config file and flags: the resolution below touches
+// only knobs that are either output-neutral (workers, shards,
+// durability) or part of the campaign identity (seed, region, days,
+// faults, fleet_scale).
+//
+// Wire/persistence encoding is versioned binio; spec_fingerprint() is
+// the submission identity the registry uses to refuse duplicate active
+// submissions from one tenant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "clasp/platform.hpp"
+
+namespace clasp::svc {
+
+struct campaign_spec {
+  std::string region{"us-west1"};
+  // Window length in days from the paper campaign epoch (2020-05-01),
+  // exactly like `clasp_cli run --days`. Must be in [1, 153].
+  int days{7};
+  // Internet seed. 0 means "service assigns": the registry derives a
+  // per-(tenant, id) seed at submit so auto-seeded campaigns never share
+  // a world by accident. The assigned value is recorded in the spec and
+  // reported back through status, so the batch-mode twin is always
+  // reproducible.
+  std::uint64_t seed{42};
+  // Replay knobs, all batch-equivalent: -1 = the service base config's
+  // default. workers 0 = hardware concurrency. Output is byte-identical
+  // for any workers/shards value; fleet_scale and faults are part of the
+  // campaign identity (they change the output).
+  int workers{-1};
+  int shards{-1};
+  int fleet_scale{-1};
+  std::string faults;  // "" = base default; else off|low|high
+  // Durability: a durable campaign checkpoints under the service state
+  // dir and survives daemon restarts; a non-durable one is pinned
+  // resident (it cannot be evicted) and restarts from scratch after a
+  // crash. Output bytes are identical either way.
+  bool durable{true};
+};
+
+// Throws invalid_argument_error on a spec the service could never run
+// (unknown region, days out of range, bad faults preset).
+void validate_spec(const campaign_spec& spec);
+
+// Versioned binio codec (wire + registry persistence). decode throws
+// invalid_argument_error on malformed or version-mismatched payloads.
+std::string encode_spec(const campaign_spec& spec);
+campaign_spec decode_spec(std::string_view payload);
+
+// Submission identity: a 64-bit hash over every identity-bearing field.
+// Two specs with equal fingerprints produce byte-identical output under
+// this service (given one base config).
+std::uint64_t spec_fingerprint(const campaign_spec& spec);
+
+// The campaign window a spec describes: days * 24 hours from the paper
+// epoch, matching `clasp_cli run`.
+hour_range spec_window(const campaign_spec& spec);
+
+// Resolve a spec against the service's base platform config: seed and
+// campaign knobs overlaid, durability cleared (the session layer sets
+// the checkpoint dir and namespace itself). The result is exactly the
+// platform a batch run with the same config file + flags builds.
+platform_config resolve_platform_config(const campaign_spec& spec,
+                                        const platform_config& base);
+
+}  // namespace clasp::svc

@@ -280,6 +280,58 @@ TEST(ConfigLoaderTest, CheckpointKeyTyposGetSuggestions) {
   }
 }
 
+TEST(ConfigLoaderTest, ServiceKeysApply) {
+  const platform_config cfg = load_platform_config(
+      "[service]\n"
+      "socket = /run/clasp/svc.sock\n"
+      "state_dir = /var/lib/clasp/svc\n"
+      "results_dir = /var/lib/clasp/results\n"
+      "quantum_hours = 12\n"
+      "worker_budget = 16\n"
+      "max_admitted = 6\n"
+      "tenant_max_admitted = 3\n"
+      "tenant_max_active = 32\n"
+      "max_resident = 5\n"
+      "heartbeat_every_quanta = 8\n");
+  EXPECT_EQ(cfg.service.socket, "/run/clasp/svc.sock");
+  EXPECT_EQ(cfg.service.state_dir, "/var/lib/clasp/svc");
+  EXPECT_EQ(cfg.service.results_dir, "/var/lib/clasp/results");
+  EXPECT_EQ(cfg.service.quantum_hours, 12u);
+  EXPECT_EQ(cfg.service.worker_budget, 16u);
+  EXPECT_EQ(cfg.service.max_admitted, 6u);
+  EXPECT_EQ(cfg.service.tenant_max_admitted, 3u);
+  EXPECT_EQ(cfg.service.tenant_max_active, 32u);
+  EXPECT_EQ(cfg.service.max_resident, 5u);
+  EXPECT_EQ(cfg.service.heartbeat_every_quanta, 8u);
+  // Defaults: results stay in-store, heartbeat off.
+  const platform_config defaults = load_platform_config("");
+  EXPECT_TRUE(defaults.service.results_dir.empty());
+  EXPECT_EQ(defaults.service.heartbeat_every_quanta, 0u);
+}
+
+TEST(ConfigLoaderTest, ZeroServiceQuantumRejected) {
+  try {
+    load_platform_config("[service]\nquantum_hours = 0\n");
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what()).find("quantum_hours must be >= 1"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConfigLoaderTest, ServiceKeyTyposGetSuggestions) {
+  try {
+    load_platform_config("[service]\nworker_budgets = 8\n");
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("did you mean service.worker_budget?"),
+        std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ConfigLoaderTest, ObsKeysApply) {
   const platform_config cfg = load_platform_config(
       "[obs]\n"

@@ -1,0 +1,130 @@
+// Admission control: worker-unit accounting, the shared budget,
+// per-tenant quotas, and FIFO-with-backfill admission order.
+#include <gtest/gtest.h>
+
+#include "svc/admission.hpp"
+#include "util/error.hpp"
+
+namespace clasp::svc {
+namespace {
+
+campaign_spec spec_of(int workers, int shards = -1, int days = 2) {
+  campaign_spec spec;
+  spec.days = days;
+  spec.workers = workers;
+  spec.shards = shards;
+  return spec;
+}
+
+platform_config base_config() {
+  platform_config cfg;
+  cfg.campaign_workers = 2;  // what a spec's workers -1 resolves to
+  cfg.campaign_shards = 1;
+  return cfg;
+}
+
+admission_policy small_policy() {
+  admission_policy policy;
+  policy.worker_budget = 6;
+  policy.max_admitted = 4;
+  policy.tenant_max_admitted = 2;
+  policy.tenant_max_active = 3;
+  return policy;
+}
+
+TEST(SvcAdmission, UnitsAreThePeakConcurrentWorkers) {
+  const platform_config base = base_config();
+  // -1 falls back to the base config's workers.
+  EXPECT_EQ(admission_controller::units(spec_of(-1), base), 2u);
+  EXPECT_EQ(admission_controller::units(spec_of(3), base), 3u);
+  // Shard processes dominate replay threads when larger.
+  EXPECT_EQ(admission_controller::units(spec_of(1, 4), base), 4u);
+  EXPECT_EQ(admission_controller::units(spec_of(5, 2), base), 5u);
+  // workers 0 = hardware concurrency; at least one unit.
+  EXPECT_GE(admission_controller::units(spec_of(0), base), 1u);
+}
+
+TEST(SvcAdmission, RejectsPolicyThatCanAdmitNothing) {
+  admission_policy policy = small_policy();
+  policy.worker_budget = 0;
+  EXPECT_THROW(admission_controller ac(policy), invalid_argument_error);
+  policy = small_policy();
+  policy.max_admitted = 0;
+  EXPECT_THROW(admission_controller ac(policy), invalid_argument_error);
+}
+
+TEST(SvcAdmission, CheckSubmitGatesImpossibleAndOverQuota) {
+  const platform_config base = base_config();
+  admission_controller ac(small_policy());
+  campaign_registry reg;
+  // A spec that could never fit the budget is refused outright.
+  EXPECT_THROW(ac.check_submit(reg, "alice", spec_of(7), base),
+               budget_exceeded_error);
+  // Fill alice to her active quota (3): the fourth is refused, even
+  // though none of hers are running — queued campaigns count as active.
+  reg.submit("alice", spec_of(1, -1, 2));
+  reg.submit("alice", spec_of(1, -1, 3));
+  reg.submit("alice", spec_of(1, -1, 4));
+  EXPECT_THROW(ac.check_submit(reg, "alice", spec_of(1, -1, 5), base),
+               budget_exceeded_error);
+  EXPECT_NO_THROW(ac.check_submit(reg, "bob", spec_of(1), base));
+}
+
+TEST(SvcAdmission, AdmitIsFifoWithBackfill) {
+  const platform_config base = base_config();
+  admission_controller ac(small_policy());
+  campaign_registry reg;
+  const std::uint64_t big = reg.submit("alice", spec_of(5)).id;
+  const std::uint64_t mid = reg.submit("bob", spec_of(4, -1, 3)).id;
+  const std::uint64_t small = reg.submit("carol", spec_of(1, -1, 4)).id;
+
+  // FIFO admits the 5-unit head; the 4-unit second doesn't fit the
+  // remaining 1 unit but doesn't block the 1-unit third (backfill).
+  const auto first = ac.admit(reg, base);
+  EXPECT_EQ(first, (std::vector<std::uint64_t>{big, small}));
+  EXPECT_EQ(ac.reserved_units(reg, base), 6u);
+  EXPECT_EQ(reg.record(mid).state, campaign_state::queued);
+
+  // The skipped campaign is reconsidered every round: once the head
+  // finishes and frees its units, it admits.
+  reg.transition(big, campaign_state::running);
+  reg.transition(big, campaign_state::done);
+  EXPECT_EQ(ac.admit(reg, base), (std::vector<std::uint64_t>{mid}));
+  EXPECT_EQ(ac.reserved_units(reg, base), 5u);
+}
+
+TEST(SvcAdmission, TenantAdmissionCapHoldsOthersBack) {
+  const platform_config base = base_config();
+  admission_policy policy = small_policy();
+  policy.worker_budget = 8;
+  admission_controller ac(policy);
+  campaign_registry reg;
+  const std::uint64_t a1 = reg.submit("alice", spec_of(1, -1, 2)).id;
+  const std::uint64_t a2 = reg.submit("alice", spec_of(1, -1, 3)).id;
+  const std::uint64_t a3 = reg.submit("alice", spec_of(1, -1, 4)).id;
+  const std::uint64_t b1 = reg.submit("bob", spec_of(1, -1, 2)).id;
+  // alice's third stays queued at tenant_max_admitted 2; bob backfills.
+  EXPECT_EQ(ac.admit(reg, base), (std::vector<std::uint64_t>{a1, a2, b1}));
+  EXPECT_EQ(reg.record(a3).state, campaign_state::queued);
+}
+
+TEST(SvcAdmission, PausedAndQueuedHoldNoBudget) {
+  const platform_config base = base_config();
+  admission_controller ac(small_policy());
+  campaign_registry reg;
+  const std::uint64_t id = reg.submit("alice", spec_of(5)).id;
+  EXPECT_EQ(ac.reserved_units(reg, base), 0u);  // queued: nothing held
+  reg.transition(id, campaign_state::admitted);
+  EXPECT_EQ(ac.reserved_units(reg, base), 5u);
+  reg.transition(id, campaign_state::running);
+  EXPECT_EQ(ac.reserved_units(reg, base), 5u);
+  // Pausing frees the whole reservation — a paused campaign costs only
+  // its checkpoint — and the freed units admit someone else.
+  reg.transition(id, campaign_state::paused);
+  EXPECT_EQ(ac.reserved_units(reg, base), 0u);
+  const std::uint64_t other = reg.submit("bob", spec_of(5, -1, 3)).id;
+  EXPECT_EQ(ac.admit(reg, base), (std::vector<std::uint64_t>{other}));
+}
+
+}  // namespace
+}  // namespace clasp::svc

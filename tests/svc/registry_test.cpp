@@ -1,0 +1,217 @@
+// Campaign spec + registry: validation, the state machine, duplicate
+// refusal, auto-seeding, and crash-atomic persistence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "svc/registry.hpp"
+#include "svc/spec.hpp"
+#include "svc_test_support.hpp"
+#include "util/error.hpp"
+
+namespace clasp::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+using ::clasp::svc::testing::svc_test_dir;
+
+campaign_spec spec_of(const std::string& region = "us-west1", int days = 2,
+                      std::uint64_t seed = 42) {
+  campaign_spec spec;
+  spec.region = region;
+  spec.days = days;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(SvcSpec, ValidateRejectsImpossibleSpecs) {
+  EXPECT_THROW(validate_spec(spec_of("nowhere-land")), error);
+  EXPECT_THROW(validate_spec(spec_of("us-west1", 0)), invalid_argument_error);
+  EXPECT_THROW(validate_spec(spec_of("us-west1", 154)),
+               invalid_argument_error);
+  campaign_spec bad = spec_of();
+  bad.faults = "banana";
+  EXPECT_THROW(validate_spec(bad), invalid_argument_error);
+  bad = spec_of();
+  bad.shards = 0;
+  EXPECT_THROW(validate_spec(bad), invalid_argument_error);
+  bad = spec_of();
+  bad.fleet_scale = 0;
+  EXPECT_THROW(validate_spec(bad), invalid_argument_error);
+  EXPECT_NO_THROW(validate_spec(spec_of()));
+}
+
+TEST(SvcSpec, CodecRoundTripsEveryField) {
+  campaign_spec spec = spec_of("us-east1", 9, 1234);
+  spec.workers = 3;
+  spec.shards = 2;
+  spec.fleet_scale = 4;
+  spec.faults = "low";
+  spec.durable = false;
+  const campaign_spec back = decode_spec(encode_spec(spec));
+  EXPECT_EQ(back.region, spec.region);
+  EXPECT_EQ(back.days, spec.days);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.workers, spec.workers);
+  EXPECT_EQ(back.shards, spec.shards);
+  EXPECT_EQ(back.fleet_scale, spec.fleet_scale);
+  EXPECT_EQ(back.faults, spec.faults);
+  EXPECT_EQ(back.durable, spec.durable);
+  EXPECT_THROW(decode_spec(encode_spec(spec) + "x"), invalid_argument_error);
+  EXPECT_THROW(decode_spec("garbage"), error);
+}
+
+TEST(SvcSpec, FingerprintTracksIdentityNotOperationalKnobs) {
+  const campaign_spec a = spec_of();
+  campaign_spec b = a;
+  // workers/shards/durable don't change the output -> same identity.
+  b.workers = 8;
+  b.shards = 2;
+  b.durable = false;
+  EXPECT_EQ(spec_fingerprint(a), spec_fingerprint(b));
+  // seed/days/region/faults/fleet_scale do change the output.
+  b = a;
+  b.seed = 43;
+  EXPECT_NE(spec_fingerprint(a), spec_fingerprint(b));
+  b = a;
+  b.days = 3;
+  EXPECT_NE(spec_fingerprint(a), spec_fingerprint(b));
+  b = a;
+  b.region = "us-east1";
+  EXPECT_NE(spec_fingerprint(a), spec_fingerprint(b));
+  b = a;
+  b.faults = "low";
+  EXPECT_NE(spec_fingerprint(a), spec_fingerprint(b));
+  b = a;
+  b.fleet_scale = 2;
+  EXPECT_NE(spec_fingerprint(a), spec_fingerprint(b));
+}
+
+TEST(SvcRegistry, SubmitAssignsIdsAndAutoSeeds) {
+  campaign_registry reg;
+  const campaign_record& a = reg.submit("alice", spec_of());
+  EXPECT_EQ(a.id, 1u);
+  EXPECT_EQ(a.submit_seq, 1u);
+  EXPECT_EQ(a.spec.seed, 42u);  // explicit seed kept
+  EXPECT_EQ(a.state, campaign_state::queued);
+
+  const campaign_record& b = reg.submit("bob", spec_of("us-west1", 2, 0));
+  EXPECT_EQ(b.id, 2u);
+  EXPECT_NE(b.spec.seed, 0u);  // 0 = service assigns, never stays 0
+
+  // Auto-seeding is deterministic in (tenant, id): a second registry
+  // replaying the same submissions reports the same seeds.
+  campaign_registry replay;
+  replay.submit("alice", spec_of());
+  const campaign_record& b2 = replay.submit("bob", spec_of("us-west1", 2, 0));
+  EXPECT_EQ(b2.spec.seed, b.spec.seed);
+
+  EXPECT_THROW(reg.submit("", spec_of()), invalid_argument_error);
+  EXPECT_THROW(reg.record(99), not_found_error);
+}
+
+TEST(SvcRegistry, DuplicateActiveSubmissionRefused) {
+  campaign_registry reg;
+  const std::uint64_t id = reg.submit("alice", spec_of()).id;
+  // Same tenant + same identity while active: refused.
+  EXPECT_THROW(reg.submit("alice", spec_of()), state_error);
+  // Operational knobs don't dodge the check (same fingerprint)...
+  campaign_spec tweaked = spec_of();
+  tweaked.workers = 8;
+  EXPECT_THROW(reg.submit("alice", tweaked), state_error);
+  // ...but another tenant, or another identity, is fine.
+  EXPECT_NO_THROW(reg.submit("bob", spec_of()));
+  EXPECT_NO_THROW(reg.submit("alice", spec_of("us-west1", 3)));
+  // After the first goes terminal, resubmitting is fine.
+  reg.transition(id, campaign_state::cancelled);
+  EXPECT_NO_THROW(reg.submit("alice", spec_of()));
+}
+
+TEST(SvcRegistry, StateMachineValidatesEveryEdge) {
+  campaign_registry reg;
+  const std::uint64_t id = reg.submit("alice", spec_of()).id;
+  // queued can't run or finish without being admitted first.
+  EXPECT_THROW(reg.transition(id, campaign_state::running), state_error);
+  EXPECT_THROW(reg.transition(id, campaign_state::done), state_error);
+  reg.transition(id, campaign_state::admitted);
+  reg.transition(id, campaign_state::running);
+  reg.transition(id, campaign_state::paused);
+  // paused re-enters through queued, not straight back to running.
+  EXPECT_THROW(reg.transition(id, campaign_state::running), state_error);
+  reg.transition(id, campaign_state::queued);
+  reg.transition(id, campaign_state::admitted);
+  reg.transition(id, campaign_state::running);
+  reg.transition(id, campaign_state::done);
+  // Terminal states accept nothing.
+  EXPECT_THROW(reg.transition(id, campaign_state::queued), state_error);
+  EXPECT_THROW(reg.transition(id, campaign_state::cancelled), state_error);
+  EXPECT_THROW(reg.fail(id, "too late"), state_error);
+
+  const std::uint64_t id2 = reg.submit("alice", spec_of("us-west1", 3)).id;
+  reg.fail(id2, "boom");
+  EXPECT_EQ(reg.record(id2).state, campaign_state::failed);
+  EXPECT_EQ(reg.record(id2).error, "boom");
+}
+
+TEST(SvcRegistry, CountsAndResetTransients) {
+  campaign_registry reg;
+  const std::uint64_t a = reg.submit("alice", spec_of()).id;
+  const std::uint64_t b = reg.submit("alice", spec_of("us-west1", 3)).id;
+  const std::uint64_t c = reg.submit("bob", spec_of()).id;
+  reg.transition(a, campaign_state::admitted);
+  reg.transition(a, campaign_state::running);
+  reg.transition(b, campaign_state::admitted);
+  EXPECT_EQ(reg.active_count(), 3u);
+  EXPECT_EQ(reg.active_count("alice"), 2u);
+  EXPECT_EQ(reg.count(campaign_state::running), 1u);
+  // A daemon restart demotes admitted/running (their sessions died) and
+  // leaves everything else alone.
+  reg.transition(c, campaign_state::cancelled);
+  reg.reset_transients();
+  EXPECT_EQ(reg.count(campaign_state::queued), 2u);
+  EXPECT_EQ(reg.count(campaign_state::running), 0u);
+  EXPECT_EQ(reg.count(campaign_state::admitted), 0u);
+  EXPECT_EQ(reg.record(c).state, campaign_state::cancelled);
+}
+
+TEST(SvcRegistry, PersistenceRoundTripsAndRejectsCorruption) {
+  const fs::path dir = svc_test_dir("clasp_svc_registry");
+  const std::string path = (dir / "sub" / "registry.bin").string();
+
+  campaign_registry reg;
+  campaign_record& a = reg.submit("alice", spec_of("us-west1", 2, 0));
+  reg.submit("bob", spec_of("us-east1", 5, 99));
+  reg.transition(a.id, campaign_state::admitted);
+  a.cursor_hours += 7;
+  a.preemptions = 3;
+  reg.fail(2, "exploded");
+
+  EXPECT_FALSE(campaign_registry::load(path).has_value());
+  reg.save(path);  // creates parent dirs itself
+  const auto back = campaign_registry::load(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->encode(), reg.encode());
+  const campaign_record& ra = back->record(a.id);
+  EXPECT_EQ(ra.tenant, "alice");
+  EXPECT_EQ(ra.spec.seed, a.spec.seed);
+  EXPECT_EQ(ra.state, campaign_state::admitted);
+  EXPECT_EQ(ra.cursor_hours, a.cursor_hours);
+  EXPECT_EQ(ra.preemptions, 3u);
+  EXPECT_EQ(back->record(2).error, "exploded");
+  // Ids are never reused, even across a save/load cycle.
+  campaign_registry reloaded = *back;
+  EXPECT_EQ(reloaded.submit("carol", spec_of()).id, 3u);
+
+  // Flip one byte mid-file: the CRC trailer catches it as a typed error.
+  std::string bytes = testing::read_file(path);
+  bytes[bytes.size() / 2] ^= 0x40;
+  std::ofstream(path, std::ios::binary) << bytes;
+  EXPECT_THROW(campaign_registry::load(path), error);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace clasp::svc

@@ -1,0 +1,109 @@
+// Shared fixtures for the campaign-service suites: a tiny world (the
+// campaign_resume_test substrate), service settings rooted in a
+// per-test temp dir, and the batch-mode baseline a service campaign's
+// output must match byte for byte.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "clasp/platform.hpp"
+#include "svc/spec.hpp"
+#include "test_support.hpp"
+
+namespace clasp::svc::testing {
+
+namespace fs = std::filesystem;
+
+// The campaign_resume_test substrate: every structural feature, small
+// enough that one platform builds in tens of milliseconds (the service
+// suites build one platform per resident campaign).
+inline platform_config tiny_base_config() {
+  platform_config cfg;
+  cfg.internet = ::clasp::testing::small_internet_config();
+  cfg.internet.seed = 777;
+  cfg.internet.regional_isp_count = 120;
+  cfg.internet.business_count = 150;
+  cfg.internet.hosting_count = 80;
+  cfg.internet.education_count = 30;
+  cfg.internet.vantage_point_count = 120;
+  cfg.servers = ::clasp::testing::small_server_config();
+  cfg.servers.us_server_target = 120;
+  cfg.servers.global_server_target = 600;
+  cfg.topology_budgets = {{"us-west1", 40}};
+  return cfg;
+}
+
+// Fresh per-test scratch root (state dir, results dir, socket).
+inline fs::path svc_test_dir(const std::string& prefix) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      (prefix + "_" +
+       ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Base config + a [service] section under `dir`. quantum_hours 5 leaves
+// a ragged tail against the 24h-multiple windows, so the final-quantum
+// path (run() instead of run_until) is always exercised.
+inline platform_config tiny_service_config(const fs::path& dir) {
+  platform_config cfg = tiny_base_config();
+  cfg.campaign_workers = 2;  // a spec's workers -1 = 2 units
+  cfg.campaign_checkpoint_every_hours = 6;
+  cfg.service.socket = (dir / "svc.sock").string();
+  cfg.service.state_dir = (dir / "state").string();
+  cfg.service.results_dir = (dir / "results").string();
+  cfg.service.quantum_hours = 5;
+  cfg.service.worker_budget = 4;
+  cfg.service.max_admitted = 3;
+  cfg.service.tenant_max_admitted = 2;
+  cfg.service.tenant_max_active = 16;
+  cfg.service.max_resident = 4;
+  return cfg;
+}
+
+// The bytes `clasp_cli run --csv` would write for this spec: download
+// series of the topology campaign, filtered by campaign + region.
+inline std::string download_csv(clasp_platform& platform,
+                                const std::string& region) {
+  std::ostringstream out;
+  tag_filter filter;
+  filter.required["campaign"] = "topology";
+  filter.required["region"] = region;
+  platform.store().export_csv(out, "download_mbps", filter);
+  return out.str();
+}
+
+// Uninterrupted batch-mode twin of a spec against the tiny base config,
+// memoized per fingerprint (identical specs share one baseline; the
+// repo's determinism tests already prove worker/shard invariance).
+inline const std::string& batch_baseline_csv(const campaign_spec& spec) {
+  static auto* memo = new std::map<std::uint64_t, std::string>;
+  const std::uint64_t fp = spec_fingerprint(spec);
+  const auto it = memo->find(fp);
+  if (it != memo->end()) return it->second;
+  platform_config cfg = resolve_platform_config(spec, tiny_base_config());
+  cfg.campaign_shards = 1;  // in-process: the baseline must be cheap
+  clasp_platform platform(cfg);
+  campaign_runner& campaign =
+      platform.start_topology_campaign(spec.region, spec_window(spec));
+  EXPECT_TRUE(campaign.run());
+  return memo->emplace(fp, download_csv(platform, spec.region)).first->second;
+}
+
+inline std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace clasp::svc::testing
